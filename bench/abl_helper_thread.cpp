@@ -1,0 +1,77 @@
+// Ablation — the numeric plane under real threads.
+//
+// Wall-clock comparison of the actual implementations (thread-backed
+// ranks, real linear algebra) on a laptop-scale problem: P-EnKF's strict
+// read-then-update versus S-EnKF's helper-thread multi-stage pipeline.
+// On a single host the disk model is shared memory, so the point of this
+// bench is the *instrumentation*: S-EnKF's computation ranks spend their
+// wait time inside the prologue only, and the helper thread keeps the
+// update loop fed.
+#include "common.hpp"
+
+#include "enkf/diagnostics.hpp"
+#include "enkf/penkf.hpp"
+#include "enkf/senkf.hpp"
+#include "obs/perturbed.hpp"
+#include "support/stopwatch.hpp"
+
+int main() {
+  using namespace senkf;
+  const grid::LatLonGrid g(96, 48);
+  Rng rng(21);
+  const auto scenario = grid::synthetic_ensemble(g, 12, rng, 0.5);
+  obs::NetworkOptions net_opt;
+  net_opt.station_count = 400;
+  net_opt.error_std = 0.05;
+  Rng obs_rng(22);
+  const auto observations =
+      obs::random_network(g, scenario.truth, obs_rng, net_opt);
+  const auto ys = obs::perturbed_observations(observations, 12, Rng(23));
+  const enkf::MemoryEnsembleStore store(g, scenario.members);
+
+  enkf::EnkfRunConfig pcfg;
+  pcfg.n_sdx = 8;
+  pcfg.n_sdy = 4;
+  pcfg.analysis.halo = grid::Halo{3, 2};
+  Stopwatch penkf_watch;
+  const auto penkf_result = enkf::penkf(store, observations, ys, pcfg);
+  const double penkf_seconds = penkf_watch.elapsed_seconds();
+
+  enkf::SenkfConfig scfg;
+  scfg.n_sdx = 8;
+  scfg.n_sdy = 4;
+  scfg.layers = 4;
+  scfg.n_cg = 4;
+  scfg.analysis.halo = grid::Halo{3, 2};
+  enkf::SenkfStats stats;
+  Stopwatch senkf_watch;
+  const auto senkf_result =
+      enkf::senkf(store, observations, ys, scfg, &stats);
+  const double senkf_seconds = senkf_watch.elapsed_seconds();
+
+  Table table({"implementation", "wall_s", "mean_rmse_after",
+               "update_s(sum)", "comp_wait_s(sum)"});
+  table.add_row({"P-EnKF (32 ranks)", Table::num(penkf_seconds, 3),
+                 Table::num(enkf::mean_field_rmse(penkf_result,
+                                                  scenario.truth),
+                            4),
+                 "-", "-"});
+  table.add_row({"S-EnKF (32+16 ranks, L=4)", Table::num(senkf_seconds, 3),
+                 Table::num(enkf::mean_field_rmse(senkf_result,
+                                                  scenario.truth),
+                            4),
+                 Table::num(stats.comp_update_seconds, 3),
+                 Table::num(stats.comp_wait_seconds, 3)});
+  table.print(std::cout,
+              "Ablation: real-thread P-EnKF vs S-EnKF (numeric plane)");
+
+  const double diff =
+      enkf::max_ensemble_difference(penkf_result, senkf_result);
+  std::cout << "Max |P-EnKF - S-EnKF| with L=1-equivalent schedules differ "
+               "by layered localization; here L=4, so analyses differ by "
+               "design. Identity checks live in tests/.\n";
+  std::cout << "Block messages delivered through helper threads: "
+            << stats.messages << " (diff vs P-EnKF analysis: "
+            << Table::num(diff, 4) << ")\n";
+  return 0;
+}

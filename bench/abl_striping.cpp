@@ -1,0 +1,37 @@
+// Ablation — file striping vs the concurrent-access co-design.
+//
+// The paper's concurrent groups exploit whole-file-per-OST placement.  A
+// natural question: does Lustre-style striping make the co-design
+// unnecessary?  This sweep shows the interaction: striping accelerates a
+// *single* group (each bar read fans across disks) but loses its edge
+// once concurrent groups already keep every disk busy — and it adds
+// addressing fan-out that block reading pays dearly for.
+#include "common.hpp"
+
+int main() {
+  using namespace senkf;
+  const auto workload = bench::paper_workload();
+
+  Table table({"stripe_count", "bar_ncg1_s", "bar_ncg6_s", "block_12000_s"});
+  for (const int stripes : {1, 2, 3, 6}) {
+    auto machine = bench::paper_machine();
+    machine.pfs.stripe_count = stripes;
+    const auto bar1 =
+        vcluster::simulate_concurrent_read(machine, workload, 10, 1);
+    const auto bar6 =
+        vcluster::simulate_concurrent_read(machine, workload, 10, 6);
+    const auto block =
+        vcluster::simulate_block_read(machine, workload, 1200, 10);
+    table.add_row({Table::num(static_cast<long long>(stripes)),
+                   Table::num(bar1.makespan), Table::num(bar6.makespan),
+                   Table::num(block.makespan)});
+  }
+  table.print(std::cout,
+              "Ablation: stripe_count vs reading strategies "
+              "(120 members, n_sdy=10)");
+  std::cout << "Expected: striping helps the single group (bar_ncg1 "
+               "drops), cannot beat saturated concurrent groups "
+               "(bar_ncg6 ~flat), and never rescues block reading "
+               "(seek-dominated).\n";
+  return 0;
+}

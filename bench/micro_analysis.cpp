@@ -1,0 +1,82 @@
+// Micro-benchmarks of the local analysis kernel (google-benchmark):
+// stochastic modified-Cholesky (P-EnKF's scheme, eq. (6)) vs the
+// deterministic ensemble transform, across expansion sizes and ensemble
+// sizes.  These are the per-stage compute costs the "c" constant of the
+// cost model abstracts.
+#include <benchmark/benchmark.h>
+
+#include "enkf/local_analysis.hpp"
+#include "grid/synthetic.hpp"
+#include "obs/perturbed.hpp"
+
+namespace {
+
+using namespace senkf;
+
+struct Fixture {
+  grid::LatLonGrid mesh;
+  grid::SyntheticEnsemble scenario;
+  obs::ObservationSet observations;
+  linalg::Matrix ys;
+  std::vector<grid::Patch> background;
+
+  Fixture(grid::Index side, grid::Index members)
+      : mesh(side, side),
+        scenario(make_scenario(mesh, members)),
+        observations(make_obs(mesh, scenario.truth)),
+        ys(obs::perturbed_observations(observations, members, Rng(3))) {
+    for (const auto& member : scenario.members) {
+      background.push_back(member.extract(mesh.bounds()));
+    }
+  }
+
+  static grid::SyntheticEnsemble make_scenario(const grid::LatLonGrid& mesh,
+                                               grid::Index members) {
+    Rng rng(1);
+    return grid::synthetic_ensemble(mesh, members, rng, 0.5);
+  }
+  static obs::ObservationSet make_obs(const grid::LatLonGrid& mesh,
+                                      const grid::Field& truth) {
+    Rng rng(2);
+    obs::NetworkOptions opt;
+    opt.station_count = mesh.size() / 8;
+    return obs::random_network(mesh, truth, rng, opt);
+  }
+};
+
+void run_kernel(benchmark::State& state, enkf::AnalysisKind kind) {
+  const auto side = static_cast<grid::Index>(state.range(0));
+  const auto members = static_cast<grid::Index>(state.range(1));
+  const Fixture fixture(side, members);
+  enkf::AnalysisOptions options;
+  options.kind = kind;
+  options.halo = grid::Halo{2, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enkf::local_analysis(
+        fixture.background, fixture.mesh.bounds(), fixture.observations,
+        fixture.ys, options));
+  }
+  state.SetLabel(std::to_string(side * side) + " points");
+}
+
+void BM_StochasticModifiedCholesky(benchmark::State& state) {
+  run_kernel(state, enkf::AnalysisKind::kStochasticModifiedCholesky);
+}
+BENCHMARK(BM_StochasticModifiedCholesky)
+    ->Args({8, 10})
+    ->Args({12, 10})
+    ->Args({16, 10})
+    ->Args({12, 40});
+
+void BM_DeterministicTransform(benchmark::State& state) {
+  run_kernel(state, enkf::AnalysisKind::kDeterministicTransform);
+}
+BENCHMARK(BM_DeterministicTransform)
+    ->Args({8, 10})
+    ->Args({12, 10})
+    ->Args({16, 10})
+    ->Args({12, 40});
+
+}  // namespace
+
+BENCHMARK_MAIN();

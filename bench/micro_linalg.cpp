@@ -1,0 +1,99 @@
+// Micro-benchmarks of the linear-algebra kernels behind the local
+// analysis (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/covariance.hpp"
+#include "linalg/modified_cholesky.hpp"
+#include "linalg/ops.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace senkf;
+using linalg::Index;
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix random_matrix(Index rows, Index cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+Matrix random_spd(Index n, std::uint64_t seed) {
+  Matrix m = random_matrix(n, n, seed);
+  Matrix a = linalg::multiply_a_bt(m, m);
+  for (Index i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  const Matrix a = random_matrix(n, n, 1);
+  const Matrix b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::multiply(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmAtB(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  const Matrix a = random_matrix(n, n, 3);
+  const Matrix b = random_matrix(n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::multiply_at_b(a, b));
+  }
+}
+BENCHMARK(BM_GemmAtB)->Arg(64)->Arg(128);
+
+void BM_Cholesky(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  const Matrix a = random_spd(n, 5);
+  for (auto _ : state) {
+    linalg::CholeskyFactor factor(a);
+    benchmark::DoNotOptimize(factor.lower().data());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SpdSolve(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  const Matrix a = random_spd(n, 6);
+  const Matrix b = random_matrix(n, 16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::solve_spd(a, b));
+  }
+}
+BENCHMARK(BM_SpdSolve)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ModifiedCholesky(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  const Index band = static_cast<Index>(state.range(1));
+  const Matrix ensemble = random_matrix(n, 20, 8);
+  const Matrix u = linalg::ensemble_anomalies(ensemble);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::estimate_inverse_covariance(
+        u, linalg::banded_predecessors(band), 1e-6));
+  }
+}
+BENCHMARK(BM_ModifiedCholesky)->Args({128, 8})->Args({256, 8})
+    ->Args({256, 16});
+
+void BM_EnsembleCovariance(benchmark::State& state) {
+  const Index n = static_cast<Index>(state.range(0));
+  const Matrix ensemble = random_matrix(n, 120, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::sample_covariance(ensemble));
+  }
+}
+BENCHMARK(BM_EnsembleCovariance)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Micro-benchmarks of the thread-backed message-passing runtime
+// (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "parcomm/runtime.hpp"
+
+namespace {
+
+using namespace senkf::parcomm;
+
+void BM_PingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> data(bytes / sizeof(double), 1.0);
+  for (auto _ : state) {
+    Runtime::run(2, [&](Communicator& world) {
+      constexpr int kRounds = 16;
+      for (int i = 0; i < kRounds; ++i) {
+        if (world.rank() == 0) {
+          world.send_doubles(1, 1, data);
+          benchmark::DoNotOptimize(world.recv_doubles(1, 2));
+        } else {
+          benchmark::DoNotOptimize(world.recv_doubles(0, 1));
+          world.send_doubles(0, 2, data);
+        }
+      }
+    });
+  }
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime::run(ranks, [](Communicator& world) {
+      for (int i = 0; i < 32; ++i) world.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Broadcast(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime::run(ranks, [](Communicator& world) {
+      std::vector<double> data(1024, 1.0);
+      for (int i = 0; i < 8; ++i) world.broadcast(0, data);
+    });
+  }
+}
+BENCHMARK(BM_Broadcast)->Arg(4)->Arg(16);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime::run(ranks, [](Communicator& world) {
+      for (int i = 0; i < 8; ++i) {
+        benchmark::DoNotOptimize(world.allreduce(
+            static_cast<double>(world.rank()), Communicator::ReduceOp::kSum));
+      }
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(4)->Arg(16);
+
+void BM_Split(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime::run(ranks, [](Communicator& world) {
+      auto sub = world.split(world.rank() % 2, world.rank());
+      benchmark::DoNotOptimize(sub);
+    });
+  }
+}
+BENCHMARK(BM_Split)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Auto-tune planner: size an S-EnKF run for a machine before buying time.
+//
+//   $ autotune_planner [procs=12000] [nx=3600] [ny=1800] [members=120]
+//                      [epsilon=1e-5] [osts=6] [stream_mbps=400]
+//                      [update_cost_us=1000]
+//
+// Feeds the machine description into the §4.3 cost model, runs the
+// Algorithm 2 auto-tuner, prints the recommended parameters with the
+// modelled phase costs, and cross-checks the prediction against the
+// discrete-event simulator.
+#include <iostream>
+
+#include "support/config.hpp"
+#include "support/table.hpp"
+#include "tuning/auto_tune.hpp"
+
+int main(int argc, char** argv) {
+  using namespace senkf;
+  const Config config = Config::from_args(argc, argv);
+  const std::uint64_t procs = config.get_int("procs", 12000);
+  const double epsilon = config.get_double("epsilon", 1e-5);
+
+  vcluster::SimWorkload workload;
+  workload.nx = config.get_int("nx", 3600);
+  workload.ny = config.get_int("ny", 1800);
+  workload.members = config.get_int("members", 120);
+
+  vcluster::MachineConfig machine;
+  machine.pfs.ost_count = static_cast<int>(config.get_int("osts", 6));
+  machine.pfs.ost.stream_bandwidth =
+      config.get_double("stream_mbps", 400.0) * 1e6;
+  machine.update_cost_per_point_s =
+      config.get_double("update_cost_us", 1000.0) * 1e-6;
+
+  const tuning::CostModel model(tuning::params_from(machine, workload));
+  const auto tuned = tuning::auto_tune(model, procs, epsilon);
+
+  Table plan({"parameter", "value"});
+  plan.add_row({"processor budget", Table::num(static_cast<long long>(procs))});
+  plan.add_row({"n_sdx", Table::num(static_cast<long long>(tuned.params.n_sdx))});
+  plan.add_row({"n_sdy", Table::num(static_cast<long long>(tuned.params.n_sdy))});
+  plan.add_row({"L (layers)", Table::num(static_cast<long long>(tuned.params.layers))});
+  plan.add_row({"n_cg (concurrent groups)",
+                Table::num(static_cast<long long>(tuned.params.n_cg))});
+  plan.add_row({"C2 computation processors",
+                Table::num(static_cast<long long>(tuned.c2))});
+  plan.add_row({"C1 I/O processors",
+                Table::num(static_cast<long long>(tuned.c1))});
+  plan.add_row({"idle processors",
+                Table::num(static_cast<long long>(procs - tuned.c1 -
+                                                  tuned.c2))});
+  plan.print(std::cout, "Algorithm 2 recommendation");
+
+  Table phases({"phase (per stage)", "model_s"});
+  phases.add_row({"T_read (eq. 7)", Table::num(model.t_read(tuned.params), 4)});
+  phases.add_row({"T_comm (eq. 8)", Table::num(model.t_comm(tuned.params), 4)});
+  phases.add_row({"T_comp (eq. 9)", Table::num(model.t_comp(tuned.params), 4)});
+  phases.add_row({"T_total (pipeline)", Table::num(tuned.t_total, 4)});
+  phases.print(std::cout, "Modelled phase costs");
+
+  const auto simulated =
+      vcluster::simulate_senkf(machine, workload, tuned.params);
+  std::cout << "DES cross-check: simulated total "
+            << Table::num(simulated.makespan, 4) << " s vs modelled "
+            << Table::num(tuned.t_total, 4) << " s (overlap "
+            << Table::percent(simulated.overlap_fraction) << ", prologue "
+            << Table::num(simulated.prologue, 4) << " s)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Cycled sequential assimilation: the operational loop EnKF exists for.
+//
+//   $ cycled_assimilation [nx=72] [ny=36] [members=10] [cycles=12]
+//                         [steps=4] [stations=150] [inflation=1.05]
+//                         [seed=3]
+//
+// A hidden truth evolves under 2-D advection-diffusion; every cycle the
+// ensemble forecasts forward, a fresh observation network measures the
+// truth, and S-EnKF folds the observations in.  A free-running ensemble
+// (never assimilated) is the control.  Watch the assimilated RMSE stay
+// bounded while the free run drifts.
+#include <iostream>
+
+#include "enkf/cycle.hpp"
+#include "enkf/diagnostics.hpp"
+#include "grid/synthetic.hpp"
+#include "support/config.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace senkf;
+  const Config config = Config::from_args(argc, argv);
+  const grid::Index nx = config.get_int("nx", 72);
+  const grid::Index ny = config.get_int("ny", 36);
+  const grid::Index members = config.get_int("members", 10);
+  const std::uint64_t seed = config.get_int("seed", 3);
+
+  const grid::LatLonGrid mesh(nx, ny);
+  Rng rng(seed);
+  const auto scenario = grid::synthetic_ensemble(mesh, members, rng, 0.5);
+
+  model::AdvectionDiffusionConfig flow;
+  flow.u = 0.8;
+  flow.v = 0.1;
+  flow.diffusion = 0.02;
+  const model::AdvectionDiffusion dynamics(mesh, flow);
+
+  enkf::CycleConfig cycle;
+  cycle.cycles = config.get_int("cycles", 12);
+  cycle.steps_per_cycle = config.get_int("steps", 4);
+  cycle.seed = seed + 100;
+  cycle.network.station_count = config.get_int("stations", 150);
+  cycle.network.error_std = 0.05;
+  cycle.assimilation.n_sdx = 4;
+  cycle.assimilation.n_sdy = 2;
+  cycle.assimilation.layers = 2;
+  cycle.assimilation.n_cg = 2;
+  cycle.assimilation.analysis.halo = grid::halo_for_radius(mesh, 40.0);
+  cycle.assimilation.analysis.inflation =
+      config.get_double("inflation", 1.05);
+
+  const auto result = enkf::run_cycled_assimilation(
+      dynamics, scenario.truth, scenario.members, cycle);
+
+  Table table({"cycle", "background_rmse", "analysis_rmse", "free_run_rmse",
+               "spread", "innovation_chi2/m"});
+  for (std::size_t t = 0; t < result.records.size(); ++t) {
+    const auto& r = result.records[t];
+    table.add_row({Table::num(static_cast<long long>(t + 1)),
+                   Table::num(r.background_rmse, 4),
+                   Table::num(r.analysis_rmse, 4),
+                   Table::num(r.free_rmse, 4), Table::num(r.spread, 4),
+                   Table::num(r.innovation_chi2, 2)});
+  }
+  table.print(std::cout, "Cycled assimilation (" + std::to_string(nx) + "x" +
+                             std::to_string(ny) + ", " +
+                             std::to_string(members) + " members, inflation " +
+                             Table::num(cycle.assimilation.analysis.inflation,
+                                        2) +
+                             ")");
+  std::cout << "Expected: analysis RMSE bounded well below the free run; "
+               "inflation keeps the spread from collapsing.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Scaling study: sweep processor counts on the simulated cluster.
+//
+//   $ scaling_study [nx=3600] [ny=1800] [members=120] [from=1000]
+//                   [to=12000] [points=6] [epsilon=1e-5]
+//
+// For each processor count: P-EnKF (block reading, phased) vs auto-tuned
+// S-EnKF on the discrete-event simulator — a configurable version of the
+// paper's Figure 13 study for exploring other workloads and machines.
+#include <iostream>
+#include <vector>
+
+#include "support/config.hpp"
+#include "support/table.hpp"
+#include "tuning/auto_tune.hpp"
+
+namespace {
+
+// Largest feasible P-EnKF decomposition not exceeding `procs` with
+// n_sdy = 10 bars (the paper's block-reading convention).
+std::uint64_t feasible_sdx(std::uint64_t procs, std::uint64_t nx) {
+  std::uint64_t best = 1;
+  for (std::uint64_t sdx = 1; sdx * 10 <= procs; ++sdx) {
+    if (nx % sdx == 0) best = sdx;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace senkf;
+  const Config config = Config::from_args(argc, argv);
+  vcluster::SimWorkload workload;
+  workload.nx = config.get_int("nx", 3600);
+  workload.ny = config.get_int("ny", 1800);
+  workload.members = config.get_int("members", 120);
+  workload.levels = config.get_int("levels", 1);
+  const std::uint64_t from = config.get_int("from", 1000);
+  const std::uint64_t to = config.get_int("to", 12000);
+  const std::uint64_t points = config.get_int("points", 6);
+  const double epsilon = config.get_double("epsilon", 1e-5);
+  SENKF_REQUIRE(from >= 20 && to >= from && points >= 2,
+                "scaling_study: need 20 <= from <= to and points >= 2");
+
+  const vcluster::MachineConfig machine;
+  const tuning::CostModel model(tuning::params_from(machine, workload));
+
+  Table table({"processors", "lenkf_s", "penkf_s", "senkf_s", "speedup",
+               "senkf_params (sdx,sdy,L,cg)"});
+  for (std::uint64_t i = 0; i < points; ++i) {
+    const std::uint64_t procs =
+        from + (to - from) * i / (points - 1);
+    const std::uint64_t sdx = feasible_sdx(procs, workload.nx);
+    const auto l = vcluster::simulate_lenkf(machine, workload, sdx, 10);
+    const auto p =
+        vcluster::simulate_penkf(machine, workload, sdx, 10);
+    const auto tuned = tuning::auto_tune(model, procs, epsilon);
+    const auto s = vcluster::simulate_senkf(machine, workload, tuned.params);
+    table.add_row({Table::num(static_cast<long long>(procs)),
+                   Table::num(l.makespan), Table::num(p.makespan),
+                   Table::num(s.makespan),
+                   Table::num(p.makespan / s.makespan, 2),
+                   std::to_string(tuned.params.n_sdx) + "," +
+                       std::to_string(tuned.params.n_sdy) + "," +
+                       std::to_string(tuned.params.layers) + "," +
+                       std::to_string(tuned.params.n_cg)});
+  }
+  table.print(std::cout, "Strong scaling study (simulated cluster)");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "enkf/diagnostics.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace senkf::enkf {
+
+double ensemble_rmse(const std::vector<grid::Field>& members,
+                     const grid::Field& truth) {
+  SENKF_REQUIRE(!members.empty(), "ensemble_rmse: empty ensemble");
+  double sum = 0.0;
+  for (const auto& member : members) sum += member.rmse_against(truth);
+  return sum / static_cast<double>(members.size());
+}
+
+grid::Field ensemble_mean_field(const std::vector<grid::Field>& members) {
+  SENKF_REQUIRE(!members.empty(), "ensemble_mean_field: empty ensemble");
+  grid::Field mean(members.front().grid(), 0.0);
+  const double inv = 1.0 / static_cast<double>(members.size());
+  for (const auto& member : members) {
+    SENKF_REQUIRE(member.size() == mean.size(),
+                  "ensemble_mean_field: member size mismatch");
+    for (Index i = 0; i < mean.size(); ++i) mean[i] += member[i] * inv;
+  }
+  return mean;
+}
+
+double mean_field_rmse(const std::vector<grid::Field>& members,
+                       const grid::Field& truth) {
+  return ensemble_mean_field(members).rmse_against(truth);
+}
+
+double max_ensemble_difference(const std::vector<grid::Field>& a,
+                               const std::vector<grid::Field>& b) {
+  SENKF_REQUIRE(a.size() == b.size(),
+                "max_ensemble_difference: ensemble size mismatch");
+  double worst = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    SENKF_REQUIRE(a[k].size() == b[k].size(),
+                  "max_ensemble_difference: member size mismatch");
+    for (Index i = 0; i < a[k].size(); ++i) {
+      worst = std::max(worst, std::abs(a[k][i] - b[k][i]));
+    }
+  }
+  return worst;
+}
+
+double ensemble_spread(const std::vector<grid::Field>& members) {
+  SENKF_REQUIRE(members.size() >= 2, "ensemble_spread: need >= 2 members");
+  const grid::Field mean = ensemble_mean_field(members);
+  const double inv = 1.0 / static_cast<double>(members.size() - 1);
+  double total = 0.0;
+  for (Index i = 0; i < mean.size(); ++i) {
+    double var = 0.0;
+    for (const auto& member : members) {
+      const double d = member[i] - mean[i];
+      var += d * d;
+    }
+    total += std::sqrt(var * inv);
+  }
+  return total / static_cast<double>(mean.size());
+}
+
+}  // namespace senkf::enkf

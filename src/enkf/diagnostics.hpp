@@ -1,0 +1,32 @@
+// Assimilation quality diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "grid/field.hpp"
+
+namespace senkf::enkf {
+
+using grid::Index;
+
+/// Mean over members of the field-vs-truth RMSE.
+double ensemble_rmse(const std::vector<grid::Field>& members,
+                     const grid::Field& truth);
+
+/// Point-wise ensemble mean field.
+grid::Field ensemble_mean_field(const std::vector<grid::Field>& members);
+
+/// RMSE of the ensemble mean against the truth (the headline skill metric
+/// of data assimilation).
+double mean_field_rmse(const std::vector<grid::Field>& members,
+                       const grid::Field& truth);
+
+/// Largest |a − b| over members and points; 0 means bit-identical
+/// ensembles (the cross-implementation equality gate).
+double max_ensemble_difference(const std::vector<grid::Field>& a,
+                               const std::vector<grid::Field>& b);
+
+/// Ensemble spread: mean over points of the member standard deviation.
+double ensemble_spread(const std::vector<grid::Field>& members);
+
+}  // namespace senkf::enkf

@@ -1,0 +1,64 @@
+#include "enkf/ensemble_store.hpp"
+
+namespace senkf::enkf {
+
+void EnsembleStore::reset_counters() const {
+  segments_.store(0);
+  reads_.store(0);
+}
+
+void EnsembleStore::count_access(std::uint64_t segments) const {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  segments_.fetch_add(segments, std::memory_order_relaxed);
+}
+
+std::uint64_t EnsembleStore::block_segments(grid::Rect rect) const {
+  // Full-width rects are contiguous row ranges — a single segment; any
+  // narrower rect costs one segment per latitude row (§4.1.1).
+  return (rect.x.begin == 0 && rect.x.end == grid().nx()) ? 1
+                                                          : rect.y.size();
+}
+
+MemoryEnsembleStore::MemoryEnsembleStore(const grid::LatLonGrid& grid_def,
+                                         std::vector<grid::Field> members)
+    : grid_(grid_def), members_(std::move(members)) {
+  SENKF_REQUIRE(members_.size() >= 2,
+                "EnsembleStore: need at least 2 ensemble members");
+  for (const auto& member : members_) {
+    SENKF_REQUIRE(member.size() == grid_.size(),
+                  "EnsembleStore: member grid mismatch");
+  }
+}
+
+MemoryEnsembleStore MemoryEnsembleStore::synthetic(
+    const grid::LatLonGrid& grid_def, Index n_members, Rng& rng,
+    double background_error) {
+  auto scenario =
+      grid::synthetic_ensemble(grid_def, n_members, rng, background_error);
+  return MemoryEnsembleStore(grid_def, std::move(scenario.members));
+}
+
+const grid::Field& MemoryEnsembleStore::member(Index k) const {
+  SENKF_REQUIRE(k < members_.size(), "EnsembleStore: member out of range");
+  return members_[k];
+}
+
+grid::Field MemoryEnsembleStore::load_member(Index k) const {
+  count_access(1);
+  return member(k);
+}
+
+grid::Patch MemoryEnsembleStore::read_block(Index k, grid::Rect rect) const {
+  SENKF_REQUIRE(k < members_.size(), "EnsembleStore: member out of range");
+  count_access(block_segments(rect));
+  return members_[k].extract(rect);
+}
+
+grid::Patch MemoryEnsembleStore::read_bar(Index k,
+                                          grid::IndexRange rows) const {
+  SENKF_REQUIRE(k < members_.size(), "EnsembleStore: member out of range");
+  count_access(1);
+  return members_[k].extract(grid::Rect{{0, grid_.nx()}, rows});
+}
+
+}  // namespace senkf::enkf

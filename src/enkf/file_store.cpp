@@ -1,0 +1,155 @@
+#include "enkf/file_store.hpp"
+
+#include <fstream>
+
+namespace senkf::enkf {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x534B4645;  // "EFKS"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = kVersion;
+  std::uint64_t nx = 0;
+  std::uint64_t ny = 0;
+};
+
+std::filesystem::path path_for(const std::filesystem::path& directory,
+                               Index k) {
+  return directory / ("member_" + std::to_string(k) + ".senkf");
+}
+
+std::ifstream open_member(const std::filesystem::path& path,
+                          const grid::LatLonGrid& grid_def) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw ProtocolError("FileEnsembleStore: cannot open " + path.string());
+  }
+  FileHeader header;
+  file.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!file || header.magic != kMagic || header.version != kVersion) {
+    throw ProtocolError("FileEnsembleStore: bad header in " + path.string());
+  }
+  if (header.nx != grid_def.nx() || header.ny != grid_def.ny()) {
+    throw ProtocolError("FileEnsembleStore: grid mismatch in " +
+                        path.string());
+  }
+  return file;
+}
+
+/// Byte offset of grid point (x, y) within the file body.
+std::streamoff offset_of(const grid::LatLonGrid& grid_def, Index x,
+                         Index y) {
+  return static_cast<std::streamoff>(sizeof(FileHeader)) +
+         static_cast<std::streamoff>(grid_def.flat_index(x, y)) *
+             static_cast<std::streamoff>(sizeof(double));
+}
+
+void read_span(std::ifstream& file, const std::filesystem::path& path,
+               std::streamoff offset, double* out, std::size_t count) {
+  file.seekg(offset);
+  file.read(reinterpret_cast<char*>(out),
+            static_cast<std::streamsize>(count * sizeof(double)));
+  if (!file) {
+    throw ProtocolError("FileEnsembleStore: short read in " + path.string());
+  }
+}
+
+}  // namespace
+
+FileEnsembleStore::FileEnsembleStore(const grid::LatLonGrid& grid_def,
+                                     std::filesystem::path directory,
+                                     Index n_members)
+    : grid_(grid_def),
+      directory_(std::move(directory)),
+      n_members_(n_members) {
+  SENKF_REQUIRE(n_members >= 2,
+                "FileEnsembleStore: need at least 2 ensemble members");
+  for (Index k = 0; k < n_members; ++k) {
+    open_member(path_for(directory_, k), grid_);  // header validation
+  }
+}
+
+std::filesystem::path FileEnsembleStore::member_path(Index k) const {
+  SENKF_REQUIRE(k < n_members_, "FileEnsembleStore: member out of range");
+  return path_for(directory_, k);
+}
+
+grid::Field FileEnsembleStore::load_member(Index k) const {
+  const auto path = member_path(k);
+  std::ifstream file = open_member(path, grid_);
+  std::vector<double> buffer(grid_.size());
+  read_span(file, path, offset_of(grid_, 0, 0), buffer.data(),
+            buffer.size());
+  count_access(1);
+  return grid::Field(grid_, std::move(buffer));
+}
+
+grid::Patch FileEnsembleStore::read_block(Index k, grid::Rect rect) const {
+  SENKF_REQUIRE(rect.x.end <= grid_.nx() && rect.y.end <= grid_.ny(),
+                "FileEnsembleStore: rect outside grid");
+  const auto path = member_path(k);
+  std::ifstream file = open_member(path, grid_);
+  grid::Patch patch(rect);
+  if (rect.x.begin == 0 && rect.x.end == grid_.nx()) {
+    // Full-width: one contiguous read.
+    read_span(file, path, offset_of(grid_, 0, rect.y.begin),
+              patch.values().data(), patch.size());
+    count_access(1);
+    return patch;
+  }
+  // One seek + read per latitude row: the genuine block-reading pattern.
+  double* out = patch.values().data();
+  for (Index y = rect.y.begin; y < rect.y.end; ++y) {
+    read_span(file, path, offset_of(grid_, rect.x.begin, y), out,
+              rect.x.size());
+    out += rect.x.size();
+  }
+  count_access(rect.y.size());
+  return patch;
+}
+
+grid::Patch FileEnsembleStore::read_bar(Index k,
+                                        grid::IndexRange rows) const {
+  SENKF_REQUIRE(rows.end <= grid_.ny(),
+                "FileEnsembleStore: rows outside grid");
+  const auto path = member_path(k);
+  std::ifstream file = open_member(path, grid_);
+  grid::Patch patch(grid::Rect{{0, grid_.nx()}, rows});
+  read_span(file, path, offset_of(grid_, 0, rows.begin),
+            patch.values().data(), patch.size());
+  count_access(1);
+  return patch;
+}
+
+FileEnsembleStore write_ensemble(const grid::LatLonGrid& grid_def,
+                                 const std::vector<grid::Field>& members,
+                                 const std::filesystem::path& directory) {
+  SENKF_REQUIRE(members.size() >= 2,
+                "write_ensemble: need at least 2 ensemble members");
+  std::filesystem::create_directories(directory);
+  for (Index k = 0; k < members.size(); ++k) {
+    SENKF_REQUIRE(members[k].size() == grid_def.size(),
+                  "write_ensemble: member grid mismatch");
+    const auto path = path_for(directory, k);
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw ProtocolError("write_ensemble: cannot create " + path.string());
+    }
+    FileHeader header;
+    header.nx = grid_def.nx();
+    header.ny = grid_def.ny();
+    file.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    file.write(reinterpret_cast<const char*>(members[k].data().data()),
+               static_cast<std::streamsize>(members[k].size() *
+                                            sizeof(double)));
+    if (!file) {
+      throw ProtocolError("write_ensemble: short write to " + path.string());
+    }
+  }
+  return FileEnsembleStore(grid_def, directory, members.size());
+}
+
+}  // namespace senkf::enkf

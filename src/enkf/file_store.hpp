@@ -1,0 +1,46 @@
+// Disk-backed ensemble store: real files, real seeks.
+//
+// Each background ensemble member is one binary file
+// (`member_<k>.senkf`): a small header (magic, version, nx, ny) followed
+// by ny·nx little-endian doubles in latitude-row-major order — the exact
+// layout the paper's analysis assumes.  `read_block` issues one seek+read
+// per latitude row of the rectangle; `read_bar` a single seek+read — so
+// the segment counters report genuine file-system access patterns, not a
+// model of them.
+#pragma once
+
+#include <filesystem>
+
+#include "enkf/ensemble_store.hpp"
+
+namespace senkf::enkf {
+
+class FileEnsembleStore final : public EnsembleStore {
+ public:
+  /// Opens an ensemble directory previously produced by write_ensemble.
+  /// Validates the header of every member file against `grid_def`.
+  FileEnsembleStore(const grid::LatLonGrid& grid_def,
+                    std::filesystem::path directory, Index n_members);
+
+  const grid::LatLonGrid& grid() const override { return grid_; }
+  Index members() const override { return n_members_; }
+  grid::Field load_member(Index k) const override;
+  grid::Patch read_block(Index k, grid::Rect rect) const override;
+  grid::Patch read_bar(Index k, grid::IndexRange rows) const override;
+
+  /// Path of member k's file.
+  std::filesystem::path member_path(Index k) const;
+
+ private:
+  grid::LatLonGrid grid_;
+  std::filesystem::path directory_;
+  Index n_members_;
+};
+
+/// Persists an ensemble to `directory` (created if missing), one file per
+/// member in the FileEnsembleStore layout, and returns a store over it.
+FileEnsembleStore write_ensemble(const grid::LatLonGrid& grid_def,
+                                 const std::vector<grid::Field>& members,
+                                 const std::filesystem::path& directory);
+
+}  // namespace senkf::enkf

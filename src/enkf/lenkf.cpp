@@ -1,0 +1,115 @@
+#include "enkf/lenkf.hpp"
+
+#include <mutex>
+
+#include "enkf/patch_wire.hpp"
+#include "parcomm/runtime.hpp"
+
+namespace senkf::enkf {
+
+namespace {
+constexpr int kDataTag = 1;
+constexpr int kResultTag = 2;
+}  // namespace
+
+std::vector<grid::Field> lenkf(const EnsembleStore& store,
+                               const obs::ObservationSet& observations,
+                               const linalg::Matrix& perturbed,
+                               const EnkfRunConfig& config) {
+  const grid::Decomposition decomposition(store.grid(), config.n_sdx,
+                                          config.n_sdy,
+                                          config.analysis.halo);
+  SENKF_REQUIRE(decomposition.valid_layer_count(config.layers),
+                "lenkf: L must divide the sub-domain row count");
+  const int n_procs =
+      static_cast<int>(decomposition.subdomain_count());
+  const Index n_members = store.members();
+
+  std::vector<grid::Field> result;
+  std::mutex result_mutex;
+
+  parcomm::Runtime::run(n_procs, [&](parcomm::Communicator& world) {
+    const grid::SubdomainId my_id =
+        decomposition.subdomain_of_rank(static_cast<Index>(world.rank()));
+    const grid::Rect my_expansion = decomposition.expansion(my_id);
+
+    // --- obtain local data: single reader, serial scatter ----------------
+    std::vector<grid::Patch> my_members;
+    my_members.reserve(n_members);
+    if (world.rank() == 0) {
+      for (Index k = 0; k < n_members; ++k) {
+        // One contiguous read of the whole member file.
+        const grid::Patch file =
+            store.read_bar(k, grid::IndexRange{0, store.grid().ny()});
+        for (int r = 0; r < world.size(); ++r) {
+          const grid::Rect expansion = decomposition.expansion(
+              decomposition.subdomain_of_rank(static_cast<Index>(r)));
+          grid::Patch piece = file.extract(expansion);
+          if (r == 0) {
+            my_members.push_back(std::move(piece));
+          } else {
+            parcomm::Packer packer;
+            pack_patch(packer, piece);
+            world.send(r, kDataTag, packer.take());
+          }
+        }
+      }
+    } else {
+      for (Index k = 0; k < n_members; ++k) {
+        const parcomm::Envelope envelope = world.recv(0, kDataTag);
+        parcomm::Unpacker unpacker(envelope.payload);
+        my_members.push_back(unpack_patch(unpacker));
+      }
+    }
+
+    // --- local update: layer by layer, same kernel everywhere ------------
+    parcomm::Packer results;
+    results.put<std::uint64_t>(config.layers * n_members);
+    for (Index l = 0; l < config.layers; ++l) {
+      const grid::Rect target = decomposition.layer(my_id, l, config.layers);
+      const grid::Rect expansion =
+          decomposition.layer_expansion(my_id, l, config.layers);
+      std::vector<grid::Patch> background;
+      background.reserve(n_members);
+      for (Index k = 0; k < n_members; ++k) {
+        background.push_back(my_members[k].extract(expansion));
+      }
+      AnalysisResult local = local_analysis(background, target, observations,
+                                            perturbed, config.analysis);
+      for (Index k = 0; k < n_members; ++k) {
+        results.put<std::uint64_t>(k);
+        pack_patch(results, local.members[k]);
+      }
+    }
+
+    // --- gather at rank 0 -------------------------------------------------
+    if (world.rank() != 0) {
+      world.send(0, kResultTag, results.take());
+      return;
+    }
+
+    std::vector<grid::Field> fields;
+    fields.reserve(n_members);
+    for (Index k = 0; k < n_members; ++k) fields.push_back(store.load_member(k));
+
+    const auto apply = [&](const parcomm::Payload& payload) {
+      parcomm::Unpacker unpacker(payload);
+      const auto count = unpacker.get<std::uint64_t>();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto member = unpacker.get<std::uint64_t>();
+        fields[member].insert(unpack_patch(unpacker));
+      }
+    };
+    apply(results.take());
+    for (int r = 1; r < world.size(); ++r) {
+      apply(world.recv(r, kResultTag).payload);
+    }
+    std::lock_guard<std::mutex> lock(result_mutex);
+    result = std::move(fields);
+  });
+
+  SENKF_REQUIRE(!result.empty(), "lenkf: no result produced");
+  return result;
+}
+
+}  // namespace senkf::enkf

@@ -1,0 +1,238 @@
+#include "enkf/local_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/covariance.hpp"
+#include "linalg/ops.hpp"
+
+namespace senkf::enkf {
+
+linalg::PredecessorFn expansion_predecessors(grid::Rect expansion,
+                                             grid::Halo halo) {
+  const Index width = expansion.x.size();
+  return [expansion, halo, width](linalg::Index i) {
+    std::vector<linalg::Index> pred;
+    const Index yi = i / width;
+    const Index xi = i % width;
+    // Earlier rows within η, and earlier columns of the same row within ξ.
+    const Index y_first = yi > halo.eta ? yi - halo.eta : 0;
+    for (Index y = y_first; y <= yi; ++y) {
+      const Index x_first = xi > halo.xi ? xi - halo.xi : 0;
+      const Index x_last =
+          std::min(expansion.x.size() - 1, xi + halo.xi);
+      for (Index x = x_first; x <= x_last; ++x) {
+        const Index j = y * width + x;
+        if (j < i) pred.push_back(j);
+      }
+    }
+    return pred;
+  };
+}
+
+namespace {
+
+/// Projects the analysis matrix onto the target rectangle (the implicit
+/// P of eq. (6)).
+AnalysisResult project_to_target(const linalg::Matrix& xa, grid::Rect target,
+                                 grid::Rect expansion,
+                                 Index local_observations) {
+  AnalysisResult result;
+  result.local_observations = local_observations;
+  const Index width = expansion.x.size();
+  result.members.reserve(xa.cols());
+  for (Index k = 0; k < xa.cols(); ++k) {
+    grid::Patch out(target);
+    for (Index y = target.y.begin; y < target.y.end; ++y) {
+      for (Index x = target.x.begin; x < target.x.end; ++x) {
+        const Index local_index =
+            (y - expansion.y.begin) * width + (x - expansion.x.begin);
+        out.at(x, y) = xa(local_index, k);
+      }
+    }
+    result.members.push_back(std::move(out));
+  }
+  return result;
+}
+
+/// LETKF-style deterministic transform (Hunt et al. 2007): analysis in
+/// the N-dimensional ensemble space,
+///   P̃ = [(N−1)I + ỸᵀR⁻¹Ỹ]⁻¹,   w̄ = P̃ ỸᵀR⁻¹ (y − H x̄),
+///   W = √(N−1) · P̃^{1/2},       Xᵃ = x̄1ᵀ + U (w̄1ᵀ + W).
+AnalysisResult detail_deterministic_transform(
+    const linalg::Matrix& xb, const std::vector<grid::Patch>& background,
+    grid::Rect target, grid::Rect expansion,
+    const obs::LocalObservations& local,
+    const obs::ObservationSet& observations) {
+  (void)background;
+  const Index n_members = xb.cols();
+  const double scale = static_cast<double>(n_members - 1);
+
+  const linalg::Vector mean = linalg::ensemble_mean(xb);
+  linalg::Matrix anomalies = xb;
+  for (Index i = 0; i < xb.rows(); ++i) {
+    for (Index k = 0; k < n_members; ++k) anomalies(i, k) -= mean[i];
+  }
+
+  // Observation-space anomalies Ỹ = H U and innovation d = y − H x̄.
+  const linalg::Matrix y_tilde = linalg::multiply(local.h(), anomalies);
+  const linalg::Vector hx_mean = linalg::multiply(local.h(), mean);
+  linalg::Vector innovation(local.size());
+  for (Index r = 0; r < local.size(); ++r) {
+    innovation[r] =
+        observations.values()[local.selected()[r]] - hx_mean[r];
+  }
+
+  // Ensemble-space system: (N−1)I + Ỹᵀ R⁻¹ Ỹ.
+  linalg::Matrix rinv_y = y_tilde;
+  for (Index r = 0; r < local.size(); ++r) {
+    const double rinv = 1.0 / local.r_diagonal()[r];
+    auto row_values = rinv_y.row(r);
+    for (double& v : row_values) v *= rinv;
+  }
+  linalg::Matrix system = linalg::multiply_at_b(y_tilde, rinv_y);
+  for (Index k = 0; k < n_members; ++k) system(k, k) += scale;
+
+  // P̃ via eigen-based inversion (shared with the symmetric square root).
+  const linalg::SymmetricEigen eig = linalg::symmetric_eigen(system);
+  linalg::Matrix v_scaled_inv = eig.vectors;     // V Λ⁻¹
+  linalg::Matrix v_scaled_sqrt = eig.vectors;    // V Λ^{-1/2}
+  for (Index j = 0; j < n_members; ++j) {
+    if (eig.values[j] <= 0.0) {
+      throw NumericError("deterministic transform: singular system");
+    }
+    const double inv = 1.0 / eig.values[j];
+    const double inv_sqrt = std::sqrt(inv);
+    for (Index i = 0; i < n_members; ++i) {
+      v_scaled_inv(i, j) *= inv;
+      v_scaled_sqrt(i, j) *= inv_sqrt;
+    }
+  }
+  const linalg::Matrix p_tilde =
+      linalg::multiply_a_bt(v_scaled_inv, eig.vectors);
+  linalg::Matrix transform =
+      linalg::multiply_a_bt(v_scaled_sqrt, eig.vectors);  // P̃^{1/2}
+  linalg::scale(transform, std::sqrt(scale));             // √(N−1)·P̃^{1/2}
+
+  // Mean weights w̄ = P̃ Ỹᵀ R⁻¹ d.
+  const linalg::Vector rhs = linalg::multiply_at(rinv_y, innovation);
+  const linalg::Vector w_mean = linalg::multiply(p_tilde, rhs);
+
+  // Weight matrix columns: w̄ + W[:,k]; analysis Xᵃ = x̄1ᵀ + U W⁺.
+  for (Index i = 0; i < n_members; ++i) {
+    for (Index k = 0; k < n_members; ++k) transform(i, k) += w_mean[i];
+  }
+  linalg::Matrix xa = linalg::multiply(anomalies, transform);
+  for (Index i = 0; i < xb.rows(); ++i) {
+    for (Index k = 0; k < n_members; ++k) xa(i, k) += mean[i];
+  }
+  return project_to_target(xa, target, expansion, local.size());
+}
+
+}  // namespace
+
+AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
+                              grid::Rect target,
+                              const obs::ObservationSet& observations,
+                              const linalg::Matrix& perturbed,
+                              const AnalysisOptions& options) {
+  SENKF_REQUIRE(background.size() >= 2,
+                "local_analysis: need at least 2 ensemble members");
+  const grid::Rect expansion = background.front().rect();
+  for (const auto& patch : background) {
+    SENKF_REQUIRE(patch.rect() == expansion,
+                  "local_analysis: members must share the expansion rect");
+  }
+  SENKF_REQUIRE(grid::rect_contains(expansion, target),
+                "local_analysis: target must lie inside the expansion");
+  SENKF_REQUIRE(perturbed.cols() == background.size(),
+                "local_analysis: Ys must have one column per member");
+  SENKF_REQUIRE(perturbed.rows() == observations.size(),
+                "local_analysis: Ys must have one row per observation");
+
+  const Index n_bar = expansion.count();
+  const Index n_members = background.size();
+
+  // Localize H, R and Yˢ to the expansion.
+  const obs::LocalObservations local(observations, expansion);
+
+  AnalysisResult result;
+  result.local_observations = local.size();
+
+  if (local.empty() && options.skip_without_obs) {
+    // No information to assimilate: the analysis equals the background.
+    result.members.reserve(n_members);
+    for (const auto& patch : background) {
+      result.members.push_back(patch.extract(target));
+    }
+    return result;
+  }
+
+  SENKF_REQUIRE(options.inflation >= 1.0,
+                "local_analysis: inflation must be >= 1");
+
+  // X̄ᵇ as an n̄×N matrix (row-major over the expansion).
+  linalg::Matrix xb(n_bar, n_members);
+  for (Index k = 0; k < n_members; ++k) {
+    const auto& values = background[k].values();
+    for (Index i = 0; i < n_bar; ++i) xb(i, k) = values[i];
+  }
+
+  // Multiplicative inflation: X ← x̄ + λ(X − x̄).
+  if (options.inflation != 1.0) {
+    const linalg::Vector mean = linalg::ensemble_mean(xb);
+    for (Index i = 0; i < n_bar; ++i) {
+      for (Index k = 0; k < n_members; ++k) {
+        xb(i, k) = mean[i] + options.inflation * (xb(i, k) - mean[i]);
+      }
+    }
+  }
+
+  if (options.kind == AnalysisKind::kDeterministicTransform) {
+    return detail_deterministic_transform(xb, background, target, expansion,
+                                          local, observations);
+  }
+
+  // B̂⁻¹ from the localized modified Cholesky decomposition.
+  const linalg::Matrix anomalies = linalg::ensemble_anomalies(xb);
+  const linalg::ModifiedCholesky binv_factors =
+      linalg::estimate_inverse_covariance(
+          anomalies, expansion_predecessors(expansion, options.halo),
+          options.ridge);
+  linalg::Matrix system = binv_factors.inverse_covariance();
+
+  // system += Hᵀ R⁻¹ H (R diagonal).
+  const linalg::Matrix& h = local.h();
+  const linalg::Vector& r_diag = local.r_diagonal();
+  const Index m_bar = local.size();
+  linalg::Matrix rinv_h = h;
+  for (Index row = 0; row < m_bar; ++row) {
+    const double rinv = 1.0 / r_diag[row];
+    auto values = rinv_h.row(row);
+    for (double& v : values) v *= rinv;
+  }
+  const linalg::Matrix ht_rinv_h = linalg::multiply_at_b(h, rinv_h);
+  linalg::axpy(1.0, ht_rinv_h, system);
+
+  // Innovations D = Yˢ − H X̄ᵇ, then RHS = Hᵀ R⁻¹ D.
+  const linalg::Matrix local_ys = local.select_rows(perturbed);
+  linalg::Matrix innovations = linalg::multiply(h, xb);
+  linalg::scale(innovations, -1.0);
+  linalg::axpy(1.0, local_ys, innovations);
+  for (Index row = 0; row < m_bar; ++row) {
+    const double rinv = 1.0 / r_diag[row];
+    auto values = innovations.row(row);
+    for (double& v : values) v *= rinv;
+  }
+  const linalg::Matrix rhs = linalg::multiply_at_b(h, innovations);
+
+  // δX = (B̂⁻¹ + Hᵀ R⁻¹ H)⁻¹ · RHS via Cholesky; Xᵃ = X̄ᵇ + δX.
+  const linalg::Matrix delta = linalg::solve_spd(system, rhs);
+  linalg::axpy(1.0, delta, xb);
+
+  return project_to_target(xb, target, expansion, local.size());
+}
+
+}  // namespace senkf::enkf

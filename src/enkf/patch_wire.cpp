@@ -1,0 +1,24 @@
+#include "enkf/patch_wire.hpp"
+
+namespace senkf::enkf {
+
+void pack_patch(parcomm::Packer& packer, const grid::Patch& patch) {
+  const grid::Rect rect = patch.rect();
+  packer.put<std::uint64_t>(rect.x.begin);
+  packer.put<std::uint64_t>(rect.x.end);
+  packer.put<std::uint64_t>(rect.y.begin);
+  packer.put<std::uint64_t>(rect.y.end);
+  packer.put_vector(patch.values());
+}
+
+grid::Patch unpack_patch(parcomm::Unpacker& unpacker) {
+  grid::Rect rect;
+  rect.x.begin = unpacker.get<std::uint64_t>();
+  rect.x.end = unpacker.get<std::uint64_t>();
+  rect.y.begin = unpacker.get<std::uint64_t>();
+  rect.y.end = unpacker.get<std::uint64_t>();
+  auto values = unpacker.get_vector<double>();
+  return grid::Patch(rect, std::move(values));
+}
+
+}  // namespace senkf::enkf

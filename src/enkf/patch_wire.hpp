@@ -1,0 +1,15 @@
+// Wire codec for grid::Patch used by every parcomm-based implementation.
+#pragma once
+
+#include "grid/field.hpp"
+#include "parcomm/wire.hpp"
+
+namespace senkf::enkf {
+
+/// Appends rect + values to the packer.
+void pack_patch(parcomm::Packer& packer, const grid::Patch& patch);
+
+/// Reads back a patch written by pack_patch.
+grid::Patch unpack_patch(parcomm::Unpacker& unpacker);
+
+}  // namespace senkf::enkf

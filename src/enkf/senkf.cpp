@@ -1,0 +1,258 @@
+#include "enkf/senkf.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "enkf/patch_wire.hpp"
+#include "parcomm/runtime.hpp"
+#include "support/stopwatch.hpp"
+
+namespace senkf::enkf {
+
+namespace {
+
+constexpr int kBlockTag = 1;
+constexpr int kResultTag = 2;
+
+/// Stage-indexed buffers filled by the helper thread and drained by the
+/// main thread (the Fig. 8 handshake).
+class StageBuffers {
+ public:
+  StageBuffers(Index layers, Index members)
+      : members_(members),
+        patches_(layers * members),
+        received_(layers, 0) {}
+
+  /// Helper thread: deposits member k's block for `stage`.
+  void deposit(Index stage, Index member, grid::Patch patch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = patches_[stage * members_ + member];
+    SENKF_REQUIRE(!slot.has_value(), "StageBuffers: duplicate block");
+    slot = std::move(patch);
+    if (++received_[stage] == members_) cv_.notify_all();
+  }
+
+  /// Main thread: blocks until every member's block for `stage` arrived,
+  /// then hands them over in member order.
+  std::vector<grid::Patch> take_stage(Index stage) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return received_[stage] == members_; });
+    std::vector<grid::Patch> out;
+    out.reserve(members_);
+    for (Index k = 0; k < members_; ++k) {
+      out.push_back(std::move(*patches_[stage * members_ + k]));
+    }
+    return out;
+  }
+
+ private:
+  Index members_;
+  std::vector<std::optional<grid::Patch>> patches_;
+  std::vector<Index> received_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+struct RankLayout {
+  explicit RankLayout(const SenkfConfig& config) : config_(config) {}
+
+  bool is_io(int rank) const {
+    return rank >= static_cast<int>(config_.computation_ranks());
+  }
+  int comp_rank(Index i, Index j) const {
+    return static_cast<int>(j * config_.n_sdx + i);
+  }
+  Index comp_i(int rank) const { return static_cast<Index>(rank) % config_.n_sdx; }
+  Index comp_j(int rank) const { return static_cast<Index>(rank) / config_.n_sdx; }
+  Index io_group(int rank) const {
+    return (static_cast<Index>(rank) - config_.computation_ranks()) /
+           config_.n_sdy;
+  }
+  Index io_slot(int rank) const {
+    return (static_cast<Index>(rank) - config_.computation_ranks()) %
+           config_.n_sdy;
+  }
+
+  const SenkfConfig& config_;
+};
+
+struct SharedStats {
+  std::mutex mutex;
+  SenkfStats totals;
+};
+
+void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
+                 const grid::Decomposition& decomposition,
+                 const EnsembleStore& store, const SenkfConfig& config,
+                 SharedStats& stats) {
+  const Index group = layout.io_group(world.rank());
+  const Index slot = layout.io_slot(world.rank());
+  const Index n_members = store.members();
+  double read_seconds = 0.0;
+  double send_seconds = 0.0;
+
+  for (Index l = 0; l < config.layers; ++l) {
+    // Rows this stage needs for row `slot`: the layer expansion's y-range
+    // (identical for every i; geometry shared with the timing plane).
+    const grid::Rect layer_expansion_any = decomposition.layer_expansion(
+        grid::SubdomainId{0, slot}, l, config.layers);
+    for (Index member = group; member < n_members; member += config.n_cg) {
+      Stopwatch read_watch;
+      const grid::Patch bar =
+          store.read_bar(member, layer_expansion_any.y);  // one segment
+      read_seconds += read_watch.elapsed_seconds();
+
+      Stopwatch send_watch;
+      for (Index i = 0; i < config.n_sdx; ++i) {
+        const grid::Rect block = decomposition.layer_expansion(
+            grid::SubdomainId{i, slot}, l, config.layers);
+        parcomm::Packer packer;
+        packer.put<std::uint64_t>(l);
+        packer.put<std::uint64_t>(member);
+        pack_patch(packer, bar.extract(block));
+        world.send(layout.comp_rank(i, slot), kBlockTag, packer.take());
+      }
+      send_seconds += send_watch.elapsed_seconds();
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats.mutex);
+  stats.totals.io_read_seconds += read_seconds;
+  stats.totals.io_send_seconds += send_seconds;
+}
+
+void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
+                   const grid::Decomposition& decomposition,
+                   const EnsembleStore& store,
+                   const obs::ObservationSet& observations,
+                   const linalg::Matrix& perturbed,
+                   const SenkfConfig& config, SharedStats& stats,
+                   std::vector<grid::Field>* result_out) {
+  const grid::SubdomainId my_id{layout.comp_i(world.rank()),
+                                layout.comp_j(world.rank())};
+  const Index n_members = store.members();
+  StageBuffers buffers(config.layers, n_members);
+
+  // Helper thread (§4.2): drains all L·N block messages for this rank and
+  // signals the main thread per completed stage.  Its own failures are
+  // captured and rethrown after the join; the join itself is guaranteed
+  // even when the main thread unwinds (the I/O ranks keep sending the
+  // remaining blocks regardless, so the helper always drains to
+  // completion or times out via the mailbox deadline).
+  const std::uint64_t expected = config.layers * n_members;
+  std::exception_ptr helper_error;
+  std::thread helper([&world, &buffers, &helper_error, expected] {
+    try {
+      for (std::uint64_t i = 0; i < expected; ++i) {
+        const parcomm::Envelope envelope =
+            world.recv(parcomm::kAnySource, kBlockTag);
+        parcomm::Unpacker unpacker(envelope.payload);
+        const auto stage = unpacker.get<std::uint64_t>();
+        const auto member = unpacker.get<std::uint64_t>();
+        buffers.deposit(stage, member, unpack_patch(unpacker));
+      }
+    } catch (...) {
+      helper_error = std::current_exception();
+    }
+  });
+  struct JoinGuard {
+    std::thread& thread;
+    ~JoinGuard() {
+      if (thread.joinable()) thread.join();
+    }
+  } join_guard{helper};
+
+  double wait_seconds = 0.0;
+  double update_seconds = 0.0;
+  parcomm::Packer results;
+  results.put<std::uint64_t>(config.layers * n_members);
+  for (Index l = 0; l < config.layers; ++l) {
+    Stopwatch wait_watch;
+    std::vector<grid::Patch> background = buffers.take_stage(l);
+    wait_seconds += wait_watch.elapsed_seconds();
+
+    Stopwatch update_watch;
+    const grid::Rect target = decomposition.layer(my_id, l, config.layers);
+    AnalysisResult local = local_analysis(background, target, observations,
+                                          perturbed, config.analysis);
+    for (Index k = 0; k < n_members; ++k) {
+      results.put<std::uint64_t>(k);
+      pack_patch(results, local.members[k]);
+    }
+    update_seconds += update_watch.elapsed_seconds();
+  }
+  helper.join();
+  if (helper_error) std::rethrow_exception(helper_error);
+
+  {
+    std::lock_guard<std::mutex> lock(stats.mutex);
+    stats.totals.comp_wait_seconds += wait_seconds;
+    stats.totals.comp_update_seconds += update_seconds;
+    stats.totals.messages += expected;
+  }
+
+  if (world.rank() != 0) {
+    world.send(0, kResultTag, results.take());
+    return;
+  }
+
+  // Rank 0 assembles the analysis fields.
+  std::vector<grid::Field> fields;
+  fields.reserve(n_members);
+  for (Index k = 0; k < n_members; ++k) fields.push_back(store.load_member(k));
+  const auto apply = [&](const parcomm::Payload& payload) {
+    parcomm::Unpacker unpacker(payload);
+    const auto count = unpacker.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const auto member = unpacker.get<std::uint64_t>();
+      fields[member].insert(unpack_patch(unpacker));
+    }
+  };
+  apply(results.take());
+  for (Index r = 1; r < config.computation_ranks(); ++r) {
+    apply(world.recv(static_cast<int>(r), kResultTag).payload);
+  }
+  *result_out = std::move(fields);
+}
+
+}  // namespace
+
+std::vector<grid::Field> senkf(const EnsembleStore& store,
+                               const obs::ObservationSet& observations,
+                               const linalg::Matrix& perturbed,
+                               const SenkfConfig& config, SenkfStats* stats) {
+  const grid::Decomposition decomposition(store.grid(), config.n_sdx,
+                                          config.n_sdy,
+                                          config.analysis.halo);
+  SENKF_REQUIRE(decomposition.valid_layer_count(config.layers),
+                "senkf: L must divide the sub-domain row count");
+  SENKF_REQUIRE(config.n_cg >= 1 && store.members() % config.n_cg == 0,
+                "senkf: N must be a multiple of n_cg");
+  // Validate analysis options before any rank launches, so configuration
+  // errors surface here rather than inside a running pipeline.
+  SENKF_REQUIRE(config.analysis.inflation >= 1.0,
+                "senkf: inflation must be >= 1");
+  SENKF_REQUIRE(config.analysis.ridge >= 0.0, "senkf: ridge must be >= 0");
+
+  const RankLayout layout(config);
+  std::vector<grid::Field> result;
+  SharedStats shared;
+
+  parcomm::Runtime::run(
+      static_cast<int>(config.total_ranks()),
+      [&](parcomm::Communicator& world) {
+        if (layout.is_io(world.rank())) {
+          run_io_rank(world, layout, decomposition, store, config, shared);
+        } else {
+          run_comp_rank(world, layout, decomposition, store, observations,
+                        perturbed, config, shared, &result);
+        }
+      });
+
+  SENKF_REQUIRE(!result.empty(), "senkf: no result produced");
+  if (stats != nullptr) *stats = shared.totals;
+  return result;
+}
+
+}  // namespace senkf::enkf

@@ -1,0 +1,59 @@
+// S-EnKF: the paper's contribution (§4), numeric plane.
+//
+// The processor set splits into
+//   * C₂ = n_sdx · n_sdy computation ranks, one per sub-domain, and
+//   * C₁ = n_cg · n_sdy I/O ranks arranged as n_cg concurrent groups of
+//     n_sdy bar readers (§4.1.3);
+// driven by the multi-stage workflow of §4.2 / Fig. 8:
+//
+//   for each stage l = 0 .. L−1:
+//     I/O rank (g, j):  read the stage-l expanded bar of every member file
+//                       owned by group g (one contiguous read each), cut it
+//                       into per-sub-domain blocks, send block (i, j) to
+//                       computation rank (i, j);
+//     computation rank (i, j):  a *helper thread* drains the incoming
+//                       block messages into stage buffers and signals the
+//                       main thread, which runs the local analysis of
+//                       layer l−... as soon as its stage data is complete —
+//                       overlapping its update of stage l with the
+//                       reading/communication of stage l+1.
+//
+// Numerics are the shared local_analysis kernel, so the result is
+// bit-identical to serial_enkf/penkf with the same decomposition and
+// layer count (asserted in tests); only the schedule differs.
+#pragma once
+
+#include "enkf/serial_enkf.hpp"
+
+namespace senkf::enkf {
+
+struct SenkfConfig {
+  Index n_sdx = 1;
+  Index n_sdy = 1;
+  Index layers = 1;  ///< L
+  Index n_cg = 1;    ///< concurrent groups
+  AnalysisOptions analysis;
+
+  Index computation_ranks() const { return n_sdx * n_sdy; }
+  Index io_ranks() const { return n_cg * n_sdy; }
+  Index total_ranks() const { return computation_ranks() + io_ranks(); }
+};
+
+/// Per-run instrumentation (numeric-plane analogue of Fig. 9's phases).
+struct SenkfStats {
+  double io_read_seconds = 0.0;    ///< wall time I/O ranks spent reading
+  double io_send_seconds = 0.0;    ///< wall time I/O ranks spent sending
+  double comp_wait_seconds = 0.0;  ///< main threads blocked on stage data
+  double comp_update_seconds = 0.0;
+  std::uint64_t messages = 0;      ///< block messages delivered
+};
+
+/// Runs S-EnKF on C₁ + C₂ thread-backed ranks; returns the analysis
+/// ensemble.  `stats`, when non-null, receives the phase instrumentation.
+std::vector<grid::Field> senkf(const EnsembleStore& store,
+                               const obs::ObservationSet& observations,
+                               const linalg::Matrix& perturbed,
+                               const SenkfConfig& config,
+                               SenkfStats* stats = nullptr);
+
+}  // namespace senkf::enkf

@@ -1,0 +1,43 @@
+#include "enkf/serial_enkf.hpp"
+
+namespace senkf::enkf {
+
+std::vector<grid::Field> serial_enkf(const EnsembleStore& store,
+                                     const obs::ObservationSet& observations,
+                                     const linalg::Matrix& perturbed,
+                                     const EnkfRunConfig& config) {
+  const grid::Decomposition decomposition(store.grid(), config.n_sdx,
+                                          config.n_sdy,
+                                          config.analysis.halo);
+  SENKF_REQUIRE(decomposition.valid_layer_count(config.layers),
+                "serial_enkf: L must divide the sub-domain row count");
+
+  // Start from the background so skipped (observation-free) regions keep
+  // their prior values.
+  std::vector<grid::Field> analysis;
+  analysis.reserve(store.members());
+  for (Index k = 0; k < store.members(); ++k) {
+    analysis.push_back(store.load_member(k));
+  }
+
+  for (const grid::SubdomainId id : decomposition.all_subdomains()) {
+    for (Index l = 0; l < config.layers; ++l) {
+      const grid::Rect target = decomposition.layer(id, l, config.layers);
+      const grid::Rect expansion =
+          decomposition.layer_expansion(id, l, config.layers);
+      std::vector<grid::Patch> background;
+      background.reserve(store.members());
+      for (Index k = 0; k < store.members(); ++k) {
+        background.push_back(store.load_member(k).extract(expansion));
+      }
+      AnalysisResult local = local_analysis(background, target, observations,
+                                            perturbed, config.analysis);
+      for (Index k = 0; k < store.members(); ++k) {
+        analysis[k].insert(local.members[k]);
+      }
+    }
+  }
+  return analysis;
+}
+
+}  // namespace senkf::enkf

@@ -1,0 +1,81 @@
+#include "grid/decomposition.hpp"
+
+namespace senkf::grid {
+
+Decomposition::Decomposition(const LatLonGrid& grid, Index n_sdx, Index n_sdy,
+                             Halo halo)
+    : grid_(grid), n_sdx_(n_sdx), n_sdy_(n_sdy), halo_(halo) {
+  SENKF_REQUIRE(n_sdx > 0 && n_sdy > 0,
+                "Decomposition: tile counts must be positive");
+  SENKF_REQUIRE(grid.nx() % n_sdx == 0,
+                "Decomposition: nx must be a multiple of n_sdx");
+  SENKF_REQUIRE(grid.ny() % n_sdy == 0,
+                "Decomposition: ny must be a multiple of n_sdy");
+}
+
+Index Decomposition::rank_of(SubdomainId id) const {
+  SENKF_REQUIRE(id.i < n_sdx_ && id.j < n_sdy_,
+                "Decomposition: subdomain id out of range");
+  return id.j * n_sdx_ + id.i;
+}
+
+SubdomainId Decomposition::subdomain_of_rank(Index rank) const {
+  SENKF_REQUIRE(rank < subdomain_count(),
+                "Decomposition: rank out of range");
+  return SubdomainId{rank % n_sdx_, rank / n_sdx_};
+}
+
+Rect Decomposition::subdomain(SubdomainId id) const {
+  SENKF_REQUIRE(id.i < n_sdx_ && id.j < n_sdy_,
+                "Decomposition: subdomain id out of range");
+  const Index wx = grid_.nx() / n_sdx_;
+  const Index wy = grid_.ny() / n_sdy_;
+  return Rect{{id.i * wx, (id.i + 1) * wx}, {id.j * wy, (id.j + 1) * wy}};
+}
+
+Rect Decomposition::expansion(SubdomainId id) const {
+  return expand(grid_, subdomain(id), halo_);
+}
+
+Rect Decomposition::bar(Index j) const {
+  SENKF_REQUIRE(j < n_sdy_, "Decomposition: bar index out of range");
+  const Index wy = grid_.ny() / n_sdy_;
+  return Rect{{0, grid_.nx()}, {j * wy, (j + 1) * wy}};
+}
+
+Rect Decomposition::expanded_bar(Index j) const {
+  return expand(grid_, bar(j), Halo{0, halo_.eta});
+}
+
+Rect Decomposition::layer(SubdomainId id, Index l, Index num_layers) const {
+  SENKF_REQUIRE(valid_layer_count(num_layers),
+                "Decomposition: L must divide the sub-domain row count");
+  SENKF_REQUIRE(l < num_layers, "Decomposition: layer index out of range");
+  const Rect d = subdomain(id);
+  const Index rows_per_layer = d.y.size() / num_layers;
+  Rect layer_rect = d;
+  layer_rect.y.begin = d.y.begin + l * rows_per_layer;
+  layer_rect.y.end = layer_rect.y.begin + rows_per_layer;
+  return layer_rect;
+}
+
+Rect Decomposition::layer_expansion(SubdomainId id, Index l,
+                                    Index num_layers) const {
+  return expand(grid_, layer(id, l, num_layers), halo_);
+}
+
+bool Decomposition::valid_layer_count(Index num_layers) const {
+  const Index rows = grid_.ny() / n_sdy_;
+  return num_layers > 0 && rows % num_layers == 0;
+}
+
+std::vector<SubdomainId> Decomposition::all_subdomains() const {
+  std::vector<SubdomainId> ids;
+  ids.reserve(subdomain_count());
+  for (Index j = 0; j < n_sdy_; ++j) {
+    for (Index i = 0; i < n_sdx_; ++i) ids.push_back(SubdomainId{i, j});
+  }
+  return ids;
+}
+
+}  // namespace senkf::grid

@@ -1,0 +1,80 @@
+// Domain decomposition and the multi-stage layer split (paper §2.2, §4.2).
+//
+// The n_x × n_y mesh is divided into n_sdx × n_sdy non-overlapping
+// sub-domains (the paper requires n_x % n_sdx == 0 and n_y % n_sdy == 0).
+// Each sub-domain D_{i,j} owns an *expansion* D̄_{i,j} (sub-domain plus
+// localization halo).  For S-EnKF's multi-stage computation each
+// sub-domain is further cut into L latitude *layers* D'_{i,j,l}, updated
+// one after another; each layer has its own (smaller) expansion, which is
+// what lets reading/communication of layer l+1 overlap the update of
+// layer l.
+#pragma once
+
+#include <vector>
+
+#include "grid/local_box.hpp"
+
+namespace senkf::grid {
+
+/// Identifies a sub-domain by its (longitude, latitude) tile coordinates.
+struct SubdomainId {
+  Index i = 0;  ///< longitude tile, 0 .. n_sdx−1
+  Index j = 0;  ///< latitude tile, 0 .. n_sdy−1
+  friend bool operator==(const SubdomainId&, const SubdomainId&) = default;
+};
+
+class Decomposition {
+ public:
+  /// Throws unless nx % n_sdx == 0 and ny % n_sdy == 0 (paper assumption).
+  Decomposition(const LatLonGrid& grid, Index n_sdx, Index n_sdy, Halo halo);
+
+  const LatLonGrid& grid() const { return grid_; }
+  Index n_sdx() const { return n_sdx_; }
+  Index n_sdy() const { return n_sdy_; }
+  Index subdomain_count() const { return n_sdx_ * n_sdy_; }
+  Halo halo() const { return halo_; }
+
+  /// Points per sub-domain (n_sd in the paper).
+  Index points_per_subdomain() const {
+    return (grid_.nx() / n_sdx_) * (grid_.ny() / n_sdy_);
+  }
+
+  /// Rank ↔ sub-domain mapping (row-major over tiles: rank = j·n_sdx + i).
+  Index rank_of(SubdomainId id) const;
+  SubdomainId subdomain_of_rank(Index rank) const;
+
+  /// D_{i,j}: the owned rectangle of a sub-domain.
+  Rect subdomain(SubdomainId id) const;
+
+  /// D̄_{i,j}: sub-domain plus halo, clamped to the grid.
+  Rect expansion(SubdomainId id) const;
+
+  /// The latitude band ("bar", §4.1.2) owned by latitude tile j — the
+  /// union over i of subdomain({i, j}); contiguous rows of the stored file.
+  Rect bar(Index j) const;
+
+  /// Bar plus latitude halo (what an I/O processor actually reads so that
+  /// every expansion it serves is covered).
+  Rect expanded_bar(Index j) const;
+
+  /// D'_{i,j,l}: the l-th latitude layer of sub-domain (i, j), 0-based.
+  /// Layers partition the sub-domain's rows; requires rows % L == 0.
+  Rect layer(SubdomainId id, Index l, Index num_layers) const;
+
+  /// Expansion of a layer (layer plus halo, clamped).
+  Rect layer_expansion(SubdomainId id, Index l, Index num_layers) const;
+
+  /// True if `num_layers` evenly divides the sub-domain row count.
+  bool valid_layer_count(Index num_layers) const;
+
+  /// All sub-domain ids in rank order.
+  std::vector<SubdomainId> all_subdomains() const;
+
+ private:
+  LatLonGrid grid_;
+  Index n_sdx_;
+  Index n_sdy_;
+  Halo halo_;
+};
+
+}  // namespace senkf::grid

@@ -1,0 +1,83 @@
+#include "grid/field.hpp"
+
+#include <cmath>
+
+namespace senkf::grid {
+
+Field::Field(const LatLonGrid& grid, double fill)
+    : grid_(grid), data_(grid.size(), fill) {}
+
+Field::Field(const LatLonGrid& grid, std::vector<double> data)
+    : grid_(grid), data_(std::move(data)) {
+  SENKF_REQUIRE(data_.size() == grid_.size(),
+                "Field: buffer size must equal grid size");
+}
+
+Patch Field::extract(Rect rect) const {
+  SENKF_REQUIRE(rect.x.end <= grid_.nx() && rect.y.end <= grid_.ny(),
+                "Field::extract: rect outside grid");
+  Patch patch(rect);
+  Index out = 0;
+  for (Index y = rect.y.begin; y < rect.y.end; ++y) {
+    const double* row = data_.data() + grid_.flat_index(rect.x.begin, y);
+    for (Index k = 0; k < rect.x.size(); ++k) {
+      patch.values()[out++] = row[k];
+    }
+  }
+  return patch;
+}
+
+void Field::insert(const Patch& patch) {
+  const Rect rect = patch.rect();
+  SENKF_REQUIRE(rect.x.end <= grid_.nx() && rect.y.end <= grid_.ny(),
+                "Field::insert: patch outside grid");
+  Index in = 0;
+  for (Index y = rect.y.begin; y < rect.y.end; ++y) {
+    double* row = data_.data() + grid_.flat_index(rect.x.begin, y);
+    for (Index k = 0; k < rect.x.size(); ++k) {
+      row[k] = patch.values()[in++];
+    }
+  }
+}
+
+double Field::rmse_against(const Field& other) const {
+  SENKF_REQUIRE(size() == other.size(), "Field::rmse_against: size mismatch");
+  double sum = 0.0;
+  for (Index i = 0; i < size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(size()));
+}
+
+Patch::Patch(Rect rect, double fill)
+    : rect_(rect), values_(rect.count(), fill) {}
+
+Patch::Patch(Rect rect, std::vector<double> values)
+    : rect_(rect), values_(std::move(values)) {
+  SENKF_REQUIRE(values_.size() == rect_.count(),
+                "Patch: buffer size must equal rect area");
+}
+
+Patch Patch::extract(Rect rect) const {
+  SENKF_REQUIRE(rect_contains(rect_, rect),
+                "Patch::extract: rect must lie inside the patch");
+  Patch out(rect);
+  for (Index y = rect.y.begin; y < rect.y.end; ++y) {
+    for (Index x = rect.x.begin; x < rect.x.end; ++x) {
+      out.at(x, y) = at(x, y);
+    }
+  }
+  return out;
+}
+
+void Patch::insert(const Patch& other) {
+  const Rect overlap = intersect(rect_, other.rect());
+  for (Index y = overlap.y.begin; y < overlap.y.end; ++y) {
+    for (Index x = overlap.x.begin; x < overlap.x.end; ++x) {
+      at(x, y) = other.at(x, y);
+    }
+  }
+}
+
+}  // namespace senkf::grid

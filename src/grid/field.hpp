@@ -1,0 +1,90 @@
+// A scalar field over a LatLonGrid and rectangular patches of it.
+//
+// `Field` is the in-memory image of one background ensemble member file:
+// latitude-row-major doubles (see grid.hpp for the layout contract).
+// `Patch` is a field restricted to a Rect — what a reader extracts, a
+// message carries, and a local analysis consumes/produces.
+#pragma once
+
+#include <vector>
+
+#include "grid/local_box.hpp"
+
+namespace senkf::grid {
+
+class Patch;
+
+class Field {
+ public:
+  explicit Field(const LatLonGrid& grid, double fill = 0.0);
+
+  /// Adopts an existing flat buffer (must have grid.size() entries).
+  Field(const LatLonGrid& grid, std::vector<double> data);
+
+  const LatLonGrid& grid() const { return grid_; }
+  Index size() const { return data_.size(); }
+
+  double& at(Index x, Index y) { return data_[grid_.flat_index(x, y)]; }
+  double at(Index x, Index y) const { return data_[grid_.flat_index(x, y)]; }
+
+  double& operator[](Index flat) {
+    SENKF_ASSERT(flat < data_.size());
+    return data_[flat];
+  }
+  double operator[](Index flat) const {
+    SENKF_ASSERT(flat < data_.size());
+    return data_[flat];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Copies out the values of `rect` (row-major within the rect).
+  Patch extract(Rect rect) const;
+
+  /// Writes a patch's values back into this field.
+  void insert(const Patch& patch);
+
+  /// Root-mean-square difference against another field on the same grid.
+  double rmse_against(const Field& other) const;
+
+ private:
+  LatLonGrid grid_;
+  std::vector<double> data_;
+};
+
+/// Field values over a rectangle, row-major within the rectangle.
+class Patch {
+ public:
+  Patch() = default;
+  explicit Patch(Rect rect, double fill = 0.0);
+  Patch(Rect rect, std::vector<double> values);
+
+  Rect rect() const { return rect_; }
+  Index size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double& at(Index x, Index y) { return values_[local_index(x, y)]; }
+  double at(Index x, Index y) const { return values_[local_index(x, y)]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// Row-major index within the patch of global point (x, y).
+  Index local_index(Index x, Index y) const {
+    SENKF_ASSERT(rect_.contains(x, y));
+    return (y - rect_.y.begin) * rect_.x.size() + (x - rect_.x.begin);
+  }
+
+  /// Copies the sub-rectangle `rect` (must lie inside this patch).
+  Patch extract(Rect rect) const;
+
+  /// Copies values from `other` wherever the rectangles overlap.
+  void insert(const Patch& other);
+
+ private:
+  Rect rect_;
+  std::vector<double> values_;
+};
+
+}  // namespace senkf::grid

@@ -1,0 +1,22 @@
+#include "grid/grid.hpp"
+
+#include <cmath>
+
+namespace senkf::grid {
+
+LatLonGrid::LatLonGrid(Index nx, Index ny, double dx_km, double dy_km)
+    : nx_(nx), ny_(ny), dx_km_(dx_km), dy_km_(dy_km) {
+  SENKF_REQUIRE(nx > 0 && ny > 0, "LatLonGrid: dimensions must be positive");
+  SENKF_REQUIRE(dx_km > 0.0 && dy_km > 0.0,
+                "LatLonGrid: spacings must be positive");
+}
+
+double LatLonGrid::distance_km(Point a, Point b) const {
+  const double dx = (static_cast<double>(a.x) - static_cast<double>(b.x)) *
+                    dx_km_;
+  const double dy = (static_cast<double>(a.y) - static_cast<double>(b.y)) *
+                    dy_km_;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace senkf::grid

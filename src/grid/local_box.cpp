@@ -1,0 +1,52 @@
+#include "grid/local_box.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senkf::grid {
+
+Halo halo_for_radius(const LatLonGrid& grid, double radius_km) {
+  SENKF_REQUIRE(radius_km >= 0.0, "halo_for_radius: radius must be >= 0");
+  Halo halo;
+  halo.xi = static_cast<Index>(std::ceil(radius_km / grid.dx_km()));
+  halo.eta = static_cast<Index>(std::ceil(radius_km / grid.dy_km()));
+  return halo;
+}
+
+Rect local_box(const LatLonGrid& grid, Point p, Halo halo) {
+  SENKF_REQUIRE(p.x < grid.nx() && p.y < grid.ny(),
+                "local_box: point outside grid");
+  Rect box;
+  box.x.begin = p.x >= halo.xi ? p.x - halo.xi : 0;
+  box.x.end = std::min(grid.nx(), p.x + halo.xi + 1);
+  box.y.begin = p.y >= halo.eta ? p.y - halo.eta : 0;
+  box.y.end = std::min(grid.ny(), p.y + halo.eta + 1);
+  return box;
+}
+
+Rect expand(const LatLonGrid& grid, Rect d, Halo halo) {
+  SENKF_REQUIRE(d.x.end <= grid.nx() && d.y.end <= grid.ny(),
+                "expand: rect outside grid");
+  Rect e;
+  e.x.begin = d.x.begin >= halo.xi ? d.x.begin - halo.xi : 0;
+  e.x.end = std::min(grid.nx(), d.x.end + halo.xi);
+  e.y.begin = d.y.begin >= halo.eta ? d.y.begin - halo.eta : 0;
+  e.y.end = std::min(grid.ny(), d.y.end + halo.eta);
+  return e;
+}
+
+bool rect_contains(Rect outer, Rect inner) {
+  return outer.x.begin <= inner.x.begin && inner.x.end <= outer.x.end &&
+         outer.y.begin <= inner.y.begin && inner.y.end <= outer.y.end;
+}
+
+Rect intersect(Rect a, Rect b) {
+  Rect r;
+  r.x.begin = std::max(a.x.begin, b.x.begin);
+  r.x.end = std::max(r.x.begin, std::min(a.x.end, b.x.end));
+  r.y.begin = std::max(a.y.begin, b.y.begin);
+  r.y.end = std::max(r.y.begin, std::min(a.y.end, b.y.end));
+  return r;
+}
+
+}  // namespace senkf::grid

@@ -1,0 +1,37 @@
+// Domain localization geometry (paper §2.2, Fig. 2).
+//
+// A radius of influence r (km) translates into half-widths ξ (longitude)
+// and η (latitude) measured in grid points: ξ = ceil(r / dx), η =
+// ceil(r / dy); they differ whenever the spacings differ.  The *local box*
+// of a point is the (2ξ+1)×(2η+1) rectangle around it, clamped to the grid
+// (the paper's Fig. 2(a)); the *expansion* D̄ of a rectangle D grows it by
+// (ξ, η) on each side, clamped (Fig. 2(b)).
+#pragma once
+
+#include "grid/grid.hpp"
+
+namespace senkf::grid {
+
+/// Localization half-widths in grid points.
+struct Halo {
+  Index xi = 0;   ///< ξ: half-width along longitude
+  Index eta = 0;  ///< η: half-width along latitude
+  friend bool operator==(const Halo&, const Halo&) = default;
+};
+
+/// Derives (ξ, η) from a physical radius of influence in kilometres.
+Halo halo_for_radius(const LatLonGrid& grid, double radius_km);
+
+/// Local box of a single point, clamped to the grid bounds.
+Rect local_box(const LatLonGrid& grid, Point p, Halo halo);
+
+/// Expansion D̄ of rectangle `d`: grown by halo on every side, clamped.
+Rect expand(const LatLonGrid& grid, Rect d, Halo halo);
+
+/// True if `inner` lies fully inside `outer`.
+bool rect_contains(Rect outer, Rect inner);
+
+/// Intersection of two rectangles (possibly empty ranges).
+Rect intersect(Rect a, Rect b);
+
+}  // namespace senkf::grid

@@ -1,0 +1,86 @@
+#include "grid/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace senkf::grid {
+
+namespace {
+struct Mode {
+  double kx;     // radians per grid step along x
+  double ky;     // radians per grid step along y
+  double phase;  // radians
+  double weight;
+};
+
+std::vector<Mode> draw_modes(const LatLonGrid& grid, Rng& rng,
+                             const SyntheticFieldOptions& options) {
+  SENKF_REQUIRE(options.modes > 0, "synthetic_field: need at least one mode");
+  SENKF_REQUIRE(options.correlation_length_km > 0.0,
+                "synthetic_field: correlation length must be positive");
+  // Largest admissible wavenumber so that the shortest wavelength is the
+  // correlation length.
+  const double kx_max =
+      2.0 * std::numbers::pi * grid.dx_km() / options.correlation_length_km;
+  const double ky_max =
+      2.0 * std::numbers::pi * grid.dy_km() / options.correlation_length_km;
+
+  std::vector<Mode> modes(options.modes);
+  double weight_sq_sum = 0.0;
+  for (auto& mode : modes) {
+    mode.kx = rng.uniform(-kx_max, kx_max);
+    mode.ky = rng.uniform(-ky_max, ky_max);
+    mode.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    // Red spectrum: favour the long wavelengths that dominate geophysical
+    // fields (pressure-like long-distance correlations, §1 of the paper).
+    const double k_norm = std::hypot(mode.kx / kx_max, mode.ky / ky_max);
+    mode.weight = 1.0 / (1.0 + 4.0 * k_norm * k_norm);
+    weight_sq_sum += 0.5 * mode.weight * mode.weight;  // E[cos²] = 1/2
+  }
+  // Normalize so the field variance equals amplitude².
+  const double scale = options.amplitude / std::sqrt(weight_sq_sum);
+  for (auto& mode : modes) mode.weight *= scale;
+  return modes;
+}
+}  // namespace
+
+Field synthetic_field(const LatLonGrid& grid, Rng& rng,
+                      const SyntheticFieldOptions& options) {
+  const std::vector<Mode> modes = draw_modes(grid, rng, options);
+  Field field(grid, options.mean);
+  for (const Mode& mode : modes) {
+    for (Index y = 0; y < grid.ny(); ++y) {
+      const double ky_y = mode.ky * static_cast<double>(y) + mode.phase;
+      double* row = field.data().data() + y * grid.nx();
+      for (Index x = 0; x < grid.nx(); ++x) {
+        row[x] += mode.weight *
+                  std::cos(mode.kx * static_cast<double>(x) + ky_y);
+      }
+    }
+  }
+  return field;
+}
+
+SyntheticEnsemble synthetic_ensemble(const LatLonGrid& grid, Index n_members,
+                                     Rng& rng, double background_error,
+                                     const SyntheticFieldOptions& options) {
+  SENKF_REQUIRE(n_members >= 2, "synthetic_ensemble: need >= 2 members");
+  SENKF_REQUIRE(background_error >= 0.0,
+                "synthetic_ensemble: error must be >= 0");
+  SyntheticEnsemble out{synthetic_field(grid, rng, options), {}};
+  out.members.reserve(n_members);
+
+  SyntheticFieldOptions perturbation = options;
+  perturbation.amplitude = background_error;
+  perturbation.mean = 0.0;
+  for (Index k = 0; k < n_members; ++k) {
+    Rng member_rng = rng.child(k + 1);
+    Field member = out.truth;
+    const Field noise = synthetic_field(grid, member_rng, perturbation);
+    for (Index i = 0; i < member.size(); ++i) member[i] += noise[i];
+    out.members.push_back(std::move(member));
+  }
+  return out;
+}
+
+}  // namespace senkf::grid

@@ -1,0 +1,111 @@
+#include "io/read_plan.hpp"
+
+namespace senkf::io {
+
+namespace {
+
+Index segments_of(const grid::LatLonGrid& mesh, grid::Rect region) {
+  // Full-width regions are contiguous row ranges — one segment.
+  return (region.x.begin == 0 && region.x.end == mesh.nx())
+             ? 1
+             : region.y.size();
+}
+
+ReadOp make_op(const grid::LatLonGrid& mesh, Index member, grid::Rect region,
+               double bytes_per_value) {
+  return ReadOp{member, region, segments_of(mesh, region),
+                static_cast<double>(region.count()) * bytes_per_value};
+}
+
+}  // namespace
+
+Index ReadPlan::total_ops() const {
+  Index total = 0;
+  for (const auto& reader : readers) total += reader.ops.size();
+  return total;
+}
+
+Index ReadPlan::total_segments() const {
+  Index total = 0;
+  for (const auto& reader : readers) {
+    for (const auto& op : reader.ops) total += op.segments;
+  }
+  return total;
+}
+
+double ReadPlan::total_bytes() const {
+  double total = 0.0;
+  for (const auto& reader : readers) {
+    for (const auto& op : reader.ops) total += op.bytes;
+  }
+  return total;
+}
+
+ReadPlan block_read_plan(const grid::Decomposition& decomposition,
+                         Index n_members, double bytes_per_value) {
+  SENKF_REQUIRE(n_members > 0, "block_read_plan: need members");
+  const grid::LatLonGrid& mesh = decomposition.grid();
+  ReadPlan plan;
+  plan.readers.reserve(decomposition.subdomain_count());
+  for (const grid::SubdomainId id : decomposition.all_subdomains()) {
+    ReaderSchedule schedule;
+    schedule.reader = decomposition.rank_of(id);
+    const grid::Rect expansion = decomposition.expansion(id);
+    schedule.ops.reserve(n_members);
+    for (Index f = 0; f < n_members; ++f) {
+      schedule.ops.push_back(make_op(mesh, f, expansion, bytes_per_value));
+    }
+    plan.readers.push_back(std::move(schedule));
+  }
+  return plan;
+}
+
+ReadPlan concurrent_bar_plan(const grid::Decomposition& decomposition,
+                             Index n_members, Index n_cg, Index layers,
+                             double bytes_per_value) {
+  SENKF_REQUIRE(n_members > 0, "concurrent_bar_plan: need members");
+  SENKF_REQUIRE(n_cg >= 1 && n_members % n_cg == 0,
+                "concurrent_bar_plan: N must be a multiple of n_cg");
+  SENKF_REQUIRE(decomposition.valid_layer_count(layers),
+                "concurrent_bar_plan: L must divide the sub-domain rows");
+  const grid::LatLonGrid& mesh = decomposition.grid();
+
+  ReadPlan plan;
+  plan.readers.reserve(n_cg * decomposition.n_sdy());
+  for (Index g = 0; g < n_cg; ++g) {
+    for (Index j = 0; j < decomposition.n_sdy(); ++j) {
+      ReaderSchedule schedule;
+      schedule.reader = g * decomposition.n_sdy() + j;
+      for (Index l = 0; l < layers; ++l) {
+        // Stage l needs the layer-l rows of tile j plus the latitude halo
+        // (identical across i — the bar is full width).
+        const grid::Rect rows = decomposition.layer_expansion(
+            grid::SubdomainId{0, j}, l, layers);
+        const grid::Rect bar{{0, mesh.nx()}, rows.y};
+        for (Index f = g; f < n_members; f += n_cg) {
+          schedule.ops.push_back(make_op(mesh, f, bar, bytes_per_value));
+        }
+      }
+      plan.readers.push_back(std::move(schedule));
+    }
+  }
+  return plan;
+}
+
+ReadPlan single_reader_plan(const grid::Decomposition& decomposition,
+                            Index n_members, double bytes_per_value) {
+  SENKF_REQUIRE(n_members > 0, "single_reader_plan: need members");
+  const grid::LatLonGrid& mesh = decomposition.grid();
+  ReadPlan plan;
+  ReaderSchedule schedule;
+  schedule.reader = 0;
+  schedule.ops.reserve(n_members);
+  for (Index f = 0; f < n_members; ++f) {
+    schedule.ops.push_back(
+        make_op(mesh, f, mesh.bounds(), bytes_per_value));
+  }
+  plan.readers.push_back(std::move(schedule));
+  return plan;
+}
+
+}  // namespace senkf::io

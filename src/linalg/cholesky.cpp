@@ -1,0 +1,91 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace senkf::linalg {
+
+CholeskyFactor::CholeskyFactor(const Matrix& a) {
+  SENKF_REQUIRE(a.square(), "Cholesky: matrix must be square");
+  const Index n = a.rows();
+  l_ = Matrix(n, n, 0.0);
+  for (Index j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (Index k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0)) {
+      throw NumericError("Cholesky: matrix is not positive definite (pivot " +
+                         std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (Index k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum / ljj;
+    }
+  }
+}
+
+Vector CholeskyFactor::solve(const Vector& b) const {
+  SENKF_REQUIRE(b.size() == dim(), "Cholesky::solve: length mismatch");
+  return solve_lower_transposed(l_, solve_lower(l_, b));
+}
+
+Matrix CholeskyFactor::solve(const Matrix& b) const {
+  SENKF_REQUIRE(b.rows() == dim(), "Cholesky::solve: row mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (Index j = 0; j < b.cols(); ++j) {
+    x.set_column(j, solve(b.column(j)));
+  }
+  return x;
+}
+
+double CholeskyFactor::log_determinant() const {
+  double sum = 0.0;
+  for (Index i = 0; i < dim(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+Matrix CholeskyFactor::inverse() const {
+  return solve(Matrix::identity(dim()));
+}
+
+Vector solve_lower(const Matrix& l, const Vector& b) {
+  SENKF_REQUIRE(l.square() && l.rows() == b.size(),
+                "solve_lower: shape mismatch");
+  const Index n = b.size();
+  Vector y(n);
+  for (Index i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* li = l.data() + i * n;
+    for (Index k = 0; k < i; ++k) sum -= li[k] * y[k];
+    if (li[i] == 0.0) throw NumericError("solve_lower: zero diagonal");
+    y[i] = sum / li[i];
+  }
+  return y;
+}
+
+Vector solve_lower_transposed(const Matrix& l, const Vector& y) {
+  SENKF_REQUIRE(l.square() && l.rows() == y.size(),
+                "solve_lower_transposed: shape mismatch");
+  const Index n = y.size();
+  Vector x(n);
+  for (Index ip = n; ip-- > 0;) {
+    double sum = y[ip];
+    for (Index k = ip + 1; k < n; ++k) sum -= l(k, ip) * x[k];
+    if (l(ip, ip) == 0.0) {
+      throw NumericError("solve_lower_transposed: zero diagonal");
+    }
+    x[ip] = sum / l(ip, ip);
+  }
+  return x;
+}
+
+Vector solve_spd(const Matrix& a, const Vector& b) {
+  return CholeskyFactor(a).solve(b);
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b) {
+  return CholeskyFactor(a).solve(b);
+}
+
+}  // namespace senkf::linalg

@@ -1,0 +1,67 @@
+#include "linalg/covariance.hpp"
+
+#include <cmath>
+
+#include "linalg/ops.hpp"
+
+namespace senkf::linalg {
+
+Vector ensemble_mean(const Matrix& ensemble) {
+  SENKF_REQUIRE(ensemble.cols() > 0, "ensemble_mean: empty ensemble");
+  const double inv = 1.0 / static_cast<double>(ensemble.cols());
+  Vector mean(ensemble.rows(), 0.0);
+  for (Index i = 0; i < ensemble.rows(); ++i) {
+    const auto row = ensemble.row(i);
+    double sum = 0.0;
+    for (const double v : row) sum += v;
+    mean[i] = sum * inv;
+  }
+  return mean;
+}
+
+Matrix ensemble_anomalies(const Matrix& ensemble) {
+  const Vector mean = ensemble_mean(ensemble);
+  Matrix anomalies = ensemble;
+  for (Index i = 0; i < ensemble.rows(); ++i) {
+    auto row = anomalies.row(i);
+    for (double& v : row) v -= mean[i];
+  }
+  return anomalies;
+}
+
+Matrix sample_covariance(const Matrix& ensemble) {
+  SENKF_REQUIRE(ensemble.cols() >= 2,
+                "sample_covariance: need at least 2 members");
+  Matrix u = ensemble_anomalies(ensemble);
+  Matrix b = multiply_a_bt(u, u);
+  scale(b, 1.0 / static_cast<double>(ensemble.cols() - 1));
+  return b;
+}
+
+double gaspari_cohn(double distance, double support_radius) {
+  SENKF_REQUIRE(support_radius > 0.0, "gaspari_cohn: radius must be > 0");
+  const double z = std::abs(distance) / support_radius;
+  if (z >= 2.0) return 0.0;
+  if (z <= 1.0) {
+    return -0.25 * z * z * z * z * z + 0.5 * z * z * z * z +
+           0.625 * z * z * z - (5.0 / 3.0) * z * z + 1.0;
+  }
+  return (1.0 / 12.0) * z * z * z * z * z - 0.5 * z * z * z * z +
+         0.625 * z * z * z + (5.0 / 3.0) * z * z - 5.0 * z + 4.0 -
+         (2.0 / 3.0) / z;
+}
+
+Matrix taper_covariance(const Matrix& covariance,
+                        const std::function<double(Index, Index)>& distance,
+                        double support_radius) {
+  SENKF_REQUIRE(covariance.square(), "taper_covariance: matrix must be square");
+  Matrix tapered = covariance;
+  for (Index i = 0; i < covariance.rows(); ++i) {
+    for (Index j = 0; j < covariance.cols(); ++j) {
+      tapered(i, j) *= gaspari_cohn(distance(i, j), support_radius);
+    }
+  }
+  return tapered;
+}
+
+}  // namespace senkf::linalg

@@ -1,0 +1,113 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/ops.hpp"
+
+namespace senkf::linalg {
+
+SymmetricEigen symmetric_eigen(const Matrix& a, double symmetry_tol) {
+  SENKF_REQUIRE(a.square(), "symmetric_eigen: matrix must be square");
+  SENKF_REQUIRE(is_symmetric(a, symmetry_tol),
+                "symmetric_eigen: matrix must be symmetric");
+  const Index n = a.rows();
+
+  Matrix d = a;                      // driven to diagonal
+  Matrix v = Matrix::identity(n);    // accumulated rotations
+
+  const auto off_diagonal_norm = [&] {
+    double sum = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = i + 1; j < n; ++j) sum += d(i, j) * d(i, j);
+    }
+    return std::sqrt(2.0 * sum);
+  };
+
+  constexpr int kMaxSweeps = 100;
+  const double tol = 1e-13 * std::max(1.0, norm_frobenius(a));
+  int sweep = 0;
+  while (off_diagonal_norm() > tol) {
+    if (++sweep > kMaxSweeps) {
+      throw NumericError("symmetric_eigen: Jacobi sweeps did not converge");
+    }
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= tol / static_cast<double>(n * n)) continue;
+        // Rotation angle annihilating d(p, q).
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q of D and to V.
+        for (Index k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<Index> order(n);
+  std::iota(order.begin(), order.end(), Index{0});
+  std::sort(order.begin(), order.end(),
+            [&](Index x, Index y) { return d(x, x) < d(y, y); });
+
+  SymmetricEigen out{Vector(n), Matrix(n, n)};
+  for (Index j = 0; j < n; ++j) {
+    out.values[j] = d(order[j], order[j]);
+    for (Index i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+namespace {
+Matrix apply_spectral(const Matrix& a, double (*f)(double), double floor,
+                      const char* who) {
+  const SymmetricEigen eig = symmetric_eigen(a);
+  const Index n = a.rows();
+  Matrix scaled = eig.vectors;  // V · f(Λ)
+  for (Index j = 0; j < n; ++j) {
+    double lambda = eig.values[j];
+    if (lambda < floor) {
+      throw NumericError(std::string(who) +
+                         ": matrix is not positive (semi-)definite");
+    }
+    const double fj = f(std::max(lambda, 0.0));
+    for (Index i = 0; i < n; ++i) scaled(i, j) *= fj;
+  }
+  return multiply_a_bt(scaled, eig.vectors);
+}
+}  // namespace
+
+Matrix spd_sqrt(const Matrix& a) {
+  return apply_spectral(
+      a, +[](double x) { return std::sqrt(x); }, -1e-10, "spd_sqrt");
+}
+
+Matrix spd_inverse_sqrt(const Matrix& a) {
+  return apply_spectral(
+      a, +[](double x) { return 1.0 / std::sqrt(x); }, 1e-14,
+      "spd_inverse_sqrt");
+}
+
+}  // namespace senkf::linalg

@@ -1,0 +1,30 @@
+// Symmetric eigendecomposition (cyclic Jacobi) and SPD matrix functions.
+//
+// Needed by the deterministic ensemble-transform analysis, whose ensemble
+// weight matrix is the symmetric square root of an N×N SPD matrix.  The
+// ensembles are small (N ≲ a few hundred), where Jacobi's O(n³) per sweep
+// with unconditional stability is the right tool.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace senkf::linalg {
+
+struct SymmetricEigen {
+  Vector values;   ///< eigenvalues, ascending
+  Matrix vectors;  ///< orthonormal eigenvectors, one per column
+};
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+/// Throws InvalidArgument if `a` is not symmetric to within `symmetry_tol`,
+/// NumericError if the sweep limit is exhausted before convergence.
+SymmetricEigen symmetric_eigen(const Matrix& a, double symmetry_tol = 1e-10);
+
+/// f(A) = V f(Λ) Vᵀ for SPD A.
+/// Symmetric square root; requires all eigenvalues ≥ −tol (clamped to 0).
+Matrix spd_sqrt(const Matrix& a);
+
+/// Symmetric inverse square root; requires strictly positive eigenvalues.
+Matrix spd_inverse_sqrt(const Matrix& a);
+
+}  // namespace senkf::linalg

@@ -1,0 +1,41 @@
+#include "linalg/matrix.hpp"
+
+namespace senkf::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    SENKF_REQUIRE(row.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(Index n) {
+  Matrix m(n, n, 0.0);
+  for (Index i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size(), 0.0);
+  for (Index i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Vector Matrix::column(Index j) const {
+  SENKF_REQUIRE(j < cols_, "Matrix::column: index out of range");
+  Vector out(rows_);
+  for (Index i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::set_column(Index j, const Vector& values) {
+  SENKF_REQUIRE(j < cols_, "Matrix::set_column: index out of range");
+  SENKF_REQUIRE(values.size() == rows_,
+                "Matrix::set_column: length mismatch");
+  for (Index i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+}
+
+}  // namespace senkf::linalg

@@ -1,0 +1,115 @@
+// Dense row-major matrix and vector types.
+//
+// The EnKF kernels only need a compact dense-linear-algebra core: this
+// header provides value-semantic `Matrix` / `Vector` with bounds-checked
+// element access in debug builds, plus cheap structural queries.  All
+// numerical routines live in ops.hpp / cholesky.hpp / solve.hpp so the
+// data type stays small.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace senkf::linalg {
+
+using Index = std::size_t;
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(Index size, double fill = 0.0) : data_(size, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  Index size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](Index i) {
+    SENKF_ASSERT(i < data_.size());
+    return data_[i];
+  }
+  double operator[](Index i) const {
+    SENKF_ASSERT(i < data_.size());
+    return data_[i];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::span<double> span() { return {data_.data(), data_.size()}; }
+  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  void resize(Index size, double fill = 0.0) { data_.resize(size, fill); }
+
+  friend bool operator==(const Vector&, const Vector&) = default;
+
+ private:
+  std::vector<double> data_;
+};
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(Index rows, Index cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Constructs from nested initializer lists (rows of equal width).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(Index n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(const Vector& diag);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  bool square() const { return rows_ == cols_; }
+
+  double& operator()(Index i, Index j) {
+    SENKF_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(Index i, Index j) const {
+    SENKF_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Contiguous view of row i.
+  std::span<double> row(Index i) {
+    SENKF_ASSERT(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(Index i) const {
+    SENKF_ASSERT(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Copy of column j (columns are strided in row-major storage).
+  Vector column(Index j) const;
+
+  /// Overwrites column j from a vector of length rows().
+  void set_column(Index j, const Vector& values);
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace senkf::linalg

@@ -1,0 +1,113 @@
+#include "linalg/modified_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/ops.hpp"
+
+namespace senkf::linalg {
+
+Matrix ModifiedCholesky::inverse_covariance() const {
+  const Index n = dim();
+  // B̂⁻¹ = Lᵀ D⁻¹ L.  Form D⁻¹L once, then multiply by Lᵀ.
+  Matrix dinv_l = l;
+  for (Index i = 0; i < n; ++i) {
+    const double inv = 1.0 / d[i];
+    for (Index j = 0; j <= i; ++j) dinv_l(i, j) *= inv;
+  }
+  return multiply_at_b(l, dinv_l);
+}
+
+Vector ModifiedCholesky::apply_inverse(const Vector& x) const {
+  SENKF_REQUIRE(x.size() == dim(), "ModifiedCholesky: length mismatch");
+  // y = Lᵀ D⁻¹ (L x)
+  Vector t = multiply(l, x);
+  for (Index i = 0; i < dim(); ++i) t[i] /= d[i];
+  return multiply_at(l, t);
+}
+
+Matrix ModifiedCholesky::apply_inverse(const Matrix& x) const {
+  SENKF_REQUIRE(x.rows() == dim(), "ModifiedCholesky: row mismatch");
+  Matrix t = multiply(l, x);
+  for (Index i = 0; i < dim(); ++i) {
+    const double inv = 1.0 / d[i];
+    for (Index j = 0; j < t.cols(); ++j) t(i, j) *= inv;
+  }
+  return multiply_at_b(l, t);
+}
+
+ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
+                                             const PredecessorFn& predecessors,
+                                             double ridge) {
+  SENKF_REQUIRE(anomalies.cols() >= 2,
+                "modified Cholesky: need at least 2 ensemble members");
+  SENKF_REQUIRE(ridge >= 0.0, "modified Cholesky: ridge must be >= 0");
+  const Index n = anomalies.rows();
+  const Index ens = anomalies.cols();
+  const double denom = static_cast<double>(ens - 1);
+
+  ModifiedCholesky result;
+  result.l = Matrix::identity(n);
+  result.d = Vector(n, 0.0);
+
+  for (Index i = 0; i < n; ++i) {
+    const std::vector<Index> pred = predecessors(i);
+    for (const Index j : pred) {
+      SENKF_REQUIRE(j < i, "modified Cholesky: predecessor must precede i");
+    }
+    const auto xi = anomalies.row(i);
+
+    if (pred.empty()) {
+      double var = 0.0;
+      for (Index e = 0; e < ens; ++e) var += xi[e] * xi[e];
+      result.d[i] = std::max(var / denom, ridge + 1e-12);
+      continue;
+    }
+
+    // Normal equations of the regression x_i ~ x_pred:
+    //   (Z Zᵀ + ridge I) beta = Z x_iᵀ, with Z the |pred|×N predecessor rows.
+    const Index p = pred.size();
+    Matrix gram(p, p);
+    Vector rhs(p);
+    for (Index a = 0; a < p; ++a) {
+      const auto za = anomalies.row(pred[a]);
+      for (Index b = a; b < p; ++b) {
+        const auto zb = anomalies.row(pred[b]);
+        double sum = 0.0;
+        for (Index e = 0; e < ens; ++e) sum += za[e] * zb[e];
+        gram(a, b) = sum;
+        gram(b, a) = sum;
+      }
+      gram(a, a) += ridge * denom;
+      double sum = 0.0;
+      for (Index e = 0; e < ens; ++e) sum += za[e] * xi[e];
+      rhs[a] = sum;
+    }
+    const Vector beta = CholeskyFactor(gram).solve(rhs);
+
+    // Residual variance and the negated coefficients into row i of L.
+    double rss = 0.0;
+    for (Index e = 0; e < ens; ++e) {
+      double fitted = 0.0;
+      for (Index a = 0; a < p; ++a) fitted += beta[a] * anomalies(pred[a], e);
+      const double resid = xi[e] - fitted;
+      rss += resid * resid;
+    }
+    result.d[i] = std::max(rss / denom, ridge + 1e-12);
+    for (Index a = 0; a < p; ++a) result.l(i, pred[a]) = -beta[a];
+  }
+  return result;
+}
+
+PredecessorFn banded_predecessors(Index bandwidth) {
+  return [bandwidth](Index i) {
+    std::vector<Index> pred;
+    const Index first = i > bandwidth ? i - bandwidth : 0;
+    pred.reserve(i - first);
+    for (Index j = first; j < i; ++j) pred.push_back(j);
+    return pred;
+  };
+}
+
+}  // namespace senkf::linalg

@@ -1,0 +1,203 @@
+#include "linalg/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senkf::linalg {
+
+namespace {
+void require_same_shape(const Matrix& a, const Matrix& b, const char* who) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw ShapeError(std::string(who) + ": shape mismatch");
+  }
+}
+void require_same_size(const Vector& a, const Vector& b, const char* who) {
+  if (a.size() != b.size()) {
+    throw ShapeError(std::string(who) + ": length mismatch");
+  }
+}
+}  // namespace
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw ShapeError("multiply: inner dim mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  // ikj order: streams through contiguous rows of B and C.
+  for (Index i = 0; i < a.rows(); ++i) {
+    double* ci = c.data() + i * c.cols();
+    for (Index k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* bk = b.data() + k * b.cols();
+      for (Index j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix multiply_at_b(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw ShapeError("multiply_at_b: inner dim mismatch");
+  }
+  Matrix c(a.cols(), b.cols(), 0.0);
+  for (Index k = 0; k < a.rows(); ++k) {
+    const double* ak = a.data() + k * a.cols();
+    const double* bk = b.data() + k * b.cols();
+    for (Index i = 0; i < a.cols(); ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* ci = c.data() + i * c.cols();
+      for (Index j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix multiply_a_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw ShapeError("multiply_a_bt: inner dim mismatch");
+  }
+  Matrix c(a.rows(), b.rows(), 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* ai = a.data() + i * a.cols();
+    for (Index j = 0; j < b.rows(); ++j) {
+      const double* bj = b.data() + j * b.cols();
+      double sum = 0.0;
+      for (Index k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
+      c(i, j) = sum;
+    }
+  }
+  return c;
+}
+
+Vector multiply(const Matrix& a, const Vector& x) {
+  if (a.cols() != x.size()) throw ShapeError("multiply: Ax dim mismatch");
+  Vector y(a.rows(), 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* ai = a.data() + i * a.cols();
+    double sum = 0.0;
+    for (Index j = 0; j < a.cols(); ++j) sum += ai[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector multiply_at(const Matrix& a, const Vector& x) {
+  if (a.rows() != x.size()) throw ShapeError("multiply_at: dim mismatch");
+  Vector y(a.cols(), 0.0);
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* ai = a.data() + i * a.cols();
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (Index j = 0; j < a.cols(); ++j) y[j] += ai[j] * xi;
+  }
+  return y;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+void axpy(double alpha, const Matrix& b, Matrix& a) {
+  require_same_shape(a, b, "axpy");
+  double* ap = a.data();
+  const double* bp = b.data();
+  const Index n = a.rows() * a.cols();
+  for (Index i = 0; i < n; ++i) ap[i] += alpha * bp[i];
+}
+
+void axpy(double alpha, const Vector& b, Vector& a) {
+  require_same_size(a, b, "axpy");
+  for (Index i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+}
+
+void scale(Matrix& a, double alpha) {
+  double* ap = a.data();
+  const Index n = a.rows() * a.cols();
+  for (Index i = 0; i < n; ++i) ap[i] *= alpha;
+}
+
+void scale(Vector& a, double alpha) {
+  for (auto& x : a) x *= alpha;
+}
+
+Matrix subtract(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "subtract");
+  Matrix c = a;
+  axpy(-1.0, b, c);
+  return c;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "subtract");
+  Vector c = a;
+  axpy(-1.0, b, c);
+  return c;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "add");
+  Matrix c = a;
+  axpy(1.0, b, c);
+  return c;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "add");
+  Vector c = a;
+  axpy(1.0, b, c);
+  return c;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "dot");
+  double sum = 0.0;
+  for (Index i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_frobenius(const Matrix& a) {
+  double sum = 0.0;
+  const double* ap = a.data();
+  const Index n = a.rows() * a.cols();
+  for (Index i = 0; i < n; ++i) sum += ap[i] * ap[i];
+  return std::sqrt(sum);
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "max_abs_diff");
+  double worst = 0.0;
+  const double* ap = a.data();
+  const double* bp = b.data();
+  const Index n = a.rows() * a.cols();
+  for (Index i = 0; i < n; ++i) {
+    worst = std::max(worst, std::abs(ap[i] - bp[i]));
+  }
+  return worst;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  require_same_size(a, b, "max_abs_diff");
+  double worst = 0.0;
+  for (Index i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+bool is_symmetric(const Matrix& a, double tol) {
+  if (!a.square()) return false;
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = i + 1; j < a.cols(); ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace senkf::linalg

@@ -1,0 +1,63 @@
+// Basic dense BLAS-like operations on Matrix / Vector.
+//
+// These are the only kernels the EnKF local analysis needs: GEMM variants,
+// matrix-vector products, AXPY-style updates, transposes and norms.  The
+// implementations are cache-aware (ikj loop order) but deliberately simple;
+// the paper's bottleneck is I/O and overlap scheduling, not FLOPs.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace senkf::linalg {
+
+/// C = A * B.
+Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// C = Aᵀ * B without forming Aᵀ.
+Matrix multiply_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * Bᵀ without forming Bᵀ.
+Matrix multiply_a_bt(const Matrix& a, const Matrix& b);
+
+/// y = A * x.
+Vector multiply(const Matrix& a, const Vector& x);
+
+/// y = Aᵀ * x without forming Aᵀ.
+Vector multiply_at(const Matrix& a, const Vector& x);
+
+/// Returns Aᵀ.
+Matrix transpose(const Matrix& a);
+
+/// a += alpha * b (element-wise, matching shapes).
+void axpy(double alpha, const Matrix& b, Matrix& a);
+void axpy(double alpha, const Vector& b, Vector& a);
+
+/// a *= alpha.
+void scale(Matrix& a, double alpha);
+void scale(Vector& a, double alpha);
+
+/// Returns a - b.
+Matrix subtract(const Matrix& a, const Matrix& b);
+Vector subtract(const Vector& a, const Vector& b);
+
+/// Returns a + b.
+Matrix add(const Matrix& a, const Matrix& b);
+Vector add(const Vector& a, const Vector& b);
+
+/// Dot product.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& a);
+
+/// Frobenius norm.
+double norm_frobenius(const Matrix& a);
+
+/// max |a_ij - b_ij| over matching shapes.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+double max_abs_diff(const Vector& a, const Vector& b);
+
+/// True if A is symmetric to within `tol`.
+bool is_symmetric(const Matrix& a, double tol = 1e-12);
+
+}  // namespace senkf::linalg

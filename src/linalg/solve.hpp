@@ -1,0 +1,43 @@
+// General dense solver (LU with partial pivoting).
+//
+// The EnKF path itself only needs SPD solves (cholesky.hpp); LU is kept for
+// tests, diagnostics and the observation-operator pseudo-inverse utilities,
+// and as an independent oracle to validate the Cholesky solver against.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace senkf::linalg {
+
+/// LU factorization with partial pivoting: P A = L U.
+class LuFactor {
+ public:
+  /// Throws NumericError on (numerically) singular input.
+  explicit LuFactor(const Matrix& a);
+
+  Index dim() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-wise.
+  Matrix solve(const Matrix& b) const;
+
+  /// Determinant (sign-corrected product of U's diagonal).
+  double determinant() const;
+
+ private:
+  Matrix lu_;                 // packed L (unit diagonal) and U
+  std::vector<Index> pivot_;  // row permutation
+  int pivot_sign_ = 1;
+};
+
+/// Convenience one-shot solve of a general square system.
+Vector solve_general(const Matrix& a, const Vector& b);
+
+/// Dense inverse via LU (test/diagnostic use only).
+Matrix inverse(const Matrix& a);
+
+}  // namespace senkf::linalg

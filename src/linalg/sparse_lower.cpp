@@ -1,0 +1,88 @@
+#include "linalg/sparse_lower.hpp"
+
+#include <cmath>
+
+namespace senkf::linalg {
+
+SparseUnitLower SparseUnitLower::from_dense(const Matrix& l,
+                                            double drop_tol) {
+  SENKF_REQUIRE(l.square(), "SparseUnitLower: matrix must be square");
+  SENKF_REQUIRE(drop_tol >= 0.0, "SparseUnitLower: drop_tol must be >= 0");
+  const Index n = l.rows();
+  SparseUnitLower out;
+  out.row_start_.reserve(n + 1);
+  out.row_start_.push_back(0);
+  for (Index i = 0; i < n; ++i) {
+    SENKF_REQUIRE(l(i, i) == 1.0,
+                  "SparseUnitLower: diagonal must be exactly 1");
+    for (Index j = 0; j < i; ++j) {
+      const double v = l(i, j);
+      if (std::abs(v) > drop_tol) {
+        out.column_.push_back(j);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_start_.push_back(out.values_.size());
+  }
+  return out;
+}
+
+std::size_t SparseUnitLower::memory_bytes() const {
+  return row_start_.size() * sizeof(Index) + column_.size() * sizeof(Index) +
+         values_.size() * sizeof(double);
+}
+
+Vector SparseUnitLower::multiply(const Vector& x) const {
+  SENKF_REQUIRE(x.size() == dim(), "SparseUnitLower: length mismatch");
+  Vector y = x;  // implicit unit diagonal
+  for (Index i = 0; i < dim(); ++i) {
+    double sum = 0.0;
+    for (Index s = row_start_[i]; s < row_start_[i + 1]; ++s) {
+      sum += values_[s] * x[column_[s]];
+    }
+    y[i] += sum;
+  }
+  return y;
+}
+
+Vector SparseUnitLower::multiply_transpose(const Vector& x) const {
+  SENKF_REQUIRE(x.size() == dim(), "SparseUnitLower: length mismatch");
+  Vector y = x;  // implicit unit diagonal
+  for (Index i = 0; i < dim(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (Index s = row_start_[i]; s < row_start_[i + 1]; ++s) {
+      y[column_[s]] += values_[s] * xi;
+    }
+  }
+  return y;
+}
+
+Matrix SparseUnitLower::to_dense() const {
+  Matrix out = Matrix::identity(dim());
+  for (Index i = 0; i < dim(); ++i) {
+    for (Index s = row_start_[i]; s < row_start_[i + 1]; ++s) {
+      out(i, column_[s]) = values_[s];
+    }
+  }
+  return out;
+}
+
+CompactModifiedCholesky CompactModifiedCholesky::from(
+    const ModifiedCholesky& factors, double drop_tol) {
+  return CompactModifiedCholesky{
+      SparseUnitLower::from_dense(factors.l, drop_tol), factors.d};
+}
+
+Vector CompactModifiedCholesky::apply_inverse(const Vector& x) const {
+  SENKF_REQUIRE(x.size() == dim(), "CompactModifiedCholesky: length mismatch");
+  Vector t = l.multiply(x);
+  for (Index i = 0; i < dim(); ++i) t[i] /= d[i];
+  return l.multiply_transpose(t);
+}
+
+std::size_t CompactModifiedCholesky::memory_bytes() const {
+  return l.memory_bytes() + d.size() * sizeof(double);
+}
+
+}  // namespace senkf::linalg

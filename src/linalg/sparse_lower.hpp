@@ -1,0 +1,61 @@
+// Compact storage for the modified-Cholesky factor.
+//
+// Localization makes L unit-lower-triangular with at most
+// (2ξ+1)(2η+1)/2-ish non-zeros per row, so an n×n dense L wastes O(n²)
+// memory — the paper notes that "compact representation of matrices can
+// be used ... to exploit the structures of B̂⁻¹" (§2.3).  SparseUnitLower
+// stores the strictly-lower non-zeros row-compressed (the unit diagonal
+// is implicit) and applies L / Lᵀ / B̂⁻¹ = LᵀD⁻¹L without densifying.
+#pragma once
+
+#include "linalg/modified_cholesky.hpp"
+
+namespace senkf::linalg {
+
+class SparseUnitLower {
+ public:
+  /// Compresses a dense unit-lower-triangular matrix, dropping strictly-
+  /// lower entries with |value| <= drop_tol.  The diagonal must be 1.
+  static SparseUnitLower from_dense(const Matrix& l, double drop_tol = 0.0);
+
+  Index dim() const { return row_start_.empty() ? 0 : row_start_.size() - 1; }
+
+  /// Strictly-lower non-zeros stored.
+  Index nonzeros() const { return values_.size(); }
+
+  /// Heap bytes of the compressed representation.
+  std::size_t memory_bytes() const;
+
+  /// y = L x.
+  Vector multiply(const Vector& x) const;
+
+  /// y = Lᵀ x.
+  Vector multiply_transpose(const Vector& x) const;
+
+  /// Dense reconstruction (tests/diagnostics).
+  Matrix to_dense() const;
+
+ private:
+  std::vector<Index> row_start_;  // size dim+1
+  std::vector<Index> column_;
+  std::vector<double> values_;
+};
+
+/// ModifiedCholesky with the factor stored compressed.
+struct CompactModifiedCholesky {
+  SparseUnitLower l;
+  Vector d;
+
+  /// Compresses an existing estimate.
+  static CompactModifiedCholesky from(const ModifiedCholesky& factors,
+                                      double drop_tol = 0.0);
+
+  Index dim() const { return d.size(); }
+
+  /// y = B̂⁻¹ x = Lᵀ D⁻¹ L x, entirely in compressed form.
+  Vector apply_inverse(const Vector& x) const;
+
+  std::size_t memory_bytes() const;
+};
+
+}  // namespace senkf::linalg

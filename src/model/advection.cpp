@@ -1,0 +1,88 @@
+#include "model/advection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace senkf::model {
+
+AdvectionDiffusion::AdvectionDiffusion(const grid::LatLonGrid& mesh,
+                                       const AdvectionDiffusionConfig& config)
+    : mesh_(mesh), config_(config) {
+  SENKF_REQUIRE(config.diffusion >= 0.0 && config.diffusion <= 0.25,
+                "AdvectionDiffusion: diffusion number must be in [0, 0.25]");
+  SENKF_REQUIRE(mesh.nx() >= 2 && mesh.ny() >= 2,
+                "AdvectionDiffusion: mesh too small");
+}
+
+double AdvectionDiffusion::sample(const grid::Field& state, double x,
+                                  double y) const {
+  const double nx = static_cast<double>(mesh_.nx());
+  const double ny = static_cast<double>(mesh_.ny());
+  // Periodic along longitude.
+  x = std::fmod(x, nx);
+  if (x < 0.0) x += nx;
+  // Reflective along latitude.
+  if (y < 0.0) y = -y;
+  const double y_max = ny - 1.0;
+  if (y > y_max) y = 2.0 * y_max - y;
+  y = std::clamp(y, 0.0, y_max);
+
+  const Index x0 = static_cast<Index>(x) % mesh_.nx();
+  const Index x1 = (x0 + 1) % mesh_.nx();
+  const Index y0 = static_cast<Index>(y);
+  const Index y1 = std::min(y0 + 1, mesh_.ny() - 1);
+  const double fx = x - std::floor(x);
+  const double fy = y - static_cast<double>(y0);
+
+  return (1.0 - fx) * (1.0 - fy) * state.at(x0, y0) +
+         fx * (1.0 - fy) * state.at(x1, y0) +
+         (1.0 - fx) * fy * state.at(x0, y1) +
+         fx * fy * state.at(x1, y1);
+}
+
+grid::Field AdvectionDiffusion::step(const grid::Field& state) const {
+  SENKF_REQUIRE(state.size() == mesh_.size(),
+                "AdvectionDiffusion: field/mesh mismatch");
+  // Semi-Lagrangian advection: trace each arrival point back along the
+  // (constant) flow and interpolate there.
+  grid::Field advected(mesh_);
+  for (Index y = 0; y < mesh_.ny(); ++y) {
+    for (Index x = 0; x < mesh_.nx(); ++x) {
+      advected.at(x, y) = sample(state,
+                                 static_cast<double>(x) - config_.u,
+                                 static_cast<double>(y) - config_.v);
+    }
+  }
+  if (config_.diffusion == 0.0) return advected;
+
+  // Explicit 5-point diffusion with the same boundary treatment.
+  grid::Field out(mesh_);
+  const double kappa = config_.diffusion;
+  for (Index y = 0; y < mesh_.ny(); ++y) {
+    const Index y_up = y + 1 < mesh_.ny() ? y + 1 : y - 1;   // reflect
+    const Index y_dn = y > 0 ? y - 1 : y + 1;                // reflect
+    for (Index x = 0; x < mesh_.nx(); ++x) {
+      const Index x_e = (x + 1) % mesh_.nx();
+      const Index x_w = (x + mesh_.nx() - 1) % mesh_.nx();
+      const double center = advected.at(x, y);
+      const double laplacian = advected.at(x_e, y) + advected.at(x_w, y) +
+                               advected.at(x, y_up) + advected.at(x, y_dn) -
+                               4.0 * center;
+      out.at(x, y) = center + kappa * laplacian;
+    }
+  }
+  return out;
+}
+
+grid::Field AdvectionDiffusion::advance(grid::Field state,
+                                        Index steps) const {
+  for (Index s = 0; s < steps; ++s) state = step(state);
+  return state;
+}
+
+void AdvectionDiffusion::advance_ensemble(std::vector<grid::Field>& members,
+                                          Index steps) const {
+  for (auto& member : members) member = advance(std::move(member), steps);
+}
+
+}  // namespace senkf::model

@@ -1,0 +1,55 @@
+// A minimal geophysical dynamical core: 2-D advection–diffusion.
+//
+// EnKF is a *sequential* method: analyses become the initial conditions
+// of the next model integration (§1).  This module provides the model
+// for the forecast step of cycled experiments: semi-Lagrangian advection
+// (unconditionally stable — departure points with bilinear
+// interpolation) plus explicit diffusion, periodic along longitude and
+// reflective along latitude, matching the lat-lon storage conventions of
+// grid::Field.
+#pragma once
+
+#include "grid/field.hpp"
+
+namespace senkf::model {
+
+using grid::Index;
+
+struct AdvectionDiffusionConfig {
+  /// Zonal / meridional velocity in grid cells per step.  Values may be
+  /// fractional or exceed 1 — semi-Lagrangian stepping has no CFL limit.
+  double u = 0.7;
+  double v = 0.15;
+  /// Non-dimensional diffusion number κ·Δt/Δx² per step; explicit
+  /// stepping requires ≤ 0.25.
+  double diffusion = 0.02;
+};
+
+class AdvectionDiffusion {
+ public:
+  AdvectionDiffusion(const grid::LatLonGrid& mesh,
+                     const AdvectionDiffusionConfig& config = {});
+
+  const grid::LatLonGrid& mesh() const { return mesh_; }
+  const AdvectionDiffusionConfig& config() const { return config_; }
+
+  /// One step: advect along the flow, then diffuse.
+  grid::Field step(const grid::Field& state) const;
+
+  /// `steps` repeated applications.
+  grid::Field advance(grid::Field state, Index steps) const;
+
+  /// Advances every ensemble member in place.
+  void advance_ensemble(std::vector<grid::Field>& members,
+                        Index steps) const;
+
+ private:
+  /// Field value at fractional coordinates with periodic-x/reflective-y
+  /// boundary treatment and bilinear interpolation.
+  double sample(const grid::Field& state, double x, double y) const;
+
+  grid::LatLonGrid mesh_;
+  AdvectionDiffusionConfig config_;
+};
+
+}  // namespace senkf::model

@@ -1,0 +1,36 @@
+#include "net/net.hpp"
+
+namespace senkf::net {
+
+Net::Net(const NetConfig& config) : config_(config) {
+  SENKF_REQUIRE(config.alpha >= 0.0 && config.beta >= 0.0,
+                "Net: alpha and beta must be non-negative");
+}
+
+double Net::p2p_time(double bytes) const {
+  SENKF_REQUIRE(bytes >= 0.0, "Net::p2p_time: negative size");
+  return config_.alpha + config_.beta * bytes;
+}
+
+double Net::broadcast_time(double bytes, int participants) const {
+  SENKF_REQUIRE(participants > 0, "Net::broadcast_time: need participants");
+  return static_cast<double>(log2_ceil(participants)) * p2p_time(bytes);
+}
+
+double Net::serialized_sends_time(int messages, double bytes_each) const {
+  SENKF_REQUIRE(messages >= 0, "Net::serialized_sends_time: negative count");
+  return static_cast<double>(messages) * p2p_time(bytes_each);
+}
+
+int Net::log2_ceil(int n) {
+  SENKF_REQUIRE(n > 0, "log2_ceil: n must be positive");
+  int depth = 0;
+  int reach = 1;
+  while (reach < n) {
+    reach *= 2;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace senkf::net

@@ -1,0 +1,47 @@
+// Network cost model (alpha–beta with log-tree collectives).
+//
+// The paper's cost analysis (§4.3, extending Rabenseifner / Thakur-style
+// collective models, refs [3][26][30]) treats the interconnect as
+// full-duplex with per-message startup `a` and per-byte transfer `b`.
+// The DES uses these formulas as message delays — contention on the NIC
+// is modelled by serializing a sender's outgoing messages, which matches
+// the single-port assumption of the classic models.
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.hpp"
+
+namespace senkf::net {
+
+struct NetConfig {
+  /// Startup time per message, seconds ("a" in the paper's Table 1).
+  double alpha = 5e-6;
+  /// Transfer time per byte, seconds ("b"); 5e-10 ≈ a 2 GB/s link.
+  double beta = 5e-10;
+};
+
+class Net {
+ public:
+  explicit Net(const NetConfig& config);
+
+  const NetConfig& config() const { return config_; }
+
+  /// Point-to-point time for one message of `bytes`.
+  double p2p_time(double bytes) const;
+
+  /// Binomial-tree broadcast among `participants` ranks.
+  double broadcast_time(double bytes, int participants) const;
+
+  /// `messages` back-to-back sends from one port (single-port serialization).
+  double serialized_sends_time(int messages, double bytes_each) const;
+
+  /// ceil(log2(n)) with log2(1) = 0 — the tree depth used by the paper's
+  /// log(·) factors.
+  static int log2_ceil(int n);
+
+ private:
+  NetConfig config_;
+};
+
+}  // namespace senkf::net

@@ -1,0 +1,49 @@
+// Localization of observations to an expansion rectangle (paper eq. (6)).
+//
+// For a sub-domain (or layer) expansion D̄, the local pieces are:
+//   * the indices of the observed components entirely supported by D̄,
+//   * H_{[i,j]} — an m̄×n̄ dense operator acting on the expansion patch
+//     (row-major patch-local indexing),
+//   * the diagonal of R_{[i,j]},
+//   * the corresponding rows of the global Yˢ.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "obs/observation.hpp"
+
+namespace senkf::obs {
+
+class LocalObservations {
+ public:
+  /// Selects the components of `observations` supported by `rect`.
+  LocalObservations(const ObservationSet& observations, grid::Rect rect);
+
+  grid::Rect rect() const { return rect_; }
+  Index size() const { return selected_.size(); }
+  bool empty() const { return selected_.empty(); }
+
+  /// Global indices of the selected components (ascending).
+  const std::vector<Index>& selected() const { return selected_; }
+
+  /// Dense local operator H̄ (size() × rect().count()).
+  const linalg::Matrix& h() const { return h_; }
+
+  /// Diagonal of the local R (variances, length size()).
+  const linalg::Vector& r_diagonal() const { return r_diag_; }
+
+  /// Extracts the selected rows of a global m×N matrix (e.g. Yˢ).
+  linalg::Matrix select_rows(const linalg::Matrix& global) const;
+
+  /// H̄ · patch for the patch covering exactly rect().
+  linalg::Vector apply_h(const grid::Patch& patch) const;
+
+ private:
+  grid::Rect rect_;
+  std::vector<Index> selected_;
+  linalg::Matrix h_;
+  linalg::Vector r_diag_;
+};
+
+}  // namespace senkf::obs

@@ -1,0 +1,72 @@
+// Observation networks and the linear observation operator H.
+//
+// Each observed component is a linear functional of the model state with
+// compact support: a weighted combination of a few nearby grid points
+// (point observations have a single unit weight; interpolated platforms
+// such as drifting buoys use bilinear weights over four corners).  The
+// paper exploits exactly this compactness: H is never stored dense — it is
+// (re)constructed from "limited observational data" read cheaply from disk
+// (§4.1), and localized H_{[i,j]} blocks act on expansion patches.
+#pragma once
+
+#include <vector>
+
+#include "grid/field.hpp"
+#include "support/rng.hpp"
+
+namespace senkf::obs {
+
+using grid::Index;
+
+/// One grid point with an interpolation weight.
+struct SupportPoint {
+  grid::Point point;
+  double weight = 1.0;
+};
+
+/// One observed component: a sparse row of H plus its error standard
+/// deviation (the corresponding diagonal entry of R is error_std²).
+struct ObsComponent {
+  std::vector<SupportPoint> support;
+  double error_std = 0.1;
+
+  /// Applies this row of H to a full field.
+  double apply(const grid::Field& field) const;
+
+  /// Applies this row of H to a patch; every support point must be inside.
+  double apply(const grid::Patch& patch) const;
+
+  /// True if all support points fall inside `rect`.
+  bool supported_by(grid::Rect rect) const;
+};
+
+/// A fixed observation network plus the measured values y.
+class ObservationSet {
+ public:
+  ObservationSet(grid::LatLonGrid grid_def, std::vector<ObsComponent> comps,
+                 std::vector<double> values);
+
+  const grid::LatLonGrid& grid() const { return grid_; }
+  Index size() const { return components_.size(); }
+  const std::vector<ObsComponent>& components() const { return components_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  grid::LatLonGrid grid_;
+  std::vector<ObsComponent> components_;
+  std::vector<double> values_;
+};
+
+struct NetworkOptions {
+  Index station_count = 200;     ///< number of observed components
+  double error_std = 0.1;       ///< measurement error standard deviation
+  bool bilinear = false;        ///< interpolated (4-point) instead of point obs
+};
+
+/// Draws a random station network and measures `truth` with iid noise.
+/// Deterministic given the rng state; stations never repeat a location.
+ObservationSet random_network(const grid::LatLonGrid& grid_def,
+                              const grid::Field& truth, Rng& rng,
+                              const NetworkOptions& options = {});
+
+}  // namespace senkf::obs

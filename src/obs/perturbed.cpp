@@ -1,0 +1,21 @@
+#include "obs/perturbed.hpp"
+
+namespace senkf::obs {
+
+linalg::Matrix perturbed_observations(const ObservationSet& observations,
+                                      Index n_members, const Rng& base_rng) {
+  SENKF_REQUIRE(n_members > 0, "perturbed_observations: need members");
+  const Index m = observations.size();
+  linalg::Matrix ys(m, n_members);
+  for (Index k = 0; k < n_members; ++k) {
+    // Child stream per member: decomposition-independent determinism.
+    Rng member_rng = base_rng.child(0x597355ULL + k);
+    for (Index i = 0; i < m; ++i) {
+      ys(i, k) = observations.values()[i] +
+                 member_rng.normal(0.0, observations.components()[i].error_std);
+    }
+  }
+  return ys;
+}
+
+}  // namespace senkf::obs

@@ -1,0 +1,20 @@
+// Perturbed observations Yˢ (paper eq. (3)).
+//
+// Stochastic EnKF assimilates a different noisy copy of the observation
+// vector into each ensemble member: Yˢ[:, k] = y + εₖ, εₖ ~ N(0, R).
+// Yˢ is generated *globally once* from member-indexed child streams, so
+// every implementation (serial reference, L-/P-/S-EnKF, any decomposition)
+// sees byte-identical perturbations — the property the correctness tests
+// rely on.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "obs/observation.hpp"
+
+namespace senkf::obs {
+
+/// m×N matrix of perturbed observations; column k belongs to member k.
+linalg::Matrix perturbed_observations(const ObservationSet& observations,
+                                      Index n_members, const Rng& base_rng);
+
+}  // namespace senkf::obs

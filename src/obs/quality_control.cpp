@@ -1,0 +1,56 @@
+#include "obs/quality_control.hpp"
+
+#include <cmath>
+
+namespace senkf::obs {
+
+QualityControlResult background_check(
+    const ObservationSet& observations,
+    const std::vector<grid::Field>& ensemble,
+    const QualityControlOptions& options) {
+  SENKF_REQUIRE(ensemble.size() >= 2,
+                "background_check: need >= 2 ensemble members");
+  SENKF_REQUIRE(options.threshold_sigmas > 0.0,
+                "background_check: threshold must be positive");
+
+  const Index n_members = ensemble.size();
+  std::vector<ObsComponent> kept;
+  std::vector<double> kept_values;
+  std::vector<Index> rejected;
+
+  std::vector<double> predictions(n_members);
+  for (Index r = 0; r < observations.size(); ++r) {
+    const ObsComponent& component = observations.components()[r];
+    double mean = 0.0;
+    for (Index k = 0; k < n_members; ++k) {
+      predictions[k] = component.apply(ensemble[k]);
+      mean += predictions[k];
+    }
+    mean /= static_cast<double>(n_members);
+    double variance = 0.0;
+    for (Index k = 0; k < n_members; ++k) {
+      const double d = predictions[k] - mean;
+      variance += d * d;
+    }
+    variance /= static_cast<double>(n_members - 1);
+
+    const double innovation = observations.values()[r] - mean;
+    const double spread =
+        std::sqrt(variance + component.error_std * component.error_std);
+    if (std::abs(innovation) > options.threshold_sigmas * spread) {
+      rejected.push_back(r);
+    } else {
+      kept.push_back(component);
+      kept_values.push_back(observations.values()[r]);
+    }
+  }
+  SENKF_REQUIRE(!kept.empty(),
+                "background_check: every observation was rejected — check "
+                "the ensemble or the threshold");
+  return QualityControlResult{
+      ObservationSet(observations.grid(), std::move(kept),
+                     std::move(kept_values)),
+      std::move(rejected)};
+}
+
+}  // namespace senkf::obs

@@ -1,0 +1,37 @@
+// Observation quality control (background check).
+//
+// Operational assimilation never trusts the network blindly: a sensor
+// with a stuck bit or a mislocated platform injects gross errors that a
+// least-squares analysis happily smears over the domain.  The standard
+// defence is the *background check*: reject any observation whose
+// innovation |y − H x̄ᵇ| exceeds k standard deviations of its expected
+// innovation spread √(HBHᵀ + R), both taken from the forecast ensemble.
+#pragma once
+
+#include <vector>
+
+#include "grid/field.hpp"
+#include "obs/observation.hpp"
+
+namespace senkf::obs {
+
+struct QualityControlOptions {
+  /// Rejection threshold in innovation standard deviations.
+  double threshold_sigmas = 4.0;
+};
+
+struct QualityControlResult {
+  ObservationSet accepted;
+  std::vector<Index> rejected;  ///< original indices of rejected components
+};
+
+/// Background check of `observations` against the forecast ensemble.
+/// For each component: innovation spread² = ensemble variance of the
+/// predicted value + observation error variance; reject when
+/// |innovation| > threshold · spread.
+QualityControlResult background_check(
+    const ObservationSet& observations,
+    const std::vector<grid::Field>& ensemble,
+    const QualityControlOptions& options = {});
+
+}  // namespace senkf::obs

@@ -1,0 +1,231 @@
+#include "parcomm/communicator.hpp"
+
+#include <algorithm>
+
+namespace senkf::parcomm {
+
+Envelope Request::wait() {
+  if (done_ || box_ == nullptr) return std::move(result_);
+  result_ = box_->pop(source_, tag_);
+  done_ = true;
+  return std::move(result_);
+}
+
+bool Request::test() {
+  if (done_ || box_ == nullptr) return true;
+  if (auto envelope = box_->try_pop(source_, tag_)) {
+    result_ = std::move(*envelope);
+    done_ = true;
+    return true;
+  }
+  return false;
+}
+
+Communicator::Communicator(std::shared_ptr<Bus> bus, int comm_id, int rank,
+                           int size)
+    : bus_(std::move(bus)), comm_id_(comm_id), rank_(rank), size_(size) {
+  SENKF_REQUIRE(bus_ != nullptr, "Communicator: bus must not be null");
+  SENKF_REQUIRE(rank >= 0 && rank < size, "Communicator: rank out of range");
+}
+
+Mailbox& Communicator::my_mailbox() { return bus_->mailbox(comm_id_, rank_); }
+
+Mailbox& Communicator::mailbox_of(int rank) {
+  SENKF_REQUIRE(rank >= 0 && rank < size_,
+                "Communicator: destination rank out of range");
+  return bus_->mailbox(comm_id_, rank);
+}
+
+void Communicator::send(int dest, int tag, Payload payload) {
+  SENKF_REQUIRE(tag >= 0, "Communicator::send: user tags must be >= 0");
+  mailbox_of(dest).push(Envelope{rank_, tag, std::move(payload)});
+}
+
+void Communicator::send_doubles(int dest, int tag,
+                                const std::vector<double>& values) {
+  Packer packer;
+  packer.put_vector(values);
+  send(dest, tag, packer.take());
+}
+
+Envelope Communicator::recv(int source, int tag) {
+  return my_mailbox().pop(source, tag);
+}
+
+std::vector<double> Communicator::recv_doubles(int source, int tag) {
+  const Envelope envelope = recv(source, tag);
+  Unpacker unpacker(envelope.payload);
+  return unpacker.get_vector<double>();
+}
+
+Request Communicator::isend(int dest, int tag, Payload payload) {
+  send(dest, tag, std::move(payload));
+  return Request();  // buffered: already complete
+}
+
+Request Communicator::irecv(int source, int tag) {
+  return Request(&my_mailbox(), source, tag);
+}
+
+bool Communicator::iprobe(int source, int tag) {
+  // try_pop + re-push moves the matched envelope to the queue tail, which
+  // can reorder same-signature messages relative to one another only when
+  // two matching envelopes are queued; callers that mix iprobe with
+  // order-sensitive streams should use distinct tags per message kind (the
+  // library's own users all do).
+  if (auto envelope = my_mailbox().try_pop(source, tag)) {
+    my_mailbox().push(std::move(*envelope));
+    return true;
+  }
+  return false;
+}
+
+void Communicator::barrier() { bus_->barrier(comm_id_).arrive_and_wait(); }
+
+void Communicator::broadcast(int root, std::vector<double>& values) {
+  SENKF_REQUIRE(root >= 0 && root < size_,
+                "Communicator::broadcast: bad root");
+  if (size_ == 1) return;
+  if (rank_ == root) {
+    Packer packer;
+    packer.put_vector(values);
+    Payload payload = packer.take();
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      mailbox_of(r).push(Envelope{rank_, kCollectiveTag, payload});
+    }
+  } else {
+    const Envelope envelope = my_mailbox().pop(root, kCollectiveTag);
+    Unpacker unpacker(envelope.payload);
+    values = unpacker.get_vector<double>();
+  }
+}
+
+std::vector<double> Communicator::scatter(
+    int root, const std::vector<std::vector<double>>& chunks) {
+  SENKF_REQUIRE(root >= 0 && root < size_, "Communicator::scatter: bad root");
+  if (rank_ == root) {
+    SENKF_REQUIRE(chunks.size() == static_cast<std::size_t>(size_),
+                  "Communicator::scatter: need one chunk per rank");
+    for (int r = 0; r < size_; ++r) {
+      if (r == root) continue;
+      Packer packer;
+      packer.put_vector(chunks[r]);
+      mailbox_of(r).push(Envelope{rank_, kCollectiveTag, packer.take()});
+    }
+    return chunks[root];
+  }
+  const Envelope envelope = my_mailbox().pop(root, kCollectiveTag);
+  Unpacker unpacker(envelope.payload);
+  return unpacker.get_vector<double>();
+}
+
+std::vector<std::vector<double>> Communicator::gather(
+    int root, const std::vector<double>& mine) {
+  SENKF_REQUIRE(root >= 0 && root < size_, "Communicator::gather: bad root");
+  if (rank_ != root) {
+    Packer packer;
+    packer.put_vector(mine);
+    mailbox_of(root).push(Envelope{rank_, kCollectiveTag, packer.take()});
+    return {};
+  }
+  std::vector<std::vector<double>> gathered(size_);
+  gathered[root] = mine;
+  for (int r = 0; r < size_; ++r) {
+    if (r == root) continue;
+    const Envelope envelope = my_mailbox().pop(r, kCollectiveTag);
+    Unpacker unpacker(envelope.payload);
+    gathered[r] = unpacker.get_vector<double>();
+  }
+  return gathered;
+}
+
+std::vector<double> Communicator::allreduce(const std::vector<double>& mine,
+                                            ReduceOp op) {
+  // Gather-to-0 + broadcast: O(P) but correct; parcomm is a correctness
+  // plane, the DES models collective costs (net/collectives.hpp).
+  std::vector<std::vector<double>> all = gather(0, mine);
+  std::vector<double> result;
+  if (rank_ == 0) {
+    result = all[0];
+    for (int r = 1; r < size_; ++r) {
+      SENKF_REQUIRE(all[r].size() == result.size(),
+                    "Communicator::allreduce: length mismatch across ranks");
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        switch (op) {
+          case ReduceOp::kSum:
+            result[i] += all[r][i];
+            break;
+          case ReduceOp::kMin:
+            result[i] = std::min(result[i], all[r][i]);
+            break;
+          case ReduceOp::kMax:
+            result[i] = std::max(result[i], all[r][i]);
+            break;
+        }
+      }
+    }
+  } else {
+    result = mine;  // placeholder, overwritten by broadcast
+  }
+  broadcast(0, result);
+  return result;
+}
+
+double Communicator::allreduce(double mine, ReduceOp op) {
+  return allreduce(std::vector<double>{mine}, op)[0];
+}
+
+std::unique_ptr<Communicator> Communicator::split(int color, int key) {
+  SENKF_REQUIRE(color >= 0 || color == kUndefinedColor,
+                "Communicator::split: colors must be >= 0 or undefined");
+  // Phase 1 — rendezvous: every rank deposits (color, key) and learns its
+  // group placement (new rank and group size).
+  const SplitOutcome outcome =
+      bus_->split_state(comm_id_).arrive(rank_, SplitEntry{color, key});
+
+  // Phase 2 — id distribution: each group's new-rank-0 creates the
+  // communicator and announces (id, color) to every parent rank.  Every
+  // announcement copy is private to its recipient, so discarding a
+  // foreign-color copy is safe.
+  std::unique_ptr<Communicator> result;
+  if (color != kUndefinedColor) {
+    if (outcome.new_rank == 0) {
+      const int new_id = bus_->create_communicator(outcome.new_size);
+      for (int r = 0; r < size_; ++r) {
+        if (r == rank_) continue;
+        Packer packer;
+        packer.put<int>(new_id);
+        packer.put<int>(color);
+        bus_->mailbox(comm_id_, r).push(
+            Envelope{rank_, kSplitTag, packer.take()});
+      }
+      result = std::make_unique<Communicator>(bus_, new_id, 0,
+                                              outcome.new_size);
+    } else {
+      int my_comm_id = -1;
+      while (my_comm_id == -1) {
+        const Envelope envelope = my_mailbox().pop(kAnySource, kSplitTag);
+        Unpacker unpacker(envelope.payload);
+        const int announced_id = unpacker.get<int>();
+        const int announced_color = unpacker.get<int>();
+        if (announced_color == color) my_comm_id = announced_id;
+      }
+      result = std::make_unique<Communicator>(bus_, my_comm_id,
+                                              outcome.new_rank,
+                                              outcome.new_size);
+    }
+  }
+
+  // Phase 3 — cleanup: once every rank has passed the first barrier all
+  // announcements have been pushed, so draining leftovers is race-free.
+  // The trailing barrier fences this round's traffic from a subsequent
+  // split() on the same parent communicator.
+  barrier();
+  while (my_mailbox().try_pop(kAnySource, kSplitTag)) {
+  }
+  barrier();
+  return result;
+}
+
+}  // namespace senkf::parcomm

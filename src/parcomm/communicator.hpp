@@ -1,0 +1,126 @@
+// MPI-flavoured communicator over the in-process Bus.
+//
+// This is the library's stand-in for the MPI subset the paper's workflows
+// use (see DESIGN.md §2): blocking and buffered-nonblocking point-to-point,
+// the collectives EnKF needs (barrier, bcast, scatter(v)/gather(v),
+// allreduce) and communicator splitting — which S-EnKF uses to carve the
+// processor set into I/O groups and computation ranks.
+//
+// Semantics: sends are buffered (they never block), receives match on
+// (source, tag) with wildcards and are non-overtaking per (source, tag)
+// pair.  All collectives must be called by every rank of the communicator
+// in the same order, as in MPI.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "parcomm/bus.hpp"
+
+namespace senkf::parcomm {
+
+/// Color for Communicator::split meaning "I opt out of every group".
+inline constexpr int kUndefinedColor = -1;
+
+/// Handle for a pending non-blocking operation.  Buffered isend completes
+/// immediately; irecv completes on wait()/test().
+class Request {
+ public:
+  /// Blocks until complete; returns the received envelope for irecv (an
+  /// empty envelope for isend).
+  Envelope wait();
+
+  /// True when a wait() would not block.
+  bool test();
+
+ private:
+  friend class Communicator;
+  Request() = default;  // completed isend
+  Request(Mailbox* box, int source, int tag)
+      : box_(box), source_(source), tag_(tag) {}
+
+  Mailbox* box_ = nullptr;  // null → already complete
+  int source_ = kAnySource;
+  int tag_ = kAnyTag;
+  bool done_ = false;
+  Envelope result_;
+};
+
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<Bus> bus, int comm_id, int rank, int size);
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  int id() const { return comm_id_; }
+
+  // ---- point-to-point ----------------------------------------------------
+
+  /// Buffered send: copies the payload and returns immediately.
+  void send(int dest, int tag, Payload payload);
+
+  /// Convenience: packs a vector of doubles.
+  void send_doubles(int dest, int tag, const std::vector<double>& values);
+
+  /// Blocking receive with wildcard support.
+  Envelope recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Convenience: unpacks a vector of doubles (payload must be one).
+  std::vector<double> recv_doubles(int source = kAnySource,
+                                   int tag = kAnyTag);
+
+  /// Non-blocking (buffered) send: completes immediately.
+  Request isend(int dest, int tag, Payload payload);
+
+  /// Non-blocking receive: completes when wait()/test() finds a match.
+  Request irecv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool iprobe(int source = kAnySource, int tag = kAnyTag);
+
+  // ---- collectives ---------------------------------------------------------
+
+  /// All ranks block until every rank arrived.
+  void barrier();
+
+  /// Root's `values` is broadcast to everyone; others receive into it.
+  void broadcast(int root, std::vector<double>& values);
+
+  /// Root scatters `chunks[i]` to rank i (chunks may differ in length);
+  /// returns this rank's chunk.  Non-roots pass an empty vector.
+  std::vector<double> scatter(int root,
+                              const std::vector<std::vector<double>>& chunks);
+
+  /// Every rank contributes `mine`; root returns all contributions in rank
+  /// order (others get an empty vector).  Variable lengths allowed.
+  std::vector<std::vector<double>> gather(int root,
+                                          const std::vector<double>& mine);
+
+  enum class ReduceOp { kSum, kMin, kMax };
+
+  /// Element-wise allreduce over equal-length vectors.
+  std::vector<double> allreduce(const std::vector<double>& mine, ReduceOp op);
+
+  /// Scalar convenience allreduce.
+  double allreduce(double mine, ReduceOp op);
+
+  /// Splits into sub-communicators by color (kUndefinedColor opts out and
+  /// yields nullptr).  Rank order within a color follows (key, old rank).
+  std::unique_ptr<Communicator> split(int color, int key);
+
+ private:
+  Mailbox& my_mailbox();
+  Mailbox& mailbox_of(int rank);
+
+  // Internal tag space for collectives, disjoint from user tags (which
+  // must be >= 0).
+  static constexpr int kCollectiveTag = -1000;
+  static constexpr int kSplitTag = -1001;
+
+  std::shared_ptr<Bus> bus_;
+  int comm_id_;
+  int rank_;
+  int size_;
+};
+
+}  // namespace senkf::parcomm

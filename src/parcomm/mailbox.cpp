@@ -1,0 +1,54 @@
+#include "parcomm/mailbox.hpp"
+
+#include <string>
+
+namespace senkf::parcomm {
+
+void Mailbox::push(Envelope envelope) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(envelope));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Envelope> Mailbox::take_matching_locked(int source, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      Envelope envelope = std::move(*it);
+      queue_.erase(it);
+      return envelope;
+    }
+  }
+  return std::nullopt;
+}
+
+Envelope Mailbox::pop(int source, int tag, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (auto envelope = take_matching_locked(source, tag)) {
+      return std::move(*envelope);
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (auto envelope = take_matching_locked(source, tag)) {
+        return std::move(*envelope);
+      }
+      throw ProtocolError("Mailbox::pop: timed out waiting for source=" +
+                          std::to_string(source) + " tag=" +
+                          std::to_string(tag) + " (likely deadlock)");
+    }
+  }
+}
+
+std::optional<Envelope> Mailbox::try_pop(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return take_matching_locked(source, tag);
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace senkf::parcomm

@@ -1,0 +1,62 @@
+// Per-rank message queue with MPI-style (source, tag) matching.
+//
+// A Mailbox holds the envelopes addressed to one (communicator, rank)
+// pair.  `pop` blocks until an envelope matching the requested source/tag
+// arrives (wildcards supported), preserving arrival order among matching
+// envelopes — the non-overtaking guarantee MPI programs rely on.  A
+// deadline turns silent deadlocks in user code into loud ProtocolErrors.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "parcomm/wire.hpp"
+
+namespace senkf::parcomm {
+
+/// Matches any source rank / any tag when passed to recv.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Envelope {
+  int source = 0;
+  int tag = 0;
+  Payload payload;
+};
+
+class Mailbox {
+ public:
+  /// Enqueues an envelope (called by the sender's thread).
+  void push(Envelope envelope);
+
+  /// Blocks until an envelope matching (source, tag) is available and
+  /// removes it.  Throws ProtocolError after `timeout` (guards tests and
+  /// examples against deadlock).
+  Envelope pop(int source, int tag,
+               std::chrono::milliseconds timeout = kDefaultTimeout);
+
+  /// Non-blocking variant: returns nullopt when nothing matches now.
+  std::optional<Envelope> try_pop(int source, int tag);
+
+  /// Number of queued envelopes (diagnostic).
+  std::size_t size() const;
+
+  static constexpr std::chrono::milliseconds kDefaultTimeout{30000};
+
+ private:
+  static bool matches(const Envelope& envelope, int source, int tag) {
+    return (source == kAnySource || envelope.source == source) &&
+           (tag == kAnyTag || envelope.tag == tag);
+  }
+
+  std::optional<Envelope> take_matching_locked(int source, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace senkf::parcomm

@@ -1,0 +1,16 @@
+#include "parcomm/wire.hpp"
+
+#include <string>
+
+namespace senkf::parcomm {
+
+void Unpacker::require_remaining(std::size_t needed, const char* what) const {
+  if (remaining() < needed) {
+    throw ProtocolError("Unpacker: truncated payload while reading " +
+                        std::string(what) + " (need " +
+                        std::to_string(needed) + " bytes, have " +
+                        std::to_string(remaining()) + ")");
+  }
+}
+
+}  // namespace senkf::parcomm

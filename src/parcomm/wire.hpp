@@ -1,0 +1,93 @@
+// Message payload serialization.
+//
+// parcomm messages carry opaque byte payloads; Packer/Unpacker give a
+// type-safe, symmetric way to (de)serialize PODs and vectors into them.
+// Unpacking past the end or reading a size prefix that disagrees with the
+// remaining bytes throws ProtocolError — corrupt framing never turns into
+// silent garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace senkf::parcomm {
+
+using Payload = std::vector<std::byte>;
+
+class Packer {
+ public:
+  template <typename T>
+  Packer& put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Packer::put requires a trivially copyable type");
+    const auto offset = bytes_.size();
+    bytes_.resize(offset + sizeof(T));
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+    return *this;
+  }
+
+  template <typename T>
+  Packer& put_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Packer::put_vector requires trivially copyable elements");
+    put<std::uint64_t>(values.size());
+    const auto offset = bytes_.size();
+    bytes_.resize(offset + values.size() * sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(bytes_.data() + offset, values.data(),
+                  values.size() * sizeof(T));
+    }
+    return *this;
+  }
+
+  Payload take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  Payload bytes_;
+};
+
+class Unpacker {
+ public:
+  explicit Unpacker(const Payload& payload) : bytes_(payload) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Unpacker::get requires a trivially copyable type");
+    require_remaining(sizeof(T), "value");
+    T value;
+    std::memcpy(&value, bytes_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Unpacker::get_vector requires trivially copyable elements");
+    const auto count = get<std::uint64_t>();
+    require_remaining(count * sizeof(T), "vector body");
+    std::vector<T> values(count);
+    if (count > 0) {
+      std::memcpy(values.data(), bytes_.data() + cursor_, count * sizeof(T));
+    }
+    cursor_ += count * sizeof(T);
+    return values;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void require_remaining(std::size_t needed, const char* what) const;
+
+  const Payload& bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace senkf::parcomm

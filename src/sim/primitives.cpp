@@ -1,0 +1,42 @@
+#include "sim/primitives.hpp"
+
+namespace senkf::sim {
+
+Resource::Resource(Simulation& sim, int capacity)
+    : sim_(sim), capacity_(capacity) {
+  SENKF_REQUIRE(capacity > 0, "Resource: capacity must be positive");
+}
+
+void Resource::release() {
+  SENKF_REQUIRE(in_use_ > 0, "Resource::release: nothing to release");
+  if (!waiters_.empty()) {
+    // Transfer the unit to the longest waiter; in_use_ stays constant.
+    const auto handle = waiters_.front();
+    waiters_.pop_front();
+    sim_.schedule_now(handle);
+    return;
+  }
+  --in_use_;
+}
+
+void WaitGroup::add(int count) {
+  SENKF_REQUIRE(count > 0, "WaitGroup::add: count must be positive");
+  pending_ += count;
+}
+
+void WaitGroup::done() {
+  SENKF_REQUIRE(pending_ > 0, "WaitGroup::done: nothing pending");
+  if (--pending_ == 0) {
+    for (const auto handle : waiters_) sim_.schedule_now(handle);
+    waiters_.clear();
+  }
+}
+
+void Event::set() {
+  SENKF_REQUIRE(!set_, "Event::set: already set");
+  set_ = true;
+  for (const auto handle : waiters_) sim_.schedule_now(handle);
+  waiters_.clear();
+}
+
+}  // namespace senkf::sim

@@ -1,0 +1,57 @@
+#include "sim/simulation.hpp"
+
+#include <string>
+
+namespace senkf::sim {
+
+Simulation::~Simulation() { destroy_roots(); }
+
+void Simulation::destroy_roots() {
+  for (auto handle : roots_) {
+    if (handle) handle.destroy();
+  }
+  roots_.clear();
+}
+
+void Simulation::spawn(Task task) {
+  auto handle = task.release();
+  SENKF_REQUIRE(handle != nullptr, "Simulation::spawn: empty task");
+  handle.promise().detached = true;
+  roots_.push_back(handle);
+  schedule_now(handle);
+}
+
+void Simulation::schedule_at(double time, std::coroutine_handle<> handle) {
+  SENKF_REQUIRE(time >= now_, "Simulation: cannot schedule in the past");
+  queue_.push(Event{time, next_sequence_++, handle});
+}
+
+void Simulation::run() {
+  events_processed_ = 0;
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.handle.resume();
+  }
+
+  // Surface errors and deadlocks from detached tasks.
+  std::exception_ptr first_error;
+  std::size_t unfinished = 0;
+  for (auto handle : roots_) {
+    if (!handle) continue;
+    if (handle.promise().error && !first_error) {
+      first_error = handle.promise().error;
+    }
+    if (!handle.promise().done) ++unfinished;
+  }
+  destroy_roots();
+  if (first_error) std::rethrow_exception(first_error);
+  if (unfinished > 0) {
+    throw ProtocolError("Simulation::run: " + std::to_string(unfinished) +
+                        " task(s) never finished (simulated deadlock)");
+  }
+}
+
+}  // namespace senkf::sim

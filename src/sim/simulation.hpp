@@ -1,0 +1,86 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, insertion order)
+// order.  The engine provides the simulated clock, `delay` awaitable and
+// fire-and-forget `spawn`; blocking-style coordination lives in
+// primitives.hpp (Resource, WaitGroup, Event, Queue).
+//
+// This is the "timing plane" of the library (DESIGN.md §6): the same
+// workflow geometry the numeric plane executes is replayed here against
+// models of disks and networks to predict behaviour at 12,000 processors.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+
+namespace senkf::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  /// Current simulated time in seconds.
+  double now() const { return now_; }
+
+  /// Schedules a fire-and-forget task at the current time.  The
+  /// simulation owns the coroutine's lifetime.
+  void spawn(Task task);
+
+  /// Awaitable that resumes the caller `seconds` later.
+  /// Usage: `co_await sim.delay(0.5);`
+  auto delay(double seconds) {
+    SENKF_REQUIRE(seconds >= 0.0, "Simulation::delay: negative delay");
+    struct Awaiter {
+      Simulation* sim;
+      double seconds;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> handle) {
+        sim->schedule_at(sim->now_ + seconds, handle);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, seconds};
+  }
+
+  /// Runs until no events remain.  Throws the first exception raised by a
+  /// spawned task; throws ProtocolError if spawned tasks never finished
+  /// (a simulated deadlock).
+  void run();
+
+  /// Number of events processed by the last run() (diagnostic).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Internal: schedule a raw coroutine resumption (used by primitives to
+  /// defer wake-ups through the event queue, keeping resumption order
+  /// deterministic and stacks flat).
+  void schedule_at(double time, std::coroutine_handle<> handle);
+  void schedule_now(std::coroutine_handle<> handle) {
+    schedule_at(now_, handle);
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t sequence;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return sequence > other.sequence;
+    }
+  };
+
+  void destroy_roots();
+
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::coroutine_handle<Task::promise_type>> roots_;
+};
+
+}  // namespace senkf::sim

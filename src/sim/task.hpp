@@ -1,0 +1,103 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// A sim::Task is a lazily-started coroutine representing one simulated
+// activity (a processor's workflow, a read request, ...).  Tasks compose:
+// `co_await child_task` suspends the parent until the child finishes
+// (exceptions propagate), while `Simulation::spawn` runs a task
+// fire-and-forget with the simulation owning its lifetime.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace senkf::sim {
+
+class Simulation;
+
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // parent awaiting us, if any
+    std::exception_ptr error;
+    bool done = false;
+    bool detached = false;  // lifetime owned by Simulation (spawn)
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> self) noexcept {
+        self.promise().done = true;
+        if (self.promise().continuation) {
+          return self.promise().continuation;  // symmetric transfer
+        }
+        return std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Awaiting a task starts it and suspends the awaiter until it is done.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;  // start the child immediately
+      }
+      void await_resume() {
+        if (child.promise().error) {
+          std::rethrow_exception(child.promise().error);
+        }
+      }
+    };
+    SENKF_REQUIRE(handle_ != nullptr, "Task: awaiting a moved-from task");
+    return Awaiter{handle_};
+  }
+
+ private:
+  friend class Simulation;
+
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace senkf::sim

@@ -1,0 +1,73 @@
+#include "support/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/error.hpp"
+
+namespace senkf {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    SENKF_REQUIRE(eq != std::string::npos && eq > 0,
+                  "Config: expected key=value, got '" + token + "'");
+    config.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return config;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Config::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    SENKF_REQUIRE(pos == it->second.size(), "Config: trailing junk in int");
+    return v;
+  } catch (const std::logic_error&) {
+    throw InvalidArgument("Config: '" + key + "' is not an integer: '" +
+                          it->second + "'");
+  }
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    SENKF_REQUIRE(pos == it->second.size(), "Config: trailing junk in double");
+    return v;
+  } catch (const std::logic_error&) {
+    throw InvalidArgument("Config: '" + key + "' is not a double: '" +
+                          it->second + "'");
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw InvalidArgument("Config: '" + key + "' is not a bool: '" + v + "'");
+}
+
+}  // namespace senkf

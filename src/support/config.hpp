@@ -1,0 +1,35 @@
+// Tiny key=value configuration parser used by the example applications to
+// accept command-line overrides ("nx=720 ny=360 members=40 seed=7").
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace senkf {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv-style "key=value" tokens; unknown shapes throw.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Sets/overrides a value.
+  void set(const std::string& key, const std::string& value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; malformed values throw InvalidArgument.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace senkf

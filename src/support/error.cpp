@@ -1,0 +1,21 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace senkf::detail {
+
+void throw_require_failure(const char* expr, const char* file, int line,
+                           const std::string& message) {
+  std::ostringstream os;
+  os << "SENKF_REQUIRE failed: " << message << " [" << expr << "] at " << file
+     << ":" << line;
+  throw InvalidArgument(os.str());
+}
+
+void throw_assert_failure(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "SENKF_ASSERT failed: [" << expr << "] at " << file << ":" << line;
+  throw Error(os.str());
+}
+
+}  // namespace senkf::detail

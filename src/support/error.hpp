@@ -1,0 +1,89 @@
+// Error handling primitives shared by every S-EnKF module.
+//
+// The library signals unrecoverable contract violations with exceptions
+// derived from `senkf::Error` so that callers (tests, examples, benches)
+// can distinguish library failures from standard-library ones.  Hot paths
+// use `SENKF_ASSERT` which compiles away in release builds; API boundaries
+// use `SENKF_REQUIRE`, which is always checked.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace senkf {
+
+/// Base class of every exception thrown by the S-EnKF library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when two objects have incompatible shapes (matrix dims, grids...).
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numeric routine fails (e.g. Cholesky on a non-SPD matrix).
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulated component is driven outside its valid protocol
+/// (e.g. reading past the end of a simulated file).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* expr, const char* file,
+                                        int line, const std::string& message);
+[[noreturn]] void throw_assert_failure(const char* expr, const char* file,
+                                       int line);
+}  // namespace detail
+
+/// Always-on precondition check for public API boundaries.
+#define SENKF_REQUIRE(expr, message)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::senkf::detail::throw_require_failure(#expr, __FILE__, __LINE__,    \
+                                             (message));                   \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only internal invariant check; disappears with NDEBUG.
+#ifdef NDEBUG
+#define SENKF_ASSERT(expr) \
+  do {                     \
+  } while (false)
+#else
+#define SENKF_ASSERT(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::senkf::detail::throw_assert_failure(#expr, __FILE__, __LINE__);   \
+    }                                                                     \
+  } while (false)
+#endif
+
+/// Narrowing cast that throws InvalidArgument when the value does not fit.
+template <typename To, typename From>
+To checked_cast(From value) {
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      ((value < From{}) != (result < To{}))) {
+    throw InvalidArgument("checked_cast: value does not fit target type");
+  }
+  return result;
+}
+
+}  // namespace senkf

@@ -1,0 +1,37 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace senkf {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_log_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+void log_message(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << "[senkf " << level_tag(level) << "] " << message << "\n";
+}
+
+}  // namespace senkf

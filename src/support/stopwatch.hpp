@@ -1,0 +1,55 @@
+// Wall-clock stopwatch used by the numeric-plane implementations to report
+// per-phase timings (the DES plane has its own simulated clock in src/sim).
+#pragma once
+
+#include <chrono>
+
+namespace senkf {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals (phase timers).
+class PhaseTimer {
+ public:
+  void start() {
+    running_ = true;
+    watch_.reset();
+  }
+
+  void stop() {
+    if (running_) {
+      total_ += watch_.elapsed_seconds();
+      running_ = false;
+    }
+  }
+
+  double total_seconds() const {
+    return running_ ? total_ + watch_.elapsed_seconds() : total_;
+  }
+
+  void reset() {
+    total_ = 0.0;
+    running_ = false;
+  }
+
+ private:
+  Stopwatch watch_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace senkf

@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace senkf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SENKF_REQUIRE(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  SENKF_REQUIRE(row.size() == header_.size(),
+                "Table: row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::num(long long value) { return std::to_string(value); }
+
+std::string Table::percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << "+" << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(widths[c])) << row[c] << " ";
+    }
+    os << "|\n";
+  };
+
+  if (!title.empty()) os << title << "\n";
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+}  // namespace senkf

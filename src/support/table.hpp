@@ -1,0 +1,39 @@
+// Minimal fixed-width table printer used by the bench harness to emit the
+// rows/series each paper figure reports in a copy-pasteable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace senkf {
+
+/// Column-aligned ASCII table.  Cells are strings; numeric helpers format
+/// with a fixed precision so bench output is diffable run-to-run.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string num(double value, int precision = 3);
+
+  /// Formats an integer.
+  static std::string num(long long value);
+
+  /// Formats a percentage ("42.3%").
+  static std::string percent(double fraction, int precision = 1);
+
+  /// Renders the table with a title line and column rules.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace senkf

@@ -1,0 +1,165 @@
+#include "tuning/auto_tune.hpp"
+
+#include <algorithm>
+
+namespace senkf::tuning {
+
+namespace {
+
+std::vector<std::uint64_t> divisors(std::uint64_t n) {
+  std::vector<std::uint64_t> result;
+  for (std::uint64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      result.push_back(d);
+      if (d != n / d) result.push_back(n / d);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace
+
+std::optional<SolverResult> solve_optimization(const CostModel& model,
+                                               std::uint64_t c1,
+                                               std::uint64_t c2) {
+  SENKF_REQUIRE(c1 > 0 && c2 > 0, "Algorithm 1: budgets must be positive");
+  const CostModelParams& mp = model.params();
+
+  std::optional<SolverResult> best;
+  // Algorithm 1's loop "for j = 1 to c1", iterating only the j that pass
+  // its divisibility filters (j | c1, j | c2, j | n_y) — identical output,
+  // divisor-enumeration complexity.
+  for (const std::uint64_t j : divisors(c1)) {
+    if (c2 % j != 0 || mp.ny % j != 0) continue;
+    const std::uint64_t k = c1 / j;  // n_cg
+    const std::uint64_t i = c2 / j;  // n_sdx
+    if (mp.nx % i != 0 || mp.members % k != 0) continue;
+    for (const std::uint64_t l : divisors(mp.ny / j)) {
+      vcluster::SenkfParams p;
+      p.n_sdx = i;
+      p.n_sdy = j;
+      p.layers = l;
+      p.n_cg = k;
+      const double t = model.t1(p);
+      if (!best || t < best->t1) best = SolverResult{p, t};
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Replaces a point's layer count by the pipeline-optimal one (the T₁
+/// objective alone always prefers maximal L; see CostModel::t_pipeline).
+vcluster::SenkfParams with_operating_layers(const CostModel& model,
+                                            vcluster::SenkfParams params) {
+  double best_total = -1.0;
+  std::uint64_t best_layers = params.layers;
+  for (const std::uint64_t layers :
+       divisors(model.params().ny / params.n_sdy)) {
+    vcluster::SenkfParams candidate = params;
+    candidate.layers = layers;
+    const double total = model.t_pipeline(candidate);
+    if (best_total < 0.0 || total < best_total) {
+      best_total = total;
+      best_layers = layers;
+    }
+  }
+  params.layers = best_layers;
+  return params;
+}
+
+}  // namespace
+
+std::vector<EconomicPoint> improvement_staircase(const CostModel& model,
+                                                 std::uint64_t c2,
+                                                 std::uint64_t c1_max) {
+  const CostModelParams& mp = model.params();
+
+  // Candidate C₁ values: n_cg · n_sdy with n_sdy | gcd-compatible splits.
+  // Every other value makes Algorithm 1 return "no solution" and is
+  // skipped by the published scan too.
+  std::vector<std::uint64_t> candidates;
+  for (const std::uint64_t j : divisors(c2)) {
+    if (mp.ny % j != 0 || mp.nx % (c2 / j) != 0) continue;
+    for (const std::uint64_t k : divisors(mp.members)) {
+      const std::uint64_t c1 = j * k;
+      if (c1 >= 1 && c1 <= c1_max) candidates.push_back(c1);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Algorithm 2, lines 6–18: walk C₁ upward, record strict improvements.
+  // Each point is taken at its *operating* layer count (pipeline-optimal
+  // L for that split), so the staircase describes configurations S-EnKF
+  // would actually run.
+  std::vector<EconomicPoint> staircase;
+  for (const std::uint64_t c1 : candidates) {
+    const auto solved = solve_optimization(model, c1, c2);
+    if (!solved) continue;
+    const vcluster::SenkfParams operating =
+        with_operating_layers(model, solved->params);
+    const double t1 = model.t1(operating);
+    if (staircase.empty() || t1 < staircase.back().t1) {
+      staircase.push_back(EconomicPoint{c1, t1, operating});
+    }
+  }
+  return staircase;
+}
+
+std::size_t most_economic_index(const std::vector<EconomicPoint>& staircase,
+                                double epsilon) {
+  SENKF_REQUIRE(!staircase.empty(),
+                "most_economic_index: empty staircase");
+  SENKF_REQUIRE(epsilon > 0.0, "most_economic_index: epsilon must be > 0");
+  // Criterion (13)-(14): choose the first m whose earnings rate drops
+  // below ε; if spending more keeps paying, take the last point.
+  for (std::size_t m = 0; m + 1 < staircase.size(); ++m) {
+    const double gain = staircase[m].t1 - staircase[m + 1].t1;
+    const double cost = static_cast<double>(staircase[m + 1].c1) -
+                        static_cast<double>(staircase[m].c1);
+    if (gain / cost < epsilon) return m;
+  }
+  return staircase.size() - 1;
+}
+
+AutoTuneResult auto_tune(const CostModel& model, std::uint64_t n_procs,
+                         double epsilon) {
+  SENKF_REQUIRE(n_procs >= 2, "auto_tune: need at least 2 processors");
+  const CostModelParams& mp = model.params();
+
+  // Feasible computation budgets: C₂ = n_sdx · n_sdy with n_sdx | n_x and
+  // n_sdy | n_y (the dense 1..n_p scan visits these and skips the rest).
+  std::vector<std::uint64_t> budgets;
+  for (const std::uint64_t sdx : divisors(mp.nx)) {
+    for (const std::uint64_t sdy : divisors(mp.ny)) {
+      const std::uint64_t c2 = sdx * sdy;
+      if (c2 >= 1 && c2 < n_procs) budgets.push_back(c2);
+    }
+  }
+  std::sort(budgets.begin(), budgets.end());
+  budgets.erase(std::unique(budgets.begin(), budgets.end()), budgets.end());
+
+  std::optional<AutoTuneResult> best;
+  for (const std::uint64_t c2 : budgets) {
+    const auto staircase = improvement_staircase(model, c2, n_procs - c2);
+    if (staircase.empty()) continue;
+    const EconomicPoint& economic =
+        staircase[most_economic_index(staircase, epsilon)];
+
+    // Staircase points already carry their operating layer count.
+    const double total = model.t_pipeline(economic.params);
+    if (!best || total < best->t_total) {
+      best = AutoTuneResult{economic.params, economic.c1, c2,
+                            economic.t1, total};
+    }
+  }
+  SENKF_REQUIRE(best.has_value(),
+                "auto_tune: no feasible configuration for this machine");
+  return *best;
+}
+
+}  // namespace senkf::tuning

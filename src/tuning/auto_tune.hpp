@@ -1,0 +1,82 @@
+// Auto-tuning of the multi-stage computation parameters (paper §4.4).
+//
+// Algorithm 1 ("Solver for Optimization Model") minimizes
+// T₁ = T_read + T_comm subject to n_cg·n_sdy = C₁, n_sdx·n_sdy = C₂ and
+// the divisibility constraints, by exhaustive search — implemented
+// verbatim, including the traversal order.
+//
+// Algorithm 2 ("Auto-Tuning for Optimal Parameters") sweeps the
+// computation budget C₂, and for each budget walks C₁ upward recording
+// every strict improvement of T₁; the earnings rate (13)
+//     r_m = (t₁^m − t₁^{m+1}) / (c₁^{m+1} − c₁^m)
+// stops the walk at the most economic C₁ via criterion (14) r_m < ε.
+// The best (C₂, C₁) pair under T_total (10) wins.
+//
+// Deviations from the paper's pseudocode, both documented in DESIGN.md:
+//  * Algorithm 2's line 26 reads "T_min < T_total ⇒ update", which would
+//    select the *worst* configuration; we implement the evident intent
+//    (keep the minimum).
+//  * C₁ and C₂ are enumerated over the feasible lattice only (values for
+//    which some divisibility-satisfying split exists).  Infeasible values
+//    make Algorithm 1 return "no solution" and are skipped by the
+//    published pseudocode anyway, so the output is identical — this is
+//    purely a complexity fix (the dense 1..n_p × 1..n_p scan is O(n_p²)
+//    Algorithm-1 invocations).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tuning/cost_model.hpp"
+
+namespace senkf::tuning {
+
+/// Outcome of Algorithm 1 for fixed budgets (C₁, C₂).
+struct SolverResult {
+  vcluster::SenkfParams params;
+  double t1 = 0.0;
+};
+
+/// Algorithm 1: exhaustive minimization of T₁ under n_cg·n_sdy = c1 and
+/// n_sdx·n_sdy = c2.  Returns nullopt when no feasible split exists.
+std::optional<SolverResult> solve_optimization(const CostModel& model,
+                                               std::uint64_t c1,
+                                               std::uint64_t c2);
+
+/// One recorded point of Algorithm 2's C₁ walk (the staircase of strict
+/// T₁ improvements used by the earnings-rate rule).
+struct EconomicPoint {
+  std::uint64_t c1 = 0;
+  double t1 = 0.0;
+  vcluster::SenkfParams params;
+};
+
+/// The staircase of strict T₁ improvements for a fixed C₂, walking C₁
+/// from 1 to c1_max (Algorithm 2, lines 6–18).
+std::vector<EconomicPoint> improvement_staircase(const CostModel& model,
+                                                 std::uint64_t c2,
+                                                 std::uint64_t c1_max);
+
+/// Applies the earnings-rate criterion (13)–(14) to a staircase; returns
+/// the index of the most economic point (first m with r_m < ε, else the
+/// last point).
+std::size_t most_economic_index(const std::vector<EconomicPoint>& staircase,
+                                double epsilon);
+
+/// Final auto-tuning outcome.
+struct AutoTuneResult {
+  vcluster::SenkfParams params;
+  std::uint64_t c1 = 0;      ///< I/O processors (n_cg · n_sdy)
+  std::uint64_t c2 = 0;      ///< computation processors (n_sdx · n_sdy)
+  double t1 = 0.0;           ///< modelled T_read + T_comm (per stage)
+  double t_total = 0.0;      ///< modelled pipeline-aware total (== eq. (10)
+                             ///< wherever the overlap assumption holds)
+};
+
+/// Algorithm 2: chooses C₂ ≤ n_p, the economic C₁ ≤ n_p − C₂ and the
+/// optimal (n_sdx, n_sdy, L, n_cg).  Throws if no feasible configuration
+/// exists for any budget.
+AutoTuneResult auto_tune(const CostModel& model, std::uint64_t n_procs,
+                         double epsilon);
+
+}  // namespace senkf::tuning

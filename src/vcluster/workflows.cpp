@@ -1,0 +1,395 @@
+#include "vcluster/workflows.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/primitives.hpp"
+
+namespace senkf::vcluster {
+
+namespace {
+
+void require_divisible(std::uint64_t value, std::uint64_t divisor,
+                       const char* what) {
+  SENKF_REQUIRE(divisor > 0 && value % divisor == 0, what);
+}
+
+void validate_grid_split(const SimWorkload& workload, std::uint64_t n_sdx,
+                         std::uint64_t n_sdy) {
+  require_divisible(workload.nx, n_sdx,
+                    "workflow: nx must be a multiple of n_sdx");
+  require_divisible(workload.ny, n_sdy,
+                    "workflow: ny must be a multiple of n_sdy");
+}
+
+}  // namespace
+
+ReadResult simulate_block_read(const MachineConfig& machine,
+                               const SimWorkload& workload,
+                               std::uint64_t n_sdx, std::uint64_t n_sdy) {
+  validate_grid_split(workload, n_sdx, n_sdy);
+  sim::Simulation sim;
+  pfs::Pfs storage(sim, machine.pfs);
+
+  // A block spans (ny / n_sdy) latitude rows; every row is a separate
+  // non-contiguous segment of the stored file (§4.1.1).
+  const std::uint64_t segments = workload.ny / n_sdy;
+  const double block_bytes =
+      workload.member_bytes() / static_cast<double>(n_sdx * n_sdy);
+  const std::uint64_t n_procs = n_sdx * n_sdy;
+
+  ReadResult result;
+  result.requests = n_procs * workload.members;
+
+  auto reader = [&](std::uint64_t) -> sim::Task {
+    for (std::uint64_t f = 0; f < workload.members; ++f) {
+      co_await storage.read(f, segments, block_bytes);
+    }
+  };
+  for (std::uint64_t p = 0; p < n_procs; ++p) sim.spawn(reader(p));
+  sim.run();
+
+  result.makespan = sim.now();
+  result.queued_time = storage.total_queued_time();
+  return result;
+}
+
+ReadResult simulate_single_reader(const MachineConfig& machine,
+                                  const SimWorkload& workload,
+                                  std::uint64_t n_procs) {
+  SENKF_REQUIRE(n_procs > 0, "simulate_single_reader: need processors");
+  sim::Simulation sim;
+  pfs::Pfs storage(sim, machine.pfs);
+  net::Net network(machine.net);
+
+  auto reader = [&]() -> sim::Task {
+    for (std::uint64_t f = 0; f < workload.members; ++f) {
+      // Whole contiguous file: one addressing operation.
+      co_await storage.read(f, 1, workload.member_bytes());
+      // Serial scatter of the per-processor pieces (§3.1's L-EnKF defect).
+      const double piece = workload.member_bytes() /
+                           static_cast<double>(n_procs);
+      co_await sim.delay(network.serialized_sends_time(
+          static_cast<int>(n_procs - 1), piece));
+    }
+  };
+  sim.spawn(reader());
+  sim.run();
+
+  ReadResult result;
+  result.makespan = sim.now();
+  result.queued_time = storage.total_queued_time();
+  result.requests = workload.members;
+  return result;
+}
+
+ReadResult simulate_concurrent_read(const MachineConfig& machine,
+                                    const SimWorkload& workload,
+                                    std::uint64_t n_sdy, std::uint64_t n_cg) {
+  require_divisible(workload.ny, n_sdy,
+                    "concurrent read: ny must be a multiple of n_sdy");
+  require_divisible(workload.members, n_cg,
+                    "concurrent read: N must be a multiple of n_cg");
+  sim::Simulation sim;
+  pfs::Pfs storage(sim, machine.pfs);
+  const double bar_bytes = workload.bar_bytes(n_sdy);
+
+  // Group g owns files {f : f ≡ g (mod n_cg)} — interleaved assignment so
+  // groups map onto the round-robin file placement (§4.1.3).
+  auto reader = [&](std::uint64_t group, std::uint64_t) -> sim::Task {
+    for (std::uint64_t f = group; f < workload.members; f += n_cg) {
+      co_await storage.read(f, 1, bar_bytes);  // contiguous bar: one seek
+    }
+  };
+  for (std::uint64_t g = 0; g < n_cg; ++g) {
+    for (std::uint64_t j = 0; j < n_sdy; ++j) sim.spawn(reader(g, j));
+  }
+  sim.run();
+
+  ReadResult result;
+  result.makespan = sim.now();
+  result.queued_time = storage.total_queued_time();
+  result.requests = n_cg * n_sdy * (workload.members / n_cg);
+  return result;
+}
+
+ReadResult simulate_read_plan(const MachineConfig& machine,
+                              const io::ReadPlan& plan) {
+  SENKF_REQUIRE(!plan.readers.empty(), "simulate_read_plan: empty plan");
+  sim::Simulation sim;
+  pfs::Pfs storage(sim, machine.pfs);
+
+  auto reader = [&](const io::ReaderSchedule& schedule) -> sim::Task {
+    for (const io::ReadOp& op : schedule.ops) {
+      co_await storage.read(op.member, op.segments, op.bytes);
+    }
+  };
+  for (const auto& schedule : plan.readers) sim.spawn(reader(schedule));
+  sim.run();
+
+  ReadResult result;
+  result.makespan = sim.now();
+  result.queued_time = storage.total_queued_time();
+  result.requests = plan.total_ops();
+  return result;
+}
+
+PenkfResult simulate_penkf(const MachineConfig& machine,
+                           const SimWorkload& workload, std::uint64_t n_sdx,
+                           std::uint64_t n_sdy) {
+  validate_grid_split(workload, n_sdx, n_sdy);
+  sim::Simulation sim;
+  pfs::Pfs storage(sim, machine.pfs);
+
+  const std::uint64_t segments = workload.ny / n_sdy;
+  const double block_bytes =
+      workload.member_bytes() / static_cast<double>(n_sdx * n_sdy);
+  const std::uint64_t n_procs = n_sdx * n_sdy;
+  const double points_per_subdomain =
+      static_cast<double>(workload.nx / n_sdx) *
+      static_cast<double>(workload.ny / n_sdy);
+  const double compute = machine.update_cost_per_point_s *
+                         points_per_subdomain;
+
+  // Strictly phased per processor: obtain all local data, then update.
+  auto proc = [&]() -> sim::Task {
+    for (std::uint64_t f = 0; f < workload.members; ++f) {
+      co_await storage.read(f, segments, block_bytes);
+    }
+    co_await sim.delay(compute);
+  };
+  for (std::uint64_t p = 0; p < n_procs; ++p) sim.spawn(proc());
+  sim.run();
+
+  PenkfResult result;
+  result.makespan = sim.now();
+  result.compute_time = compute;
+  result.read_time = result.makespan - compute;
+  result.io_fraction = result.read_time / result.makespan;
+  return result;
+}
+
+PenkfResult simulate_lenkf(const MachineConfig& machine,
+                           const SimWorkload& workload, std::uint64_t n_sdx,
+                           std::uint64_t n_sdy) {
+  validate_grid_split(workload, n_sdx, n_sdy);
+  // Data obtaining is fully serialized behind the single reader, so the
+  // computation phase starts for everyone when the last scatter ends.
+  const ReadResult reading =
+      simulate_single_reader(machine, workload, n_sdx * n_sdy);
+  const double compute = machine.update_cost_per_point_s *
+                         static_cast<double>(workload.nx / n_sdx) *
+                         static_cast<double>(workload.ny / n_sdy);
+  PenkfResult result;
+  result.read_time = reading.makespan;
+  result.compute_time = compute;
+  result.makespan = reading.makespan + compute;
+  result.io_fraction = result.read_time / result.makespan;
+  return result;
+}
+
+namespace {
+
+/// Shared fabric of one simulated S-EnKF run.
+struct SenkfFabric {
+  SenkfFabric(const MachineConfig& machine, const SimWorkload& workload,
+              const SenkfParams& params, bool with_compute)
+      : storage(sim, machine.pfs),
+        network(machine.net),
+        p(params),
+        compute_enabled(with_compute) {
+    const std::uint64_t rows_per_stage =
+        workload.rows_per_stage(p.n_sdy, p.layers);
+    stage_rows = rows_per_stage + 2 * workload.halo_eta;
+    stage_bar_bytes = static_cast<double>(stage_rows) *
+                      static_cast<double>(workload.nx) *
+                      workload.point_bytes();
+    const double block_cols = static_cast<double>(workload.nx / p.n_sdx) +
+                              2.0 * static_cast<double>(workload.halo_xi);
+    message_bytes = static_cast<double>(stage_rows) * block_cols *
+                    workload.point_bytes() *
+                    static_cast<double>(workload.members / p.n_cg);
+    compute_per_stage = machine.update_cost_per_point_s *
+                        static_cast<double>(workload.nx / p.n_sdx) *
+                        static_cast<double>(rows_per_stage);
+
+    for (std::uint64_t l = 0; l < p.layers; ++l) {
+      compute_done.push_back(std::make_unique<sim::WaitGroup>(sim));
+      compute_done.back()->add(static_cast<int>(p.n_sdy));
+    }
+    arrivals.reserve(p.n_sdy * p.layers);
+    for (std::uint64_t i = 0; i < p.n_sdy * p.layers; ++i) {
+      arrivals.push_back(std::make_unique<sim::WaitGroup>(sim));
+      arrivals.back()->add(static_cast<int>(p.n_cg));
+    }
+  }
+
+  sim::WaitGroup& arrival(std::uint64_t row, std::uint64_t stage) {
+    return *arrivals[row * p.layers + stage];
+  }
+
+  sim::Simulation sim;
+  pfs::Pfs storage;
+  net::Net network;
+  SenkfParams p;
+  bool compute_enabled;
+
+  std::uint64_t stage_rows = 0;
+  double stage_bar_bytes = 0.0;
+  double message_bytes = 0.0;
+  double compute_per_stage = 0.0;
+
+  std::vector<std::unique_ptr<sim::WaitGroup>> compute_done;
+  std::vector<std::unique_ptr<sim::WaitGroup>> arrivals;
+
+  // Accumulators (sums over actors; divided into means afterwards).
+  double io_read_service = 0.0;
+  double io_queued = 0.0;
+  double io_comm = 0.0;
+  double io_wait = 0.0;
+  double io_end = 0.0;
+  double comp_wait = 0.0;
+  double prologue_max = 0.0;
+  double first_compute_start = -1.0;
+  double comp_end = 0.0;
+};
+
+sim::Task senkf_io_proc(SenkfFabric& f, const SimWorkload& workload,
+                        std::uint64_t group, std::uint64_t row) {
+  const double service_per_file =
+      f.storage.ost(0).service_time(1, f.stage_bar_bytes);
+  for (std::uint64_t l = 0; l < f.p.layers; ++l) {
+    // Flow control: stay exactly one stage ahead of the computation
+    // (Fig. 8's pipeline) — reading stage l may start once stage l−2 has
+    // been consumed.
+    if (f.compute_enabled && l >= 2) {
+      const double t0 = f.sim.now();
+      co_await f.compute_done[l - 2]->wait();
+      f.io_wait += f.sim.now() - t0;
+    }
+    for (std::uint64_t file = group; file < workload.members;
+         file += f.p.n_cg) {
+      const double t0 = f.sim.now();
+      co_await f.storage.read(file, 1, f.stage_bar_bytes);
+      const double elapsed = f.sim.now() - t0;
+      f.io_read_service += service_per_file;
+      f.io_queued += elapsed - service_per_file;
+    }
+    // One aggregated block message per computation processor in this row
+    // (single-port sender serialization, eq. (8)'s n_sdx factor).
+    const double comm = f.network.serialized_sends_time(
+        static_cast<int>(f.p.n_sdx), f.message_bytes);
+    co_await f.sim.delay(comm);
+    f.io_comm += comm;
+    f.arrival(row, l).done();
+  }
+  f.io_end = std::max(f.io_end, f.sim.now());
+}
+
+sim::Task senkf_comp_row(SenkfFabric& f, std::uint64_t row) {
+  for (std::uint64_t l = 0; l < f.p.layers; ++l) {
+    const double t0 = f.sim.now();
+    co_await f.arrival(row, l).wait();
+    const double waited = f.sim.now() - t0;
+    f.comp_wait += waited;
+    if (l == 0) {
+      f.prologue_max = std::max(f.prologue_max, f.sim.now());
+      if (f.first_compute_start < 0.0 || f.sim.now() < f.first_compute_start) {
+        f.first_compute_start = f.sim.now();
+      }
+    }
+    co_await f.sim.delay(f.compute_per_stage);
+    f.compute_done[l]->done();
+  }
+  f.comp_end = std::max(f.comp_end, f.sim.now());
+}
+
+}  // namespace
+
+SenkfResult simulate_senkf(const MachineConfig& machine,
+                           const SimWorkload& workload,
+                           const SenkfParams& params) {
+  validate_grid_split(workload, params.n_sdx, params.n_sdy);
+  require_divisible(workload.ny / params.n_sdy, params.layers,
+                    "senkf: L must divide the sub-domain row count");
+  require_divisible(workload.members, params.n_cg,
+                    "senkf: N must be a multiple of n_cg");
+
+  SenkfFabric fabric(machine, workload, params, /*with_compute=*/true);
+  for (std::uint64_t g = 0; g < params.n_cg; ++g) {
+    for (std::uint64_t j = 0; j < params.n_sdy; ++j) {
+      fabric.sim.spawn(senkf_io_proc(fabric, workload, g, j));
+    }
+  }
+  for (std::uint64_t j = 0; j < params.n_sdy; ++j) {
+    fabric.sim.spawn(senkf_comp_row(fabric, j));
+  }
+  fabric.sim.run();
+
+  SenkfResult result;
+  result.makespan = fabric.sim.now();
+  const double io_count = static_cast<double>(params.io_processors());
+  result.io_read = fabric.io_read_service / io_count;
+  result.io_queued = fabric.io_queued / io_count;
+  result.io_comm = fabric.io_comm / io_count;
+  result.io_wait = fabric.io_wait / io_count;
+  // Each row coroutine stands for n_sdx identical processors, so row
+  // means are processor means.
+  const double rows = static_cast<double>(params.n_sdy);
+  result.compute = fabric.compute_per_stage *
+                   static_cast<double>(params.layers);
+  result.comp_wait = fabric.comp_wait / rows;
+  result.prologue = fabric.prologue_max;
+  const double overlap_window =
+      std::min(fabric.io_end, fabric.comp_end) - fabric.first_compute_start;
+  result.overlap_fraction =
+      std::clamp(overlap_window / result.makespan, 0.0, 1.0);
+  return result;
+}
+
+double simulate_read_and_comm(const MachineConfig& machine,
+                              const SimWorkload& workload,
+                              const SenkfParams& params) {
+  validate_grid_split(workload, params.n_sdx, params.n_sdy);
+  require_divisible(workload.ny / params.n_sdy, params.layers,
+                    "read_and_comm: L must divide the sub-domain row count");
+  require_divisible(workload.members, params.n_cg,
+                    "read_and_comm: N must be a multiple of n_cg");
+
+  // One stage only: T₁ is the per-stage read + communication cost.
+  SenkfParams one_stage = params;
+  one_stage.layers = 1;
+  SenkfFabric fabric(machine, workload, one_stage, /*with_compute=*/false);
+  // Per-stage geometry must match the original L (a stage is 1/L of the
+  // sub-domain), so rebuild the stage sizes from the caller's params.
+  const std::uint64_t rows_per_stage =
+      workload.rows_per_stage(params.n_sdy, params.layers);
+  fabric.stage_rows = rows_per_stage + 2 * workload.halo_eta;
+  fabric.stage_bar_bytes = static_cast<double>(fabric.stage_rows) *
+                           static_cast<double>(workload.nx) *
+                           workload.point_bytes();
+  const double block_cols = static_cast<double>(workload.nx / params.n_sdx) +
+                            2.0 * static_cast<double>(workload.halo_xi);
+  fabric.message_bytes = static_cast<double>(fabric.stage_rows) * block_cols *
+                         workload.point_bytes() *
+                         static_cast<double>(workload.members / params.n_cg);
+
+  for (std::uint64_t g = 0; g < params.n_cg; ++g) {
+    for (std::uint64_t j = 0; j < params.n_sdy; ++j) {
+      fabric.sim.spawn(senkf_io_proc(fabric, workload, g, j));
+    }
+  }
+  // Consume arrivals so WaitGroups retire (no compute delay).
+  for (std::uint64_t j = 0; j < params.n_sdy; ++j) {
+    fabric.sim.spawn([](SenkfFabric& f, std::uint64_t row) -> sim::Task {
+      for (std::uint64_t l = 0; l < f.p.layers; ++l) {
+        co_await f.arrival(row, l).wait();
+      }
+    }(fabric, j));
+  }
+  fabric.sim.run();
+  return fabric.sim.now();
+}
+
+}  // namespace senkf::vcluster

@@ -1,0 +1,120 @@
+// Simulated EnKF workflows at arbitrary processor counts.
+//
+// Each function builds a fresh Simulation, spawns one coroutine per
+// simulated actor, runs to completion and reports timings.  Symmetric
+// actors are collapsed where the model makes them exactly identical
+// (S-EnKF computation processors within one latitude row); actors that
+// contend for shared resources individually (block readers queueing on
+// OSTs) are simulated one-by-one.
+//
+// These are the generators behind every figure reproduction:
+//   Fig 1/9/13 — simulate_penkf / simulate_senkf,
+//   Fig 5      — simulate_block_read over n_sdx,
+//   Fig 10     — simulate_concurrent_read over n_cg,
+//   Fig 11     — simulate_senkf overlap fraction,
+//   Fig 12     — simulate_read_and_comm (the T₁ = T_read + T_comm probe).
+#pragma once
+
+#include <cstdint>
+
+#include "io/read_plan.hpp"
+#include "vcluster/machine.hpp"
+
+namespace senkf::vcluster {
+
+/// Outcome of a pure reading workflow.
+struct ReadResult {
+  double makespan = 0.0;     ///< wall-clock of the whole read (seconds)
+  double queued_time = 0.0;  ///< total time requests waited for disk slots
+  std::uint64_t requests = 0;
+};
+
+/// P-EnKF/block reading (§4.1.1, Fig. 3): n_sdx × n_sdy processors each
+/// read their block of every member file; a block costs one addressing
+/// operation per latitude row it spans.
+ReadResult simulate_block_read(const MachineConfig& machine,
+                               const SimWorkload& workload,
+                               std::uint64_t n_sdx, std::uint64_t n_sdy);
+
+/// L-EnKF baseline reading (§3.1): one reader fetches every file whole and
+/// scatters blocks to the other processors over the network, serially.
+ReadResult simulate_single_reader(const MachineConfig& machine,
+                                  const SimWorkload& workload,
+                                  std::uint64_t n_procs);
+
+/// Bar reading with concurrent groups (§4.1.2–4.1.3, Fig. 6):
+/// n_cg groups × n_sdy readers; group g reads files {f : f ≡ g (mod n_cg)}
+/// one after another, each reader taking its contiguous bar in one
+/// addressing operation.  n_cg = 1 is plain bar reading.
+ReadResult simulate_concurrent_read(const MachineConfig& machine,
+                                    const SimWorkload& workload,
+                                    std::uint64_t n_sdy, std::uint64_t n_cg);
+
+/// Prices an arbitrary io::ReadPlan on the PFS model: each reader is a
+/// simulated process issuing its ops in order; op f of member m goes to
+/// member m's OST with the plan's segment/byte accounting.  The bespoke
+/// workflows above are equivalent to pricing the matching plans (tested),
+/// and custom plans can be explored without writing a new workflow.
+ReadResult simulate_read_plan(const MachineConfig& machine,
+                              const io::ReadPlan& plan);
+
+/// Full P-EnKF run (read-then-update, no overlap).
+struct PenkfResult {
+  double makespan = 0.0;
+  double read_time = 0.0;     ///< makespan − compute (reads finish last)
+  double compute_time = 0.0;  ///< c · points-per-subdomain
+  double io_fraction = 0.0;   ///< read_time / makespan (Fig. 1's series)
+};
+
+PenkfResult simulate_penkf(const MachineConfig& machine,
+                           const SimWorkload& workload, std::uint64_t n_sdx,
+                           std::uint64_t n_sdy);
+
+/// Full L-EnKF run: single reader + serial scatter, then the phased local
+/// update (the weakest baseline; §3.1 and Related Work).
+PenkfResult simulate_lenkf(const MachineConfig& machine,
+                           const SimWorkload& workload, std::uint64_t n_sdx,
+                           std::uint64_t n_sdy);
+
+/// S-EnKF multi-stage parameters (§4.2); the auto-tuner (src/tuning)
+/// produces these.
+struct SenkfParams {
+  std::uint64_t n_sdx = 1;
+  std::uint64_t n_sdy = 1;
+  std::uint64_t layers = 1;  ///< L
+  std::uint64_t n_cg = 1;
+
+  std::uint64_t computation_processors() const { return n_sdx * n_sdy; }
+  std::uint64_t io_processors() const { return n_cg * n_sdy; }
+};
+
+/// Full S-EnKF run: concurrent-group reading + multi-stage overlap.
+struct SenkfResult {
+  double makespan = 0.0;
+  // Mean per-I/O-processor phase times.
+  double io_read = 0.0;    ///< stream service time (disk busy)
+  double io_queued = 0.0;  ///< waiting for a disk stream slot
+  double io_comm = 0.0;    ///< serialized block sends
+  double io_wait = 0.0;    ///< flow-control waiting on computation
+  // Mean per-computation-processor phase times.
+  double compute = 0.0;
+  double comp_wait = 0.0;  ///< waiting for stage data (incl. prologue)
+  double prologue = 0.0;   ///< unoverlappable first read+comm (§5.4)
+  /// Fraction of the makespan during which data obtaining ran concurrently
+  /// with local analysis (Fig. 11's series).
+  double overlap_fraction = 0.0;
+};
+
+SenkfResult simulate_senkf(const MachineConfig& machine,
+                           const SimWorkload& workload,
+                           const SenkfParams& params);
+
+/// T₁ = T_read + T_comm measured by the DES for given parameters — the
+/// "test data" scattered against the model curve in Fig. 12.  Runs one
+/// stage of the S-EnKF data-obtaining pipeline (the quantity equations
+/// (7)+(8) describe: the unoverlappable per-stage read + communication).
+double simulate_read_and_comm(const MachineConfig& machine,
+                              const SimWorkload& workload,
+                              const SenkfParams& params);
+
+}  // namespace senkf::vcluster

@@ -1,0 +1,101 @@
+#include "enkf/ensemble_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace senkf::enkf {
+namespace {
+
+MemoryEnsembleStore make_store(Index nx = 24, Index ny = 12, Index members = 4) {
+  const grid::LatLonGrid g(nx, ny);
+  senkf::Rng rng(7);
+  return MemoryEnsembleStore::synthetic(g, members, rng);
+}
+
+TEST(EnsembleStore, HoldsMembers) {
+  const auto store = make_store();
+  EXPECT_EQ(store.members(), 4u);
+  EXPECT_EQ(store.member(0).size(), 24u * 12u);
+  EXPECT_THROW(store.member(4), senkf::InvalidArgument);
+}
+
+TEST(EnsembleStore, RequiresTwoMembers) {
+  const grid::LatLonGrid g(4, 4);
+  EXPECT_THROW(MemoryEnsembleStore(g, std::vector<grid::Field>{grid::Field(g)}),
+               senkf::InvalidArgument);
+}
+
+TEST(EnsembleStore, RejectsGridMismatch) {
+  const grid::LatLonGrid g(4, 4);
+  const grid::LatLonGrid other(5, 5);
+  std::vector<grid::Field> members{grid::Field(g), grid::Field(other)};
+  EXPECT_THROW(MemoryEnsembleStore(g, std::move(members)), senkf::InvalidArgument);
+}
+
+TEST(EnsembleStore, BlockReadCountsOneSegmentPerRow) {
+  const auto store = make_store();
+  store.reset_counters();
+  const grid::Rect rect{{2, 10}, {3, 9}};  // 6 rows, not full width
+  const grid::Patch p = store.read_block(0, rect);
+  EXPECT_EQ(p.rect(), rect);
+  EXPECT_EQ(store.segments_touched(), 6u);
+  EXPECT_EQ(store.reads_issued(), 1u);
+}
+
+TEST(EnsembleStore, FullWidthBlockIsContiguous) {
+  const auto store = make_store();
+  store.reset_counters();
+  store.read_block(0, grid::Rect{{0, 24}, {3, 9}});
+  EXPECT_EQ(store.segments_touched(), 1u);
+}
+
+TEST(EnsembleStore, BarReadIsOneSegment) {
+  const auto store = make_store();
+  store.reset_counters();
+  const grid::Patch p = store.read_bar(1, grid::IndexRange{4, 8});
+  EXPECT_EQ(p.rect(), (grid::Rect{{0, 24}, {4, 8}}));
+  EXPECT_EQ(store.segments_touched(), 1u);
+}
+
+TEST(EnsembleStore, ReadsReturnActualData) {
+  const auto store = make_store();
+  const grid::Patch block = store.read_block(2, grid::Rect{{1, 5}, {2, 6}});
+  for (Index y = 2; y < 6; ++y) {
+    for (Index x = 1; x < 5; ++x) {
+      EXPECT_DOUBLE_EQ(block.at(x, y), store.member(2).at(x, y));
+    }
+  }
+}
+
+TEST(EnsembleStore, SeekCountsMatchPaperAsymptotics) {
+  // The §4.1 claim in miniature: block-reading a file split n_sdx ways
+  // costs n_sdx × rows segments; bar reading costs n_sdy segments.
+  const auto store = make_store(24, 12, 2);
+  const Index n_sdx = 4, n_sdy = 3;
+  store.reset_counters();
+  for (Index i = 0; i < n_sdx; ++i) {
+    for (Index j = 0; j < n_sdy; ++j) {
+      store.read_block(0, grid::Rect{{i * 6, (i + 1) * 6},
+                                     {j * 4, (j + 1) * 4}});
+    }
+  }
+  EXPECT_EQ(store.segments_touched(), n_sdx * 12u);  // n_sdx × n_y
+  store.reset_counters();
+  for (Index j = 0; j < n_sdy; ++j) {
+    store.read_bar(0, grid::IndexRange{j * 4, (j + 1) * 4});
+  }
+  EXPECT_EQ(store.segments_touched(), n_sdy);
+}
+
+TEST(EnsembleStore, CountersAreCumulativeAndResettable) {
+  const auto store = make_store();
+  store.reset_counters();
+  store.read_bar(0, grid::IndexRange{0, 4});
+  store.read_bar(1, grid::IndexRange{0, 4});
+  EXPECT_EQ(store.reads_issued(), 2u);
+  store.reset_counters();
+  EXPECT_EQ(store.reads_issued(), 0u);
+  EXPECT_EQ(store.segments_touched(), 0u);
+}
+
+}  // namespace
+}  // namespace senkf::enkf

@@ -1,0 +1,240 @@
+// Integration suite: the correctness gate of the whole reproduction.
+//
+// Serial reference, L-EnKF, P-EnKF and S-EnKF all call the same local
+// analysis kernel on the same expansions with the same perturbed
+// observations, so — whatever their schedules and data paths — their
+// analysis ensembles must agree *bit for bit*.  These tests also check
+// the §4.1 access-pattern claims on the numeric plane via the store's
+// segment counters.
+#include <gtest/gtest.h>
+
+#include "enkf/diagnostics.hpp"
+#include "enkf/lenkf.hpp"
+#include "enkf/penkf.hpp"
+#include "enkf/senkf.hpp"
+#include "grid/synthetic.hpp"
+#include "obs/perturbed.hpp"
+
+namespace senkf::enkf {
+namespace {
+
+struct World {
+  grid::LatLonGrid g{24, 12};
+  grid::SyntheticEnsemble scenario;
+  obs::ObservationSet observations;
+  linalg::Matrix ys;
+  MemoryEnsembleStore store;
+
+  explicit World(std::uint64_t seed, Index members = 6, Index stations = 50)
+      : scenario(make_scenario(g, members, seed)),
+        observations(make_obs(g, scenario.truth, seed, stations)),
+        ys(obs::perturbed_observations(observations, members,
+                                       senkf::Rng(seed + 5))),
+        store(g, scenario.members) {}
+
+  static grid::SyntheticEnsemble make_scenario(const grid::LatLonGrid& g,
+                                               Index members,
+                                               std::uint64_t seed) {
+    senkf::Rng rng(seed);
+    return grid::synthetic_ensemble(g, members, rng, 0.5);
+  }
+  static obs::ObservationSet make_obs(const grid::LatLonGrid& g,
+                                      const grid::Field& truth,
+                                      std::uint64_t seed, Index stations) {
+    senkf::Rng rng(seed + 1);
+    obs::NetworkOptions opt;
+    opt.station_count = stations;
+    opt.error_std = 0.05;
+    return obs::random_network(g, truth, rng, opt);
+  }
+};
+
+EnkfRunConfig run_config(Index layers = 1) {
+  EnkfRunConfig c;
+  c.n_sdx = 4;
+  c.n_sdy = 2;
+  c.layers = layers;
+  c.analysis.halo = grid::Halo{2, 1};
+  return c;
+}
+
+SenkfConfig senkf_config(Index layers = 1, Index n_cg = 2) {
+  SenkfConfig c;
+  c.n_sdx = 4;
+  c.n_sdy = 2;
+  c.layers = layers;
+  c.n_cg = n_cg;
+  c.analysis.halo = grid::Halo{2, 1};
+  return c;
+}
+
+TEST(Agreement, LenkfMatchesSerialExactly) {
+  const World w(1);
+  const auto gold = serial_enkf(w.store, w.observations, w.ys, run_config());
+  const auto parallel = lenkf(w.store, w.observations, w.ys, run_config());
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(gold, parallel), 0.0);
+}
+
+TEST(Agreement, PenkfMatchesSerialExactly) {
+  const World w(2);
+  const auto gold = serial_enkf(w.store, w.observations, w.ys, run_config());
+  const auto parallel = penkf(w.store, w.observations, w.ys, run_config());
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(gold, parallel), 0.0);
+}
+
+TEST(Agreement, SenkfMatchesSerialExactly) {
+  const World w(3);
+  const auto gold =
+      serial_enkf(w.store, w.observations, w.ys, run_config(3));
+  const auto parallel =
+      senkf(w.store, w.observations, w.ys, senkf_config(3, 2));
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(gold, parallel), 0.0);
+}
+
+TEST(Agreement, SenkfSingleLayerMatchesPenkf) {
+  const World w(4);
+  const auto p = penkf(w.store, w.observations, w.ys, run_config(1));
+  const auto s = senkf(w.store, w.observations, w.ys, senkf_config(1, 2));
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(p, s), 0.0);
+}
+
+TEST(Agreement, SenkfInsensitiveToConcurrentGroupCount) {
+  // n_cg only reroutes data; the numbers must not change at all.
+  const World w(5);
+  const auto one = senkf(w.store, w.observations, w.ys, senkf_config(2, 1));
+  const auto two = senkf(w.store, w.observations, w.ys, senkf_config(2, 2));
+  const auto six = senkf(w.store, w.observations, w.ys, senkf_config(2, 6));
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(one, two), 0.0);
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(one, six), 0.0);
+}
+
+class LayerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerSweep, SenkfMatchesSerialForEveryLayerCount) {
+  const Index layers = static_cast<Index>(GetParam());
+  const World w(10 + layers);
+  const auto gold =
+      serial_enkf(w.store, w.observations, w.ys, run_config(layers));
+  const auto parallel =
+      senkf(w.store, w.observations, w.ys, senkf_config(layers, 2));
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(gold, parallel), 0.0);
+}
+
+// Sub-domain rows = 12/2 = 6 ⇒ valid layer counts 1, 2, 3, 6.
+INSTANTIATE_TEST_SUITE_P(Layers, LayerSweep, ::testing::Values(1, 2, 3, 6));
+
+// Property sweep: agreement must hold across the whole decomposition
+// lattice, not just the 4×2 tile used above.
+struct DecompCase {
+  Index n_sdx;
+  Index n_sdy;
+  Index layers;
+  Index n_cg;
+};
+
+class DecompositionSweep : public ::testing::TestWithParam<DecompCase> {};
+
+TEST_P(DecompositionSweep, SenkfMatchesSerialAcrossDecompositions) {
+  const DecompCase c = GetParam();
+  const World w(100 + c.n_sdx * 7 + c.n_sdy * 3 + c.layers);
+  EnkfRunConfig serial_config;
+  serial_config.n_sdx = c.n_sdx;
+  serial_config.n_sdy = c.n_sdy;
+  serial_config.layers = c.layers;
+  serial_config.analysis.halo = grid::Halo{2, 1};
+  SenkfConfig parallel_config;
+  parallel_config.n_sdx = c.n_sdx;
+  parallel_config.n_sdy = c.n_sdy;
+  parallel_config.layers = c.layers;
+  parallel_config.n_cg = c.n_cg;
+  parallel_config.analysis = serial_config.analysis;
+
+  const auto gold =
+      serial_enkf(w.store, w.observations, w.ys, serial_config);
+  const auto parallel =
+      senkf(w.store, w.observations, w.ys, parallel_config);
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(gold, parallel), 0.0);
+}
+
+// Grid is 24×12, 6 members: n_sdx | 24, n_sdy | 12, layers | 12/n_sdy,
+// n_cg | 6.
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, DecompositionSweep,
+    ::testing::Values(DecompCase{1, 1, 1, 1}, DecompCase{1, 1, 4, 3},
+                      DecompCase{2, 3, 2, 2}, DecompCase{3, 4, 3, 1},
+                      DecompCase{6, 2, 6, 6}, DecompCase{8, 1, 12, 2},
+                      DecompCase{12, 6, 2, 3}, DecompCase{24, 12, 1, 1},
+                      DecompCase{4, 6, 1, 6}, DecompCase{2, 2, 3, 2}));
+
+TEST(FailureInjection, SingularCovarianceSurfacesAsNumericError) {
+  // Duplicate members + zero ridge make the regression Gram matrix
+  // singular inside a computation rank mid-pipeline; the error must
+  // propagate to the caller (not hang, not std::terminate via the helper
+  // thread).
+  const grid::LatLonGrid g{24, 12};
+  senkf::Rng rng(55);
+  auto scenario = grid::synthetic_ensemble(g, 4, rng, 0.5);
+  scenario.members[1] = scenario.members[0];
+  scenario.members[2] = scenario.members[0];
+  scenario.members[3] = scenario.members[0];
+  const MemoryEnsembleStore store(g, scenario.members);
+  senkf::Rng obs_rng(56);
+  obs::NetworkOptions opt;
+  opt.station_count = 50;
+  const auto observations =
+      obs::random_network(g, scenario.truth, obs_rng, opt);
+  const auto ys =
+      obs::perturbed_observations(observations, 4, senkf::Rng(57));
+
+  SenkfConfig config = senkf_config(2, 2);
+  config.analysis.ridge = 0.0;
+  EXPECT_THROW(senkf(store, observations, ys, config), senkf::NumericError);
+}
+
+TEST(Agreement, AllImplementationsImproveSkillEqually) {
+  const World w(6);
+  const double before = mean_field_rmse(w.scenario.members, w.scenario.truth);
+  const auto s = senkf(w.store, w.observations, w.ys, senkf_config(2, 2));
+  const double after = mean_field_rmse(s, w.scenario.truth);
+  EXPECT_LT(after, before);
+}
+
+TEST(AccessPatterns, SenkfTouchesFarFewerSegmentsThanPenkf) {
+  const World w(7);
+  w.store.reset_counters();
+  (void)penkf(w.store, w.observations, w.ys, run_config(1));
+  const auto penkf_segments = w.store.segments_touched();
+
+  w.store.reset_counters();
+  (void)senkf(w.store, w.observations, w.ys, senkf_config(1, 2));
+  const auto senkf_segments = w.store.segments_touched();
+
+  // P-EnKF: n_sdx·(rows+halo) segments per member; S-EnKF: n_sdy bars per
+  // member (plus halo re-reads when L > 1).
+  EXPECT_LT(senkf_segments * 3, penkf_segments);
+}
+
+TEST(AccessPatterns, SenkfStatsAreReported) {
+  const World w(8);
+  SenkfStats stats;
+  (void)senkf(w.store, w.observations, w.ys, senkf_config(3, 2), &stats);
+  // 8 comp ranks × 3 stages × 6 members.
+  EXPECT_EQ(stats.messages, 8u * 3u * 6u);
+  EXPECT_GT(stats.comp_update_seconds, 0.0);
+  EXPECT_GE(stats.io_read_seconds, 0.0);
+}
+
+TEST(Validation, SenkfRejectsBadParameters) {
+  const World w(9);
+  SenkfConfig c = senkf_config();
+  c.n_cg = 4;  // 6 members % 4 != 0
+  EXPECT_THROW(senkf(w.store, w.observations, w.ys, c),
+               senkf::InvalidArgument);
+  c = senkf_config();
+  c.layers = 5;  // 6 rows % 5 != 0
+  EXPECT_THROW(senkf(w.store, w.observations, w.ys, c),
+               senkf::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace senkf::enkf

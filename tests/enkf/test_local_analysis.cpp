@@ -1,0 +1,207 @@
+#include "enkf/local_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "enkf/ensemble_store.hpp"
+#include "grid/synthetic.hpp"
+#include "linalg/covariance.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/solve.hpp"
+
+namespace senkf::enkf {
+namespace {
+
+struct Scenario {
+  grid::LatLonGrid g{16, 12};
+  grid::SyntheticEnsemble ensemble;
+  obs::ObservationSet observations;
+  linalg::Matrix ys;
+
+  explicit Scenario(std::uint64_t seed, Index members = 8,
+                    Index stations = 40)
+      : ensemble(make_ensemble(g, members, seed)),
+        observations(make_obs(g, ensemble.truth, seed, stations)),
+        ys(obs::perturbed_observations(observations, members,
+                                       senkf::Rng(seed + 99))) {}
+
+  static grid::SyntheticEnsemble make_ensemble(const grid::LatLonGrid& g,
+                                               Index members,
+                                               std::uint64_t seed) {
+    senkf::Rng rng(seed);
+    return grid::synthetic_ensemble(g, members, rng, 0.5);
+  }
+  static obs::ObservationSet make_obs(const grid::LatLonGrid& g,
+                                      const grid::Field& truth,
+                                      std::uint64_t seed, Index stations) {
+    senkf::Rng rng(seed + 1);
+    obs::NetworkOptions opt;
+    opt.station_count = stations;
+    opt.error_std = 0.05;
+    return obs::random_network(g, truth, rng, opt);
+  }
+
+  std::vector<grid::Patch> patches(grid::Rect rect) const {
+    std::vector<grid::Patch> out;
+    for (const auto& member : ensemble.members) {
+      out.push_back(member.extract(rect));
+    }
+    return out;
+  }
+};
+
+AnalysisOptions default_options() {
+  AnalysisOptions opt;
+  opt.halo = grid::Halo{2, 1};
+  opt.ridge = 1e-6;
+  return opt;
+}
+
+TEST(LocalAnalysis, ReducesErrorAgainstTruth) {
+  const Scenario sc(1);
+  const grid::Rect whole = sc.g.bounds();
+  const auto result = local_analysis(sc.patches(whole), whole,
+                                     sc.observations, sc.ys,
+                                     default_options());
+  ASSERT_EQ(result.members.size(), sc.ensemble.members.size());
+  const grid::Patch truth_patch = sc.ensemble.truth.extract(whole);
+  double before = 0.0, after = 0.0;
+  for (Index k = 0; k < result.members.size(); ++k) {
+    const grid::Patch bg = sc.ensemble.members[k].extract(whole);
+    for (Index i = 0; i < truth_patch.size(); ++i) {
+      const double tb = bg.values()[i] - truth_patch.values()[i];
+      const double ta = result.members[k].values()[i] -
+                        truth_patch.values()[i];
+      before += tb * tb;
+      after += ta * ta;
+    }
+  }
+  EXPECT_LT(after, 0.6 * before);
+}
+
+TEST(LocalAnalysis, NoObservationsLeavesBackgroundUntouched) {
+  const Scenario sc(2, 8, 1);
+  // Find a rect guaranteed to contain no stations.
+  grid::Rect rect{{0, 4}, {0, 4}};
+  const auto& comp = sc.observations.components()[0];
+  if (comp.supported_by(rect)) rect = grid::Rect{{8, 12}, {6, 10}};
+  ASSERT_FALSE(comp.supported_by(rect));
+  const auto result = local_analysis(sc.patches(rect), rect, sc.observations,
+                                     sc.ys, default_options());
+  for (Index k = 0; k < result.members.size(); ++k) {
+    const grid::Patch bg = sc.ensemble.members[k].extract(rect);
+    EXPECT_EQ(result.members[k].values(), bg.values());
+  }
+}
+
+TEST(LocalAnalysis, MatchesIndependentDenseSolve) {
+  // Rebuild eq. (5)/(6) with an LU solve (independent of the production
+  // Cholesky path) and compare.
+  const Scenario sc(3, 6, 25);
+  const grid::Rect rect = sc.g.bounds();
+  const AnalysisOptions opt = default_options();
+  const auto result =
+      local_analysis(sc.patches(rect), rect, sc.observations, sc.ys, opt);
+
+  const Index n = rect.count();
+  const Index members = sc.ensemble.members.size();
+  linalg::Matrix xb(n, members);
+  for (Index k = 0; k < members; ++k) {
+    const auto patch = sc.ensemble.members[k].extract(rect);
+    for (Index i = 0; i < n; ++i) xb(i, k) = patch.values()[i];
+  }
+  const auto binv = linalg::estimate_inverse_covariance(
+      linalg::ensemble_anomalies(xb),
+      expansion_predecessors(rect, opt.halo), opt.ridge);
+  const obs::LocalObservations local(sc.observations, rect);
+  linalg::Matrix system = binv.inverse_covariance();
+  linalg::Matrix rinv_h = local.h();
+  for (Index r = 0; r < local.size(); ++r) {
+    for (Index cidx = 0; cidx < rinv_h.cols(); ++cidx) {
+      rinv_h(r, cidx) /= local.r_diagonal()[r];
+    }
+  }
+  linalg::axpy(1.0, linalg::multiply_at_b(local.h(), rinv_h), system);
+  linalg::Matrix innovations = linalg::multiply(local.h(), xb);
+  linalg::scale(innovations, -1.0);
+  linalg::axpy(1.0, local.select_rows(sc.ys), innovations);
+  for (Index r = 0; r < local.size(); ++r) {
+    for (Index cidx = 0; cidx < innovations.cols(); ++cidx) {
+      innovations(r, cidx) /= local.r_diagonal()[r];
+    }
+  }
+  const linalg::Matrix rhs =
+      linalg::multiply_at_b(local.h(), innovations);
+  const linalg::Matrix delta = linalg::LuFactor(system).solve(rhs);
+
+  for (Index k = 0; k < members; ++k) {
+    for (Index i = 0; i < n; ++i) {
+      EXPECT_NEAR(result.members[k].values()[i], xb(i, k) + delta(i, k),
+                  1e-8);
+    }
+  }
+}
+
+TEST(LocalAnalysis, TargetProjectionExtractsSubRect) {
+  const Scenario sc(4);
+  const grid::Rect expansion{{0, 12}, {0, 8}};
+  const grid::Rect target{{2, 8}, {2, 6}};
+  const auto full = local_analysis(sc.patches(expansion), expansion,
+                                   sc.observations, sc.ys, default_options());
+  const auto projected = local_analysis(sc.patches(expansion), target,
+                                        sc.observations, sc.ys,
+                                        default_options());
+  for (Index k = 0; k < projected.members.size(); ++k) {
+    for (Index y = target.y.begin; y < target.y.end; ++y) {
+      for (Index x = target.x.begin; x < target.x.end; ++x) {
+        EXPECT_DOUBLE_EQ(projected.members[k].at(x, y),
+                         full.members[k].at(x, y));
+      }
+    }
+  }
+}
+
+TEST(LocalAnalysis, ValidatesInputs) {
+  const Scenario sc(5);
+  const grid::Rect rect{{0, 8}, {0, 8}};
+  auto patches = sc.patches(rect);
+  // Target outside expansion.
+  EXPECT_THROW(local_analysis(patches, grid::Rect{{0, 9}, {0, 8}},
+                              sc.observations, sc.ys, default_options()),
+               senkf::InvalidArgument);
+  // Mismatched member rects.
+  auto bad = patches;
+  bad[1] = sc.ensemble.members[1].extract(grid::Rect{{0, 8}, {0, 7}});
+  EXPECT_THROW(local_analysis(bad, rect, sc.observations, sc.ys,
+                              default_options()),
+               senkf::InvalidArgument);
+  // Too few members.
+  EXPECT_THROW(local_analysis({patches[0]}, rect, sc.observations, sc.ys,
+                              default_options()),
+               senkf::InvalidArgument);
+  // Wrong Ys width.
+  linalg::Matrix bad_ys(sc.observations.size(), 3);
+  EXPECT_THROW(local_analysis(patches, rect, sc.observations, bad_ys,
+                              default_options()),
+               senkf::InvalidArgument);
+}
+
+TEST(ExpansionPredecessors, RespectsHaloWindow) {
+  const grid::Rect rect{{0, 5}, {0, 4}};  // 5 wide, 4 tall
+  const auto pred = expansion_predecessors(rect, grid::Halo{1, 1});
+  EXPECT_TRUE(pred(0).empty());
+  // Point (x=2, y=1) = index 7: window x∈{1,2,3}, y∈{0,1}, earlier only.
+  const auto p7 = pred(7);
+  EXPECT_EQ(p7, (std::vector<linalg::Index>{1, 2, 3, 6}));
+  // Point (x=0, y=2) = index 10: window x∈{0,1}, y∈{1,2}.
+  const auto p10 = pred(10);
+  EXPECT_EQ(p10, (std::vector<linalg::Index>{5, 6}));
+}
+
+TEST(ExpansionPredecessors, ZeroHaloGivesNoPredecessors) {
+  const grid::Rect rect{{0, 4}, {0, 4}};
+  const auto pred = expansion_predecessors(rect, grid::Halo{0, 0});
+  for (Index i = 0; i < 16; ++i) EXPECT_TRUE(pred(i).empty());
+}
+
+}  // namespace
+}  // namespace senkf::enkf

@@ -1,0 +1,128 @@
+#include "grid/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace senkf::grid {
+namespace {
+
+Decomposition make_decomp(Index nx = 24, Index ny = 12, Index sdx = 4,
+                          Index sdy = 3, Halo halo = Halo{2, 1}) {
+  return Decomposition(LatLonGrid(nx, ny), sdx, sdy, halo);
+}
+
+TEST(Decomposition, RejectsNonDividingTiles) {
+  const LatLonGrid g(24, 12);
+  EXPECT_THROW(Decomposition(g, 5, 3, Halo{}), senkf::InvalidArgument);
+  EXPECT_THROW(Decomposition(g, 4, 5, Halo{}), senkf::InvalidArgument);
+  EXPECT_THROW(Decomposition(g, 0, 3, Halo{}), senkf::InvalidArgument);
+}
+
+TEST(Decomposition, SubdomainsPartitionGrid) {
+  const auto d = make_decomp();
+  std::set<Index> covered;
+  for (const SubdomainId id : d.all_subdomains()) {
+    const Rect r = d.subdomain(id);
+    EXPECT_EQ(r.count(), d.points_per_subdomain());
+    for (Index y = r.y.begin; y < r.y.end; ++y) {
+      for (Index x = r.x.begin; x < r.x.end; ++x) {
+        EXPECT_TRUE(covered.insert(d.grid().flat_index(x, y)).second)
+            << "point covered twice";
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), d.grid().size());
+}
+
+TEST(Decomposition, RankMappingRoundTrips) {
+  const auto d = make_decomp();
+  for (Index rank = 0; rank < d.subdomain_count(); ++rank) {
+    EXPECT_EQ(d.rank_of(d.subdomain_of_rank(rank)), rank);
+  }
+  EXPECT_THROW(d.subdomain_of_rank(d.subdomain_count()),
+               senkf::InvalidArgument);
+  EXPECT_THROW(d.rank_of(SubdomainId{4, 0}), senkf::InvalidArgument);
+}
+
+TEST(Decomposition, ExpansionContainsSubdomain) {
+  const auto d = make_decomp();
+  for (const SubdomainId id : d.all_subdomains()) {
+    EXPECT_TRUE(rect_contains(d.expansion(id), d.subdomain(id)));
+  }
+}
+
+TEST(Decomposition, InteriorExpansionHasExpectedSize) {
+  // ̄n_sd = (nx/n_sdx + 2ξ)(ny/n_sdy + 2η) for interior sub-domains.
+  const auto d = make_decomp(40, 30, 4, 3, Halo{2, 1});
+  const Rect e = d.expansion(SubdomainId{1, 1});
+  EXPECT_EQ(e.x.size(), 40u / 4 + 2 * 2);
+  EXPECT_EQ(e.y.size(), 30u / 3 + 2 * 1);
+}
+
+TEST(Decomposition, BarIsFullWidthContiguousBand) {
+  const auto d = make_decomp();
+  for (Index j = 0; j < d.n_sdy(); ++j) {
+    const Rect bar = d.bar(j);
+    EXPECT_EQ(bar.x.begin, 0u);
+    EXPECT_EQ(bar.x.end, d.grid().nx());
+    EXPECT_EQ(bar.y.size(), d.grid().ny() / d.n_sdy());
+  }
+  EXPECT_THROW(d.bar(d.n_sdy()), senkf::InvalidArgument);
+}
+
+TEST(Decomposition, ExpandedBarCoversAllExpansionsInItsRow) {
+  const auto d = make_decomp();
+  for (Index j = 0; j < d.n_sdy(); ++j) {
+    const Rect eb = d.expanded_bar(j);
+    for (Index i = 0; i < d.n_sdx(); ++i) {
+      const Rect expansion = d.expansion(SubdomainId{i, j});
+      // The bar reader owns full grid width, so only the y-extent matters.
+      EXPECT_LE(eb.y.begin, expansion.y.begin);
+      EXPECT_GE(eb.y.end, expansion.y.end);
+    }
+  }
+}
+
+TEST(Decomposition, LayersPartitionSubdomainRows) {
+  const auto d = make_decomp(24, 12, 4, 1, Halo{2, 1});  // 12 rows per tile
+  const SubdomainId id{2, 0};
+  const Rect sub = d.subdomain(id);
+  for (const Index num_layers : {1u, 2u, 3u, 4u, 6u, 12u}) {
+    ASSERT_TRUE(d.valid_layer_count(num_layers));
+    Index covered_rows = 0;
+    for (Index l = 0; l < num_layers; ++l) {
+      const Rect layer = d.layer(id, l, num_layers);
+      EXPECT_EQ(layer.x, sub.x);
+      covered_rows += layer.y.size();
+      if (l > 0) {
+        EXPECT_EQ(layer.y.begin, d.layer(id, l - 1, num_layers).y.end);
+      }
+    }
+    EXPECT_EQ(covered_rows, sub.y.size());
+  }
+  EXPECT_FALSE(d.valid_layer_count(5));
+  EXPECT_THROW(d.layer(id, 0, 5), senkf::InvalidArgument);
+  EXPECT_THROW(d.layer(id, 3, 3), senkf::InvalidArgument);
+}
+
+TEST(Decomposition, LayerExpansionContainsLayer) {
+  const auto d = make_decomp(24, 12, 4, 1, Halo{2, 1});
+  const SubdomainId id{1, 0};
+  for (Index l = 0; l < 3; ++l) {
+    const Rect layer = d.layer(id, l, 3);
+    const Rect le = d.layer_expansion(id, l, 3);
+    EXPECT_TRUE(rect_contains(le, layer));
+    // Layer expansion is never bigger than the sub-domain expansion.
+    EXPECT_TRUE(rect_contains(d.expansion(id), le));
+  }
+}
+
+TEST(Decomposition, SingleSubdomainIsWholeGrid) {
+  const auto d = make_decomp(10, 10, 1, 1, Halo{0, 0});
+  EXPECT_EQ(d.subdomain(SubdomainId{0, 0}), d.grid().bounds());
+  EXPECT_EQ(d.expansion(SubdomainId{0, 0}), d.grid().bounds());
+}
+
+}  // namespace
+}  // namespace senkf::grid

@@ -1,0 +1,106 @@
+#include "grid/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace senkf::grid {
+namespace {
+
+Field random_field(const LatLonGrid& g, senkf::Rng& rng) {
+  Field f(g);
+  for (Index i = 0; i < f.size(); ++i) f[i] = rng.normal();
+  return f;
+}
+
+TEST(Field, ConstructionAndAccess) {
+  const LatLonGrid g(6, 4);
+  Field f(g, 1.0);
+  EXPECT_EQ(f.size(), 24u);
+  EXPECT_DOUBLE_EQ(f.at(3, 2), 1.0);
+  f.at(3, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(f[g.flat_index(3, 2)], 7.0);
+}
+
+TEST(Field, AdoptBufferRequiresCorrectSize) {
+  const LatLonGrid g(3, 3);
+  EXPECT_NO_THROW(Field(g, std::vector<double>(9, 0.0)));
+  EXPECT_THROW(Field(g, std::vector<double>(8, 0.0)),
+               senkf::InvalidArgument);
+}
+
+TEST(Field, ExtractInsertRoundTrip) {
+  const LatLonGrid g(10, 8);
+  senkf::Rng rng(1);
+  const Field f = random_field(g, rng);
+  const Rect r{{2, 7}, {3, 6}};
+  const Patch p = f.extract(r);
+  EXPECT_EQ(p.size(), r.count());
+  for (Index y = r.y.begin; y < r.y.end; ++y) {
+    for (Index x = r.x.begin; x < r.x.end; ++x) {
+      EXPECT_DOUBLE_EQ(p.at(x, y), f.at(x, y));
+    }
+  }
+  Field g2(g, 0.0);
+  g2.insert(p);
+  for (Index y = r.y.begin; y < r.y.end; ++y) {
+    for (Index x = r.x.begin; x < r.x.end; ++x) {
+      EXPECT_DOUBLE_EQ(g2.at(x, y), f.at(x, y));
+    }
+  }
+  EXPECT_DOUBLE_EQ(g2.at(0, 0), 0.0);  // untouched outside the rect
+}
+
+TEST(Field, ExtractOutsideGridThrows) {
+  const LatLonGrid g(5, 5);
+  const Field f(g);
+  EXPECT_THROW(f.extract(Rect{{0, 6}, {0, 2}}), senkf::InvalidArgument);
+}
+
+TEST(Field, RmseAgainst) {
+  const LatLonGrid g(4, 1);
+  Field a(g, 0.0), b(g, 2.0);
+  EXPECT_DOUBLE_EQ(a.rmse_against(b), 2.0);
+  EXPECT_DOUBLE_EQ(a.rmse_against(a), 0.0);
+}
+
+TEST(Patch, LocalIndexIsRowMajorWithinRect) {
+  const Rect r{{10, 14}, {5, 8}};  // 4 wide, 3 tall
+  Patch p(r);
+  EXPECT_EQ(p.local_index(10, 5), 0u);
+  EXPECT_EQ(p.local_index(13, 5), 3u);
+  EXPECT_EQ(p.local_index(10, 6), 4u);
+  EXPECT_EQ(p.local_index(13, 7), 11u);
+}
+
+TEST(Patch, ExtractSubPatch) {
+  const Rect r{{0, 6}, {0, 4}};
+  Patch p(r);
+  for (Index i = 0; i < p.size(); ++i) p.values()[i] = static_cast<double>(i);
+  const Rect sub{{2, 4}, {1, 3}};
+  const Patch s = p.extract(sub);
+  for (Index y = sub.y.begin; y < sub.y.end; ++y) {
+    for (Index x = sub.x.begin; x < sub.x.end; ++x) {
+      EXPECT_DOUBLE_EQ(s.at(x, y), p.at(x, y));
+    }
+  }
+  EXPECT_THROW(p.extract(Rect{{4, 8}, {0, 2}}), senkf::InvalidArgument);
+}
+
+TEST(Patch, InsertCopiesOnlyOverlap) {
+  Patch dst(Rect{{0, 4}, {0, 4}}, 0.0);
+  Patch src(Rect{{2, 6}, {2, 6}}, 9.0);
+  dst.insert(src);
+  EXPECT_DOUBLE_EQ(dst.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dst.at(2, 2), 9.0);
+  EXPECT_DOUBLE_EQ(dst.at(3, 3), 9.0);
+  EXPECT_DOUBLE_EQ(dst.at(1, 3), 0.0);
+}
+
+TEST(Patch, BufferSizeValidated) {
+  EXPECT_THROW(Patch(Rect{{0, 2}, {0, 2}}, std::vector<double>(3)),
+               senkf::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace senkf::grid

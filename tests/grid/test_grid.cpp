@@ -1,0 +1,81 @@
+#include "grid/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace senkf::grid {
+namespace {
+
+TEST(LatLonGrid, BasicProperties) {
+  const LatLonGrid g(360, 180, 10.0, 11.0);
+  EXPECT_EQ(g.nx(), 360u);
+  EXPECT_EQ(g.ny(), 180u);
+  EXPECT_EQ(g.size(), 360u * 180u);
+  EXPECT_DOUBLE_EQ(g.dx_km(), 10.0);
+  EXPECT_DOUBLE_EQ(g.dy_km(), 11.0);
+}
+
+TEST(LatLonGrid, InvalidConstructionThrows) {
+  EXPECT_THROW(LatLonGrid(0, 10), senkf::InvalidArgument);
+  EXPECT_THROW(LatLonGrid(10, 0), senkf::InvalidArgument);
+  EXPECT_THROW(LatLonGrid(10, 10, -1.0), senkf::InvalidArgument);
+}
+
+TEST(LatLonGrid, FlatIndexIsLatitudeRowMajor) {
+  const LatLonGrid g(100, 50);
+  // Contract relied on by the whole I/O model: index = y·nx + x.
+  EXPECT_EQ(g.flat_index(0, 0), 0u);
+  EXPECT_EQ(g.flat_index(99, 0), 99u);
+  EXPECT_EQ(g.flat_index(0, 1), 100u);
+  EXPECT_EQ(g.flat_index(7, 3), 307u);
+}
+
+TEST(LatLonGrid, PointOfInvertsFlatIndex) {
+  const LatLonGrid g(17, 9);
+  for (Index y = 0; y < 9; ++y) {
+    for (Index x = 0; x < 17; ++x) {
+      const Point p = g.point_of(g.flat_index(x, y));
+      EXPECT_EQ(p.x, x);
+      EXPECT_EQ(p.y, y);
+    }
+  }
+}
+
+TEST(LatLonGrid, DistanceUsesPerDirectionSpacing) {
+  const LatLonGrid g(100, 100, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(g.distance_km({0, 0}, {1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(g.distance_km({0, 0}, {0, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(g.distance_km({0, 0}, {1, 1}), 5.0);  // 3-4-5
+  EXPECT_DOUBLE_EQ(g.distance_km({5, 5}, {5, 5}), 0.0);
+}
+
+TEST(IndexRange, SizeAndContains) {
+  const IndexRange r{3, 7};
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_TRUE(r.contains(3));
+  EXPECT_TRUE(r.contains(6));
+  EXPECT_FALSE(r.contains(7));
+  EXPECT_FALSE(r.contains(2));
+}
+
+TEST(Rect, CountAndContains) {
+  const Rect r{{2, 5}, {1, 4}};
+  EXPECT_EQ(r.count(), 9u);
+  EXPECT_TRUE(r.contains(2, 1));
+  EXPECT_TRUE(r.contains(4, 3));
+  EXPECT_FALSE(r.contains(5, 3));
+  EXPECT_FALSE(r.contains(4, 4));
+}
+
+TEST(LatLonGrid, BoundsCoversGrid) {
+  const LatLonGrid g(12, 8);
+  const Rect b = g.bounds();
+  EXPECT_EQ(b.count(), g.size());
+  EXPECT_TRUE(b.contains(11, 7));
+}
+
+}  // namespace
+}  // namespace senkf::grid

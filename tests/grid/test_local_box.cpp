@@ -1,0 +1,109 @@
+#include "grid/local_box.hpp"
+
+#include <gtest/gtest.h>
+
+namespace senkf::grid {
+namespace {
+
+TEST(Halo, FromRadiusRespectsAnisotropy) {
+  // Paper Fig. 2(a): r = 10 km, different spacings → ξ ≠ η.
+  const LatLonGrid g(100, 100, 2.5, 5.0);
+  const Halo h = halo_for_radius(g, 10.0);
+  EXPECT_EQ(h.xi, 4u);
+  EXPECT_EQ(h.eta, 2u);
+}
+
+TEST(Halo, ZeroRadius) {
+  const LatLonGrid g(10, 10);
+  const Halo h = halo_for_radius(g, 0.0);
+  EXPECT_EQ(h.xi, 0u);
+  EXPECT_EQ(h.eta, 0u);
+  EXPECT_THROW(halo_for_radius(g, -1.0), senkf::InvalidArgument);
+}
+
+TEST(LocalBox, InteriorPointFullBox) {
+  const LatLonGrid g(100, 100);
+  const Rect box = local_box(g, {50, 50}, Halo{4, 2});
+  EXPECT_EQ(box.x.begin, 46u);
+  EXPECT_EQ(box.x.end, 55u);  // 2ξ+1 = 9 wide
+  EXPECT_EQ(box.y.begin, 48u);
+  EXPECT_EQ(box.y.end, 53u);  // 2η+1 = 5 tall
+  EXPECT_EQ(box.count(), 45u);
+}
+
+TEST(LocalBox, ClampsAtEdges) {
+  const LatLonGrid g(20, 20);
+  const Rect corner = local_box(g, {0, 0}, Halo{4, 2});
+  EXPECT_EQ(corner.x.begin, 0u);
+  EXPECT_EQ(corner.x.end, 5u);
+  EXPECT_EQ(corner.y.begin, 0u);
+  EXPECT_EQ(corner.y.end, 3u);
+  const Rect far = local_box(g, {19, 19}, Halo{4, 2});
+  EXPECT_EQ(far.x.begin, 15u);
+  EXPECT_EQ(far.x.end, 20u);
+  EXPECT_EQ(far.y.end, 20u);
+}
+
+TEST(LocalBox, OutOfGridThrows) {
+  const LatLonGrid g(10, 10);
+  EXPECT_THROW(local_box(g, {10, 0}, Halo{1, 1}), senkf::InvalidArgument);
+}
+
+TEST(Expand, GrowsAndClamps) {
+  const LatLonGrid g(100, 50);
+  const Rect d{{10, 20}, {5, 10}};
+  const Rect e = expand(g, d, Halo{3, 2});
+  EXPECT_EQ(e.x.begin, 7u);
+  EXPECT_EQ(e.x.end, 23u);
+  EXPECT_EQ(e.y.begin, 3u);
+  EXPECT_EQ(e.y.end, 12u);
+
+  const Rect at_origin{{0, 5}, {0, 5}};
+  const Rect e2 = expand(g, at_origin, Halo{3, 2});
+  EXPECT_EQ(e2.x.begin, 0u);
+  EXPECT_EQ(e2.y.begin, 0u);
+}
+
+TEST(Expand, ZeroHaloIsIdentity) {
+  const LatLonGrid g(30, 30);
+  const Rect d{{4, 9}, {2, 7}};
+  EXPECT_EQ(expand(g, d, Halo{0, 0}), d);
+}
+
+TEST(Expand, ExpansionContainsEveryLocalBox) {
+  // The property the multi-stage workflow depends on: the expansion of a
+  // rect covers the local box of every point inside it.
+  const LatLonGrid g(40, 30);
+  const Halo halo{3, 2};
+  const Rect d{{8, 16}, {10, 15}};
+  const Rect e = expand(g, d, halo);
+  for (Index y = d.y.begin; y < d.y.end; ++y) {
+    for (Index x = d.x.begin; x < d.x.end; ++x) {
+      EXPECT_TRUE(rect_contains(e, local_box(g, {x, y}, halo)));
+    }
+  }
+}
+
+TEST(RectContains, Cases) {
+  const Rect outer{{0, 10}, {0, 10}};
+  EXPECT_TRUE(rect_contains(outer, Rect{{2, 8}, {3, 7}}));
+  EXPECT_TRUE(rect_contains(outer, outer));
+  EXPECT_FALSE(rect_contains(outer, Rect{{2, 11}, {3, 7}}));
+  EXPECT_FALSE(rect_contains(Rect{{2, 8}, {3, 7}}, outer));
+}
+
+TEST(Intersect, OverlapAndDisjoint) {
+  const Rect a{{0, 10}, {0, 10}};
+  const Rect b{{5, 15}, {8, 20}};
+  const Rect c = intersect(a, b);
+  EXPECT_EQ(c.x.begin, 5u);
+  EXPECT_EQ(c.x.end, 10u);
+  EXPECT_EQ(c.y.begin, 8u);
+  EXPECT_EQ(c.y.end, 10u);
+
+  const Rect disjoint = intersect(a, Rect{{20, 30}, {0, 5}});
+  EXPECT_EQ(disjoint.count(), 0u);
+}
+
+}  // namespace
+}  // namespace senkf::grid

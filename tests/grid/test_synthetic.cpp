@@ -1,0 +1,121 @@
+#include "grid/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace senkf::grid {
+namespace {
+
+TEST(Synthetic, DeterministicFromSeed) {
+  const LatLonGrid g(32, 16);
+  senkf::Rng r1(42), r2(42);
+  const Field a = synthetic_field(g, r1);
+  const Field b = synthetic_field(g, r2);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const LatLonGrid g(32, 16);
+  senkf::Rng r1(1), r2(2);
+  const Field a = synthetic_field(g, r1);
+  const Field b = synthetic_field(g, r2);
+  EXPECT_GT(a.rmse_against(b), 0.1);
+}
+
+TEST(Synthetic, VarianceNearAmplitudeSquared) {
+  const LatLonGrid g(96, 64, 25.0, 25.0);
+  senkf::Rng rng(7);
+  SyntheticFieldOptions opt;
+  opt.amplitude = 2.0;
+  opt.modes = 48;
+  const Field f = synthetic_field(g, rng, opt);
+  double sum = 0.0, sum_sq = 0.0;
+  for (Index i = 0; i < f.size(); ++i) {
+    sum += f[i];
+    sum_sq += f[i] * f[i];
+  }
+  const double n = static_cast<double>(f.size());
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  // Spatial variance of a finite mode sum fluctuates; generous band.
+  EXPECT_GT(var, 1.0);
+  EXPECT_LT(var, 9.0);
+}
+
+TEST(Synthetic, MeanOffsetApplied) {
+  const LatLonGrid g(48, 32);
+  senkf::Rng rng(9);
+  SyntheticFieldOptions opt;
+  opt.mean = 15.0;
+  opt.amplitude = 0.5;
+  const Field f = synthetic_field(g, rng, opt);
+  double sum = 0.0;
+  for (Index i = 0; i < f.size(); ++i) sum += f[i];
+  EXPECT_NEAR(sum / static_cast<double>(f.size()), 15.0, 1.0);
+}
+
+TEST(Synthetic, FieldIsSmoothAtGridScale) {
+  // Neighbouring points must be far closer than distant ones: correlated
+  // fields, not white noise.
+  const LatLonGrid g(64, 64, 20.0, 20.0);
+  senkf::Rng rng(11);
+  SyntheticFieldOptions opt;
+  opt.correlation_length_km = 500.0;
+  const Field f = synthetic_field(g, rng, opt);
+  double neighbour_diff = 0.0;
+  Index count = 0;
+  for (Index y = 0; y < 64; ++y) {
+    for (Index x = 0; x + 1 < 64; ++x) {
+      const double d = f.at(x + 1, y) - f.at(x, y);
+      neighbour_diff += d * d;
+      ++count;
+    }
+  }
+  neighbour_diff = std::sqrt(neighbour_diff / static_cast<double>(count));
+  EXPECT_LT(neighbour_diff, 0.35);  // ≪ field std of ~1
+}
+
+TEST(Synthetic, EnsembleMembersScatterAroundTruth) {
+  const LatLonGrid g(48, 24);
+  senkf::Rng rng(13);
+  const auto scenario = synthetic_ensemble(g, 10, rng, 0.5);
+  EXPECT_EQ(scenario.members.size(), 10u);
+  for (const Field& member : scenario.members) {
+    const double rmse = member.rmse_against(scenario.truth);
+    EXPECT_GT(rmse, 0.05);
+    EXPECT_LT(rmse, 2.0);
+  }
+}
+
+TEST(Synthetic, EnsembleMembersAreDistinct) {
+  const LatLonGrid g(32, 16);
+  senkf::Rng rng(17);
+  const auto scenario = synthetic_ensemble(g, 4, rng, 0.5);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      EXPECT_GT(scenario.members[a].rmse_against(scenario.members[b]), 0.05);
+    }
+  }
+}
+
+TEST(Synthetic, EnsembleValidation) {
+  const LatLonGrid g(8, 8);
+  senkf::Rng rng(1);
+  EXPECT_THROW(synthetic_ensemble(g, 1, rng), senkf::InvalidArgument);
+  EXPECT_THROW(synthetic_ensemble(g, 4, rng, -0.5), senkf::InvalidArgument);
+}
+
+TEST(Synthetic, InvalidOptionsThrow) {
+  const LatLonGrid g(8, 8);
+  senkf::Rng rng(1);
+  SyntheticFieldOptions opt;
+  opt.modes = 0;
+  EXPECT_THROW(synthetic_field(g, rng, opt), senkf::InvalidArgument);
+  opt.modes = 4;
+  opt.correlation_length_km = 0.0;
+  EXPECT_THROW(synthetic_field(g, rng, opt), senkf::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace senkf::grid

@@ -1,0 +1,130 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/ops.hpp"
+#include "support/rng.hpp"
+
+namespace senkf::linalg {
+namespace {
+
+// Random SPD matrix A = M Mᵀ + n·I.
+Matrix random_spd(Index n, Rng& rng) {
+  Matrix m(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) m(i, j) = rng.normal();
+  }
+  Matrix a = multiply_a_bt(m, m);
+  for (Index i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Cholesky, ReconstructsKnownFactor) {
+  // A = L Lᵀ for L = [[2,0],[1,3]] → A = [[4,2],[2,10]].
+  const Matrix a{{4.0, 2.0}, {2.0, 10.0}};
+  const CholeskyFactor chol(a);
+  EXPECT_NEAR(chol.lower()(0, 0), 2.0, 1e-14);
+  EXPECT_NEAR(chol.lower()(1, 0), 1.0, 1e-14);
+  EXPECT_NEAR(chol.lower()(1, 1), 3.0, 1e-14);
+  EXPECT_NEAR(chol.lower()(0, 1), 0.0, 1e-14);
+}
+
+TEST(Cholesky, FactorReproducesMatrix) {
+  Rng rng(1);
+  for (const Index n : {1u, 2u, 5u, 20u}) {
+    const Matrix a = random_spd(n, rng);
+    const CholeskyFactor chol(a);
+    const Matrix rebuilt = multiply_a_bt(chol.lower(), chol.lower());
+    EXPECT_LT(max_abs_diff(rebuilt, a), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Cholesky, SolveSatisfiesSystem) {
+  Rng rng(2);
+  const Matrix a = random_spd(12, rng);
+  Vector b(12);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = CholeskyFactor(a).solve(b);
+  EXPECT_LT(max_abs_diff(multiply(a, x), b), 1e-9);
+}
+
+TEST(Cholesky, MatrixSolveColumnwise) {
+  Rng rng(3);
+  const Matrix a = random_spd(6, rng);
+  Matrix b(6, 3);
+  for (Index i = 0; i < 6; ++i) {
+    for (Index j = 0; j < 3; ++j) b(i, j) = rng.normal();
+  }
+  const Matrix x = CholeskyFactor(a).solve(b);
+  EXPECT_LT(max_abs_diff(multiply(a, x), b), 1e-9);
+}
+
+TEST(Cholesky, NonSpdThrows) {
+  const Matrix not_spd{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, −1
+  EXPECT_THROW(CholeskyFactor{not_spd}, NumericError);
+  const Matrix zero(3, 3, 0.0);
+  EXPECT_THROW(CholeskyFactor{zero}, NumericError);
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  EXPECT_THROW(CholeskyFactor{Matrix(2, 3)}, InvalidArgument);
+}
+
+TEST(Cholesky, LogDeterminant) {
+  const Matrix a{{4.0, 2.0}, {2.0, 10.0}};  // det = 36
+  EXPECT_NEAR(CholeskyFactor(a).log_determinant(), std::log(36.0), 1e-12);
+}
+
+TEST(Cholesky, InverseTimesMatrixIsIdentity) {
+  Rng rng(4);
+  const Matrix a = random_spd(8, rng);
+  const Matrix inv = CholeskyFactor(a).inverse();
+  EXPECT_LT(max_abs_diff(multiply(a, inv), Matrix::identity(8)), 1e-9);
+}
+
+TEST(TriangularSolves, ForwardAndBackward) {
+  const Matrix l{{2.0, 0.0}, {1.0, 3.0}};
+  const Vector b{4.0, 11.0};
+  const Vector y = solve_lower(l, b);  // y = [2, 3]
+  EXPECT_NEAR(y[0], 2.0, 1e-14);
+  EXPECT_NEAR(y[1], 3.0, 1e-14);
+  const Vector x = solve_lower_transposed(l, y);  // Lᵀx = y
+  // Lᵀ = [[2,1],[0,3]]; x = [1/2, 1]... verify by multiplication instead.
+  EXPECT_NEAR(2.0 * x[0] + 1.0 * x[1], y[0], 1e-14);
+  EXPECT_NEAR(3.0 * x[1], y[1], 1e-14);
+}
+
+TEST(TriangularSolves, ZeroDiagonalThrows) {
+  const Matrix l{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_THROW(solve_lower(l, Vector{1.0, 1.0}), NumericError);
+  EXPECT_THROW(solve_lower_transposed(l, Vector{1.0, 1.0}), NumericError);
+}
+
+TEST(SolveSpd, ConvenienceMatchesFactor) {
+  Rng rng(5);
+  const Matrix a = random_spd(7, rng);
+  Vector b(7);
+  for (auto& v : b) v = rng.normal();
+  EXPECT_LT(max_abs_diff(solve_spd(a, b), CholeskyFactor(a).solve(b)), 1e-14);
+}
+
+class CholeskySizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskySizeSweep, SolveResidualSmallAcrossSizes) {
+  const Index n = static_cast<Index>(GetParam());
+  Rng rng(100 + n);
+  const Matrix a = random_spd(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = solve_spd(a, b);
+  const Vector r = subtract(multiply(a, x), b);
+  EXPECT_LT(norm2(r) / std::max(1.0, norm2(b)), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace senkf::linalg

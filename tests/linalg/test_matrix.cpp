@@ -1,0 +1,97 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace senkf::linalg {
+namespace {
+
+TEST(Vector, ConstructionAndAccess) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  v[1] = -2.0;
+  EXPECT_DOUBLE_EQ(v[1], -2.0);
+}
+
+TEST(Vector, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(Vector, SpanSharesStorage) {
+  Vector v(4, 0.0);
+  auto s = v.span();
+  s[2] = 9.0;
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+}
+
+TEST(Matrix, ConstructionRowMajor) {
+  Matrix m(2, 3, 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.data()[1 * 3 + 2], 5.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+}
+
+TEST(Matrix, NestedInitializerList) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_TRUE(m.square());
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Diagonal) {
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, RowViewIsContiguous) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  auto row = m.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  row[2] = -6.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -6.0);
+}
+
+TEST(Matrix, ColumnCopyAndSet) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector col = m.column(1);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[1], 4.0);
+  m.set_column(0, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 8.0);
+  EXPECT_THROW(m.set_column(0, Vector{1.0}), InvalidArgument);
+  EXPECT_THROW(m.column(5), InvalidArgument);
+}
+
+TEST(Matrix, EqualityIsValueBased) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{1.0, 2.0}};
+  Matrix c{{1.0, 3.0}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace senkf::linalg

@@ -1,0 +1,127 @@
+#include "linalg/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace senkf::linalg {
+namespace {
+
+Matrix random_matrix(Index rows, Index cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) m(i, j) = rng.normal();
+  }
+  return m;
+}
+
+TEST(Ops, MultiplyKnownValues) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Ops, MultiplyShapeMismatchThrows) {
+  EXPECT_THROW(multiply(Matrix(2, 3), Matrix(2, 3)), ShapeError);
+}
+
+TEST(Ops, MultiplyIdentityIsNoop) {
+  Rng rng(1);
+  const Matrix a = random_matrix(4, 4, rng);
+  EXPECT_LT(max_abs_diff(multiply(a, Matrix::identity(4)), a), 1e-14);
+  EXPECT_LT(max_abs_diff(multiply(Matrix::identity(4), a), a), 1e-14);
+}
+
+TEST(Ops, TransposedMultipliesAgreeWithExplicitTranspose) {
+  Rng rng(2);
+  const Matrix a = random_matrix(5, 3, rng);
+  const Matrix b = random_matrix(5, 4, rng);
+  EXPECT_LT(max_abs_diff(multiply_at_b(a, b), multiply(transpose(a), b)),
+            1e-12);
+  const Matrix c = random_matrix(3, 5, rng);
+  const Matrix d = random_matrix(4, 5, rng);
+  EXPECT_LT(max_abs_diff(multiply_a_bt(c, d), multiply(c, transpose(d))),
+            1e-12);
+}
+
+TEST(Ops, MatrixVectorAgainstMatrixMatrix) {
+  Rng rng(3);
+  const Matrix a = random_matrix(4, 6, rng);
+  Vector x(6);
+  for (auto& v : x) v = rng.normal();
+  Matrix xm(6, 1);
+  xm.set_column(0, x);
+  const Vector y = multiply(a, x);
+  const Matrix ym = multiply(a, xm);
+  for (Index i = 0; i < 4; ++i) EXPECT_NEAR(y[i], ym(i, 0), 1e-13);
+  const Vector yt = multiply_at(a, Vector(4, 1.0));
+  const Vector yt_ref = multiply(transpose(a), Vector(4, 1.0));
+  EXPECT_LT(max_abs_diff(yt, yt_ref), 1e-13);
+}
+
+TEST(Ops, TransposeInvolution) {
+  Rng rng(4);
+  const Matrix a = random_matrix(3, 7, rng);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Ops, AxpyAndScale) {
+  Matrix a{{1.0, 2.0}};
+  const Matrix b{{10.0, 20.0}};
+  axpy(0.5, b, a);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 12.0);
+  scale(a, 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 12.0);
+  Vector v{1.0, 1.0};
+  axpy(-1.0, Vector{0.5, 0.25}, v);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(Ops, AddSubtract) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0, 5.0}};
+  EXPECT_DOUBLE_EQ(add(a, b)(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(subtract(b, a)(0, 0), 2.0);
+  EXPECT_THROW(add(a, Matrix(2, 2)), ShapeError);
+}
+
+TEST(Ops, DotAndNorms) {
+  const Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+  const Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(norm_frobenius(m), 5.0);
+  EXPECT_THROW(dot(a, Vector{1.0}), ShapeError);
+}
+
+TEST(Ops, MaxAbsDiff) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{1.5, 1.0}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(Vector{1.0}, Vector{-1.0}), 2.0);
+}
+
+TEST(Ops, IsSymmetric) {
+  EXPECT_TRUE(is_symmetric(Matrix{{1.0, 2.0}, {2.0, 3.0}}));
+  EXPECT_FALSE(is_symmetric(Matrix{{1.0, 2.0}, {2.1, 3.0}}));
+  EXPECT_FALSE(is_symmetric(Matrix(2, 3)));
+}
+
+TEST(Ops, MultiplyAssociativity) {
+  Rng rng(5);
+  const Matrix a = random_matrix(3, 4, rng);
+  const Matrix b = random_matrix(4, 5, rng);
+  const Matrix c = random_matrix(5, 2, rng);
+  EXPECT_LT(max_abs_diff(multiply(multiply(a, b), c),
+                         multiply(a, multiply(b, c))),
+            1e-12);
+}
+
+}  // namespace
+}  // namespace senkf::linalg

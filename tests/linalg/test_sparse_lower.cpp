@@ -1,0 +1,103 @@
+#include "linalg/sparse_lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/covariance.hpp"
+#include "linalg/ops.hpp"
+#include "support/rng.hpp"
+
+namespace senkf::linalg {
+namespace {
+
+Matrix banded_unit_lower(Index n, Index band, Rng& rng) {
+  Matrix l = Matrix::identity(n);
+  for (Index i = 0; i < n; ++i) {
+    const Index first = i > band ? i - band : 0;
+    for (Index j = first; j < i; ++j) l(i, j) = rng.normal();
+  }
+  return l;
+}
+
+TEST(SparseUnitLower, RoundTripsDense) {
+  Rng rng(1);
+  const Matrix l = banded_unit_lower(12, 3, rng);
+  const auto sparse = SparseUnitLower::from_dense(l);
+  EXPECT_EQ(sparse.to_dense(), l);
+  EXPECT_EQ(sparse.dim(), 12u);
+}
+
+TEST(SparseUnitLower, MultiplyMatchesDense) {
+  Rng rng(2);
+  const Matrix l = banded_unit_lower(20, 4, rng);
+  const auto sparse = SparseUnitLower::from_dense(l);
+  Vector x(20);
+  for (auto& v : x) v = rng.normal();
+  EXPECT_LT(max_abs_diff(sparse.multiply(x), multiply(l, x)), 1e-13);
+  EXPECT_LT(max_abs_diff(sparse.multiply_transpose(x), multiply_at(l, x)),
+            1e-13);
+}
+
+TEST(SparseUnitLower, NonzeroCountMatchesBand) {
+  Rng rng(3);
+  const Index n = 30, band = 2;
+  const auto sparse =
+      SparseUnitLower::from_dense(banded_unit_lower(n, band, rng));
+  // Rows 0,1 have 0,1 entries; the rest `band`.
+  EXPECT_EQ(sparse.nonzeros(), 0u + 1u + (n - band) * band +
+                                   (band > 2 ? 0u : 0u));
+}
+
+TEST(SparseUnitLower, DropToleranceSparsifies) {
+  Matrix l = Matrix::identity(4);
+  l(1, 0) = 1e-14;
+  l(2, 0) = 0.5;
+  l(3, 2) = -1e-13;
+  const auto exact = SparseUnitLower::from_dense(l, 0.0);
+  const auto dropped = SparseUnitLower::from_dense(l, 1e-12);
+  EXPECT_EQ(exact.nonzeros(), 3u);
+  EXPECT_EQ(dropped.nonzeros(), 1u);
+}
+
+TEST(SparseUnitLower, RejectsBadDiagonal) {
+  Matrix l = Matrix::identity(3);
+  l(1, 1) = 2.0;
+  EXPECT_THROW(SparseUnitLower::from_dense(l), InvalidArgument);
+  EXPECT_THROW(SparseUnitLower::from_dense(Matrix(2, 3)), InvalidArgument);
+}
+
+TEST(CompactModifiedCholesky, ApplyMatchesDenseFactors) {
+  // Estimate B̂⁻¹ on a banded problem, compress, and compare applications.
+  Rng rng(4);
+  const Index n = 40, members = 12;
+  Matrix ensemble(n, members);
+  for (Index i = 0; i < n; ++i) {
+    for (Index k = 0; k < members; ++k) ensemble(i, k) = rng.normal();
+  }
+  const auto factors = estimate_inverse_covariance(
+      ensemble_anomalies(ensemble), banded_predecessors(4), 1e-6);
+  const auto compact = CompactModifiedCholesky::from(factors);
+
+  Vector x(n);
+  for (auto& v : x) v = rng.normal();
+  EXPECT_LT(max_abs_diff(compact.apply_inverse(x),
+                         factors.apply_inverse(x)),
+            1e-11);
+}
+
+TEST(CompactModifiedCholesky, SavesMemoryOnLocalizedProblems) {
+  Rng rng(5);
+  const Index n = 200, members = 10;
+  Matrix ensemble(n, members);
+  for (Index i = 0; i < n; ++i) {
+    for (Index k = 0; k < members; ++k) ensemble(i, k) = rng.normal();
+  }
+  const auto factors = estimate_inverse_covariance(
+      ensemble_anomalies(ensemble), banded_predecessors(5), 1e-6);
+  const auto compact = CompactModifiedCholesky::from(factors);
+  const std::size_t dense_bytes = n * n * sizeof(double);
+  EXPECT_LT(compact.memory_bytes(), dense_bytes / 10);
+  EXPECT_EQ(compact.dim(), n);
+}
+
+}  // namespace
+}  // namespace senkf::linalg

@@ -1,0 +1,62 @@
+#include "net/net.hpp"
+
+#include <gtest/gtest.h>
+
+namespace senkf::net {
+namespace {
+
+Net make_net(double alpha = 1e-3, double beta = 1e-6) {
+  return Net(NetConfig{alpha, beta});
+}
+
+TEST(Net, P2pAlphaBeta) {
+  const Net net = make_net();
+  EXPECT_DOUBLE_EQ(net.p2p_time(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(net.p2p_time(1000.0), 1e-3 + 1e-3);
+}
+
+TEST(Net, P2pRejectsNegativeSize) {
+  const Net net = make_net();
+  EXPECT_THROW(net.p2p_time(-1.0), senkf::InvalidArgument);
+}
+
+TEST(Net, Log2Ceil) {
+  EXPECT_EQ(Net::log2_ceil(1), 0);
+  EXPECT_EQ(Net::log2_ceil(2), 1);
+  EXPECT_EQ(Net::log2_ceil(3), 2);
+  EXPECT_EQ(Net::log2_ceil(4), 2);
+  EXPECT_EQ(Net::log2_ceil(5), 3);
+  EXPECT_EQ(Net::log2_ceil(1024), 10);
+  EXPECT_EQ(Net::log2_ceil(1025), 11);
+  EXPECT_THROW(Net::log2_ceil(0), senkf::InvalidArgument);
+}
+
+TEST(Net, BroadcastScalesWithTreeDepth) {
+  const Net net = make_net();
+  const double one = net.p2p_time(512.0);
+  EXPECT_DOUBLE_EQ(net.broadcast_time(512.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(net.broadcast_time(512.0, 2), one);
+  EXPECT_DOUBLE_EQ(net.broadcast_time(512.0, 8), 3.0 * one);
+  EXPECT_DOUBLE_EQ(net.broadcast_time(512.0, 9), 4.0 * one);
+}
+
+TEST(Net, SerializedSends) {
+  const Net net = make_net();
+  EXPECT_DOUBLE_EQ(net.serialized_sends_time(0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(net.serialized_sends_time(10, 100.0),
+                   10.0 * net.p2p_time(100.0));
+  EXPECT_THROW(net.serialized_sends_time(-1, 100.0), senkf::InvalidArgument);
+}
+
+TEST(Net, InvalidConfigThrows) {
+  EXPECT_THROW(Net(NetConfig{-1.0, 1.0}), senkf::InvalidArgument);
+  EXPECT_THROW(Net(NetConfig{1.0, -1.0}), senkf::InvalidArgument);
+}
+
+TEST(Net, ZeroCostNetworkAllowed) {
+  const Net net(NetConfig{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(net.p2p_time(1e9), 0.0);
+}
+
+}  // namespace
+}  // namespace senkf::net

@@ -1,0 +1,129 @@
+#include "obs/local_obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/synthetic.hpp"
+#include "linalg/ops.hpp"
+#include "obs/perturbed.hpp"
+
+namespace senkf::obs {
+namespace {
+
+struct Scenario {
+  grid::LatLonGrid g{20, 12};
+  grid::Field truth;
+  ObservationSet set;
+
+  explicit Scenario(std::uint64_t seed, Index stations = 60)
+      : truth(make_truth(g, seed)), set(make_set(g, truth, seed, stations)) {}
+
+  static grid::Field make_truth(const grid::LatLonGrid& g, std::uint64_t s) {
+    senkf::Rng rng(s);
+    return grid::synthetic_field(g, rng);
+  }
+  static ObservationSet make_set(const grid::LatLonGrid& g,
+                                 const grid::Field& truth, std::uint64_t s,
+                                 Index stations) {
+    senkf::Rng rng(s + 1);
+    NetworkOptions opt;
+    opt.station_count = stations;
+    return random_network(g, truth, rng, opt);
+  }
+};
+
+TEST(LocalObservations, SelectsOnlySupportedComponents) {
+  const Scenario sc(1);
+  const grid::Rect rect{{5, 15}, {3, 9}};
+  const LocalObservations local(sc.set, rect);
+  for (const Index idx : local.selected()) {
+    EXPECT_TRUE(sc.set.components()[idx].supported_by(rect));
+  }
+  // Complement check: everything not selected is genuinely unsupported.
+  std::set<Index> chosen(local.selected().begin(), local.selected().end());
+  for (Index i = 0; i < sc.set.size(); ++i) {
+    if (!chosen.count(i)) {
+      EXPECT_FALSE(sc.set.components()[i].supported_by(rect));
+    }
+  }
+}
+
+TEST(LocalObservations, WholeGridSelectsEverything) {
+  const Scenario sc(2);
+  const LocalObservations local(sc.set, sc.g.bounds());
+  EXPECT_EQ(local.size(), sc.set.size());
+}
+
+TEST(LocalObservations, HAppliesLikeComponents) {
+  const Scenario sc(3);
+  const grid::Rect rect{{2, 18}, {1, 11}};
+  const LocalObservations local(sc.set, rect);
+  ASSERT_GT(local.size(), 0u);
+  const grid::Patch patch = sc.truth.extract(rect);
+  const linalg::Vector hx = local.apply_h(patch);
+  for (Index row = 0; row < local.size(); ++row) {
+    const double direct = sc.set.components()[local.selected()[row]].apply(patch);
+    EXPECT_NEAR(hx[row], direct, 1e-12);
+  }
+}
+
+TEST(LocalObservations, RDiagonalHoldsVariances) {
+  const Scenario sc(4);
+  const LocalObservations local(sc.set, sc.g.bounds());
+  for (Index row = 0; row < local.size(); ++row) {
+    const double std = sc.set.components()[local.selected()[row]].error_std;
+    EXPECT_DOUBLE_EQ(local.r_diagonal()[row], std * std);
+  }
+}
+
+TEST(LocalObservations, SelectRowsExtractsMatchingYs) {
+  const Scenario sc(5);
+  const auto ys = perturbed_observations(sc.set, 6, senkf::Rng(50));
+  const grid::Rect rect{{0, 10}, {0, 6}};
+  const LocalObservations local(sc.set, rect);
+  const auto local_ys = local.select_rows(ys);
+  EXPECT_EQ(local_ys.rows(), local.size());
+  EXPECT_EQ(local_ys.cols(), 6u);
+  for (Index row = 0; row < local.size(); ++row) {
+    for (Index k = 0; k < 6; ++k) {
+      EXPECT_DOUBLE_EQ(local_ys(row, k), ys(local.selected()[row], k));
+    }
+  }
+}
+
+TEST(LocalObservations, EmptyRegionYieldsNoObs) {
+  const Scenario sc(6, 5);
+  // A 1×1 rect in a sparse network is almost surely observation-free; use
+  // a rect we know has no stations by checking.
+  const grid::Rect rect{{0, 1}, {0, 1}};
+  const LocalObservations local(sc.set, rect);
+  bool any_station_there = false;
+  for (const auto& comp : sc.set.components()) {
+    if (comp.supported_by(rect)) any_station_there = true;
+  }
+  EXPECT_EQ(local.empty(), !any_station_there);
+}
+
+TEST(LocalObservations, ApplyHRejectsWrongPatch) {
+  const Scenario sc(7);
+  const grid::Rect rect{{0, 10}, {0, 6}};
+  const LocalObservations local(sc.set, rect);
+  const grid::Patch wrong(grid::Rect{{0, 9}, {0, 6}}, 0.0);
+  EXPECT_THROW(local.apply_h(wrong), senkf::InvalidArgument);
+}
+
+TEST(LocalObservations, BilinearSupportRespectsRectBoundary) {
+  // A 4-point bilinear component straddling the rect edge must be dropped.
+  const grid::LatLonGrid g(10, 10);
+  grid::Field truth(g, 1.0);
+  ObsComponent straddle;
+  straddle.support = {{{4, 4}, 0.25}, {{5, 4}, 0.25}, {{4, 5}, 0.25},
+                      {{5, 5}, 0.25}};
+  ObservationSet set(g, {straddle}, {1.0});
+  const LocalObservations cut(set, grid::Rect{{0, 5}, {0, 10}});
+  EXPECT_TRUE(cut.empty());
+  const LocalObservations keep(set, grid::Rect{{0, 6}, {0, 10}});
+  EXPECT_EQ(keep.size(), 1u);
+}
+
+}  // namespace
+}  // namespace senkf::obs

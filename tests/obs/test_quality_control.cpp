@@ -1,0 +1,122 @@
+#include "obs/quality_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/synthetic.hpp"
+
+namespace senkf::obs {
+namespace {
+
+struct World {
+  grid::LatLonGrid g{24, 16};
+  grid::SyntheticEnsemble scenario;
+
+  explicit World(std::uint64_t seed) : scenario(make(g, seed)) {}
+  static grid::SyntheticEnsemble make(const grid::LatLonGrid& g,
+                                      std::uint64_t seed) {
+    senkf::Rng rng(seed);
+    return grid::synthetic_ensemble(g, 12, rng, 0.5);
+  }
+
+  ObservationSet clean_network(Index stations, std::uint64_t seed) const {
+    senkf::Rng rng(seed);
+    NetworkOptions opt;
+    opt.station_count = stations;
+    opt.error_std = 0.1;
+    return random_network(g, scenario.truth, rng, opt);
+  }
+};
+
+/// Copy of `set` with observation `index` corrupted by `offset`.
+ObservationSet corrupt(const ObservationSet& set, Index index,
+                       double offset) {
+  std::vector<ObsComponent> comps = set.components();
+  std::vector<double> values = set.values();
+  values[index] += offset;
+  return ObservationSet(set.grid(), std::move(comps), std::move(values));
+}
+
+TEST(QualityControl, CleanNetworkPassesWholly) {
+  const World w(1);
+  const auto set = w.clean_network(80, 2);
+  const auto result = background_check(set, w.scenario.members);
+  EXPECT_TRUE(result.rejected.empty());
+  EXPECT_EQ(result.accepted.size(), 80u);
+}
+
+TEST(QualityControl, GrossErrorIsRejected) {
+  const World w(2);
+  const auto clean = w.clean_network(60, 3);
+  const auto bad = corrupt(clean, 17, 50.0);  // 50 units off: a dead sensor
+  const auto result = background_check(bad, w.scenario.members);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0], 17u);
+  EXPECT_EQ(result.accepted.size(), 59u);
+}
+
+TEST(QualityControl, MultipleGrossErrorsAllCaught) {
+  const World w(3);
+  auto set = w.clean_network(60, 4);
+  for (const Index i : {5u, 20u, 41u}) set = corrupt(set, i, -30.0);
+  const auto result = background_check(set, w.scenario.members);
+  EXPECT_EQ(result.rejected, (std::vector<Index>{5, 20, 41}));
+}
+
+TEST(QualityControl, AcceptedValuesPreserveOrderAndContent) {
+  const World w(4);
+  const auto clean = w.clean_network(30, 5);
+  const auto bad = corrupt(clean, 10, 40.0);
+  const auto result = background_check(bad, w.scenario.members);
+  // Everything except index 10, in original order.
+  Index src = 0;
+  for (Index r = 0; r < result.accepted.size(); ++r, ++src) {
+    if (src == 10) ++src;
+    EXPECT_DOUBLE_EQ(result.accepted.values()[r], bad.values()[src]);
+  }
+}
+
+TEST(QualityControl, ThresholdControlsStrictness) {
+  const World w(5);
+  const auto clean = w.clean_network(100, 6);
+  QualityControlOptions loose;
+  loose.threshold_sigmas = 10.0;
+  // The ensemble spread (~0.5) dwarfs the typical innovation (~0.17), so
+  // tail rejections of clean data only appear at sub-σ thresholds.
+  QualityControlOptions strict;
+  strict.threshold_sigmas = 0.3;
+  const auto loose_result =
+      background_check(clean, w.scenario.members, loose);
+  const auto strict_result =
+      background_check(clean, w.scenario.members, strict);
+  EXPECT_LE(loose_result.rejected.size(), strict_result.rejected.size());
+  EXPECT_GT(strict_result.rejected.size(), 0u);
+}
+
+TEST(QualityControl, Validation) {
+  const World w(6);
+  const auto set = w.clean_network(10, 7);
+  EXPECT_THROW(background_check(set, {w.scenario.members[0]}),
+               senkf::InvalidArgument);
+  QualityControlOptions bad;
+  bad.threshold_sigmas = 0.0;
+  EXPECT_THROW(background_check(set, w.scenario.members, bad),
+               senkf::InvalidArgument);
+}
+
+TEST(QualityControl, AllRejectedThrows) {
+  // An ensemble wildly displaced from the observations rejects everything
+  // under a tight threshold — that must be loud, not an empty network.
+  const World w(7);
+  const auto set = w.clean_network(20, 8);
+  auto displaced = w.scenario.members;
+  for (auto& member : displaced) {
+    for (grid::Index i = 0; i < member.size(); ++i) member[i] += 1000.0;
+  }
+  QualityControlOptions strict;
+  strict.threshold_sigmas = 1.0;
+  EXPECT_THROW(background_check(set, displaced, strict),
+               senkf::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace senkf::obs

@@ -1,0 +1,92 @@
+#include "parcomm/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace senkf::parcomm {
+namespace {
+
+Envelope make(int source, int tag, double value = 0.0) {
+  Packer packer;
+  packer.put(value);
+  return Envelope{source, tag, packer.take()};
+}
+
+TEST(Mailbox, PushPopFifoPerSignature) {
+  Mailbox box;
+  box.push(make(0, 1, 1.0));
+  box.push(make(0, 1, 2.0));
+  const Envelope a = box.pop(0, 1);
+  const Envelope b = box.pop(0, 1);
+  EXPECT_DOUBLE_EQ(Unpacker(a.payload).get<double>(), 1.0);
+  EXPECT_DOUBLE_EQ(Unpacker(b.payload).get<double>(), 2.0);
+}
+
+TEST(Mailbox, MatchesBySourceAndTag) {
+  Mailbox box;
+  box.push(make(0, 5));
+  box.push(make(1, 7));
+  const Envelope e = box.pop(1, 7);
+  EXPECT_EQ(e.source, 1);
+  EXPECT_EQ(e.tag, 7);
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(Mailbox, WildcardSource) {
+  Mailbox box;
+  box.push(make(3, 9));
+  const Envelope e = box.pop(kAnySource, 9);
+  EXPECT_EQ(e.source, 3);
+}
+
+TEST(Mailbox, WildcardTag) {
+  Mailbox box;
+  box.push(make(2, 11));
+  const Envelope e = box.pop(2, kAnyTag);
+  EXPECT_EQ(e.tag, 11);
+}
+
+TEST(Mailbox, SkipsNonMatching) {
+  Mailbox box;
+  box.push(make(0, 1));
+  box.push(make(0, 2));
+  const Envelope e = box.pop(0, 2);
+  EXPECT_EQ(e.tag, 2);
+  EXPECT_EQ(box.size(), 1u);  // tag-1 message still queued
+}
+
+TEST(Mailbox, TryPopNonBlocking) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_pop(kAnySource, kAnyTag).has_value());
+  box.push(make(0, 1));
+  EXPECT_TRUE(box.try_pop(0, 1).has_value());
+  EXPECT_FALSE(box.try_pop(0, 1).has_value());
+}
+
+TEST(Mailbox, BlocksUntilPushFromAnotherThread) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.push(make(0, 3, 7.0));
+  });
+  const Envelope e = box.pop(0, 3);
+  producer.join();
+  EXPECT_DOUBLE_EQ(Unpacker(e.payload).get<double>(), 7.0);
+}
+
+TEST(Mailbox, TimeoutThrowsProtocolError) {
+  Mailbox box;
+  EXPECT_THROW(box.pop(0, 0, std::chrono::milliseconds(30)), ProtocolError);
+}
+
+TEST(Mailbox, TimeoutDoesNotLoseQueuedMismatch) {
+  Mailbox box;
+  box.push(make(0, 1));
+  EXPECT_THROW(box.pop(0, 2, std::chrono::milliseconds(30)), ProtocolError);
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_NO_THROW(box.pop(0, 1, std::chrono::milliseconds(10)));
+}
+
+}  // namespace
+}  // namespace senkf::parcomm

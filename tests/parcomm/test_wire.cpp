@@ -1,0 +1,79 @@
+#include "parcomm/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace senkf::parcomm {
+namespace {
+
+TEST(Wire, PodRoundTrip) {
+  Packer packer;
+  packer.put<int>(42).put<double>(3.5).put<std::uint64_t>(1ULL << 40);
+  const Payload payload = packer.take();
+  Unpacker unpacker(payload);
+  EXPECT_EQ(unpacker.get<int>(), 42);
+  EXPECT_DOUBLE_EQ(unpacker.get<double>(), 3.5);
+  EXPECT_EQ(unpacker.get<std::uint64_t>(), 1ULL << 40);
+  EXPECT_TRUE(unpacker.exhausted());
+}
+
+TEST(Wire, VectorRoundTrip) {
+  Packer packer;
+  packer.put_vector(std::vector<double>{1.0, -2.0, 3.5});
+  packer.put_vector(std::vector<int>{});
+  const Payload payload = packer.take();
+  Unpacker unpacker(payload);
+  EXPECT_EQ(unpacker.get_vector<double>(),
+            (std::vector<double>{1.0, -2.0, 3.5}));
+  EXPECT_TRUE(unpacker.get_vector<int>().empty());
+  EXPECT_TRUE(unpacker.exhausted());
+}
+
+TEST(Wire, StructRoundTrip) {
+  struct Header {
+    int a;
+    double b;
+  };
+  Packer packer;
+  packer.put(Header{7, 2.25});
+  const Payload payload = packer.take();
+  Unpacker unpacker(payload);
+  const auto h = unpacker.get<Header>();
+  EXPECT_EQ(h.a, 7);
+  EXPECT_DOUBLE_EQ(h.b, 2.25);
+}
+
+TEST(Wire, TruncatedReadThrows) {
+  Packer packer;
+  packer.put<int>(1);
+  const Payload payload = packer.take();
+  Unpacker unpacker(payload);
+  EXPECT_THROW(unpacker.get<double>(), ProtocolError);
+}
+
+TEST(Wire, TruncatedVectorBodyThrows) {
+  Packer packer;
+  packer.put<std::uint64_t>(1000);  // claims 1000 doubles, provides none
+  const Payload payload = packer.take();
+  Unpacker unpacker(payload);
+  EXPECT_THROW(unpacker.get_vector<double>(), ProtocolError);
+}
+
+TEST(Wire, ReadPastEndThrows) {
+  const Payload empty;
+  Unpacker unpacker(empty);
+  EXPECT_EQ(unpacker.remaining(), 0u);
+  EXPECT_THROW(unpacker.get<char>(), ProtocolError);
+}
+
+TEST(Wire, MixedSequenceOrderPreserved) {
+  Packer packer;
+  packer.put<int>(1).put_vector(std::vector<double>{9.0}).put<int>(2);
+  const Payload payload = packer.take();
+  Unpacker unpacker(payload);
+  EXPECT_EQ(unpacker.get<int>(), 1);
+  EXPECT_EQ(unpacker.get_vector<double>()[0], 9.0);
+  EXPECT_EQ(unpacker.get<int>(), 2);
+}
+
+}  // namespace
+}  // namespace senkf::parcomm

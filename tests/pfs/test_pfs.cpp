@@ -1,0 +1,202 @@
+#include "pfs/pfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace senkf::pfs {
+namespace {
+
+OstConfig simple_ost() {
+  OstConfig c;
+  c.segment_overhead_s = 0.001;
+  c.stream_bandwidth = 1000.0;  // 1000 B/s keeps arithmetic readable
+  c.max_streams = 2;
+  return c;
+}
+
+TEST(Ost, ServiceTimeFormula) {
+  sim::Simulation sim;
+  Ost ost(sim, simple_ost());
+  // 3 segments × 1ms + 500B / 1000B/s = 0.003 + 0.5.
+  EXPECT_DOUBLE_EQ(ost.service_time(3, 500.0), 0.503);
+  EXPECT_DOUBLE_EQ(ost.service_time(1, 0.0), 0.001);
+}
+
+TEST(Ost, SingleReadTakesServiceTime) {
+  sim::Simulation sim;
+  Ost ost(sim, simple_ost());
+  sim.spawn(ost.read(2, 1000.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 1.002);
+  EXPECT_DOUBLE_EQ(ost.busy_time(), 1.002);
+  EXPECT_DOUBLE_EQ(ost.bytes_read(), 1000.0);
+}
+
+TEST(Ost, StreamCapQueuesExcessReaders) {
+  sim::Simulation sim;
+  Ost ost(sim, simple_ost());  // 2 streams
+  for (int i = 0; i < 4; ++i) sim.spawn(ost.read(1, 999.0));
+  sim.run();
+  // Two waves of two 1-second reads.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_GT(ost.queued_time(), 0.0);
+}
+
+TEST(Ost, SegmentsDominateForFragmentedReads) {
+  // The block-reading defect in miniature: same bytes, many segments.
+  sim::Simulation sim;
+  Ost ost(sim, simple_ost());
+  const double contiguous = ost.service_time(1, 1000.0);
+  const double fragmented = ost.service_time(1000, 1000.0);
+  EXPECT_DOUBLE_EQ(fragmented - contiguous, 0.999);
+}
+
+TEST(Ost, InvalidRequestsThrow) {
+  sim::Simulation sim;
+  Ost ost(sim, simple_ost());
+  sim.spawn(ost.read(0, 10.0));
+  EXPECT_THROW(sim.run(), senkf::InvalidArgument);
+  sim::Simulation sim2;
+  Ost ost2(sim2, simple_ost());
+  sim2.spawn(ost2.read(1, -1.0));
+  EXPECT_THROW(sim2.run(), senkf::InvalidArgument);
+}
+
+TEST(Pfs, RoundRobinPlacement) {
+  sim::Simulation sim;
+  PfsConfig config;
+  config.ost_count = 4;
+  Pfs fs(sim, config);
+  EXPECT_EQ(fs.ost_of_file(0), 0);
+  EXPECT_EQ(fs.ost_of_file(3), 3);
+  EXPECT_EQ(fs.ost_of_file(4), 0);
+  EXPECT_EQ(fs.ost_of_file(11), 3);
+}
+
+TEST(Pfs, ParallelFilesOnDistinctOstsDontContend) {
+  sim::Simulation sim;
+  PfsConfig config;
+  config.ost_count = 4;
+  config.ost = simple_ost();
+  Pfs fs(sim, config);
+  // Four 1-second reads on four different OSTs run fully in parallel.
+  for (std::uint64_t f = 0; f < 4; ++f) sim.spawn(fs.read(f, 1, 999.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_DOUBLE_EQ(fs.total_queued_time(), 0.0);
+}
+
+TEST(Pfs, SameOstFilesContend) {
+  sim::Simulation sim;
+  PfsConfig config;
+  config.ost_count = 4;
+  config.ost = simple_ost();  // 2 streams per OST
+  Pfs fs(sim, config);
+  // Files 0, 4, 8 all live on OST 0: three readers, two streams.
+  for (const std::uint64_t f : {0u, 4u, 8u}) sim.spawn(fs.read(f, 1, 999.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_GT(fs.total_queued_time(), 0.0);
+}
+
+TEST(Pfs, AggregateBandwidth) {
+  sim::Simulation sim;
+  PfsConfig config;
+  config.ost_count = 6;
+  config.ost.stream_bandwidth = 400e6;
+  config.ost.max_streams = 10;
+  Pfs fs(sim, config);
+  EXPECT_DOUBLE_EQ(fs.aggregate_bandwidth(), 6.0 * 10.0 * 400e6);
+}
+
+TEST(Pfs, AccountingSumsAcrossOsts) {
+  sim::Simulation sim;
+  PfsConfig config;
+  config.ost_count = 2;
+  config.ost = simple_ost();
+  Pfs fs(sim, config);
+  sim.spawn(fs.read(0, 1, 100.0));
+  sim.spawn(fs.read(1, 1, 200.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(fs.total_bytes_read(), 300.0);
+}
+
+TEST(Pfs, InvalidConfigThrows) {
+  sim::Simulation sim;
+  PfsConfig config;
+  config.ost_count = 0;
+  EXPECT_THROW(Pfs(sim, config), senkf::InvalidArgument);
+  config.ost_count = 4;
+  config.stripe_count = 5;  // > ost_count
+  EXPECT_THROW(Pfs(sim, config), senkf::InvalidArgument);
+  config.stripe_count = 0;
+  EXPECT_THROW(Pfs(sim, config), senkf::InvalidArgument);
+}
+
+TEST(PfsStriping, StripeSetIsCyclic) {
+  sim::Simulation sim;
+  PfsConfig config;
+  config.ost_count = 4;
+  config.stripe_count = 3;
+  Pfs fs(sim, config);
+  EXPECT_EQ(fs.osts_of_file(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(fs.osts_of_file(3), (std::vector<int>{3, 0, 1}));
+  EXPECT_EQ(fs.stripe_count(), 3);
+}
+
+TEST(PfsStriping, SingleReadGainsParallelBandwidth) {
+  // One big contiguous read: striped across 4 OSTs it finishes ~4x
+  // sooner (each stripe moves a quarter of the bytes in parallel).
+  PfsConfig striped;
+  striped.ost_count = 4;
+  striped.stripe_count = 4;
+  striped.ost = simple_ost();
+  sim::Simulation sim_striped;
+  Pfs fs_striped(sim_striped, striped);
+  sim_striped.spawn(fs_striped.read(0, 1, 4000.0));
+  sim_striped.run();
+
+  PfsConfig flat = striped;
+  flat.stripe_count = 1;
+  sim::Simulation sim_flat;
+  Pfs fs_flat(sim_flat, flat);
+  sim_flat.spawn(fs_flat.read(0, 1, 4000.0));
+  sim_flat.run();
+
+  // 4000 B / 1000 B/s = 4 s whole; 1 s + addressing per stripe.
+  EXPECT_NEAR(sim_flat.now(), 4.001, 1e-9);
+  EXPECT_NEAR(sim_striped.now(), 1.001, 1e-9);
+}
+
+TEST(PfsStriping, StripesPayExtraAddressing) {
+  PfsConfig striped;
+  striped.ost_count = 4;
+  striped.stripe_count = 4;
+  striped.ost = simple_ost();
+  sim::Simulation sim;
+  Pfs fs(sim, striped);
+  // Tiny read: transfer negligible, four addressing charges in parallel
+  // but every OST gets touched.
+  sim.spawn(fs.read(0, 1, 4.0));
+  sim.run();
+  double busy = 0.0;
+  for (int i = 0; i < 4; ++i) busy += fs.ost(i).busy_time();
+  EXPECT_NEAR(busy, 4 * 0.001 + 4.0 / 1000.0, 1e-9);
+}
+
+TEST(PfsStriping, ConcurrentFilesContendWhenStriped) {
+  // With full striping every file touches every OST, so two concurrent
+  // single-stream... rather: enough readers per file exhaust the shared
+  // stream pools and queueing appears even across "different" files.
+  PfsConfig striped;
+  striped.ost_count = 2;
+  striped.stripe_count = 2;
+  striped.ost = simple_ost();  // 2 streams per OST
+  sim::Simulation sim;
+  Pfs fs(sim, striped);
+  for (std::uint64_t f = 0; f < 4; ++f) sim.spawn(fs.read(f, 1, 1998.0));
+  sim.run();
+  EXPECT_GT(fs.total_queued_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace senkf::pfs

@@ -1,0 +1,108 @@
+// Determinism and conservation properties of the DES and its models.
+#include <gtest/gtest.h>
+
+#include "tuning/auto_tune.hpp"
+#include "vcluster/workflows.hpp"
+
+namespace senkf {
+namespace {
+
+using vcluster::MachineConfig;
+using vcluster::SenkfParams;
+using vcluster::SimWorkload;
+
+SimWorkload workload() {
+  SimWorkload w;
+  w.nx = 360;
+  w.ny = 180;
+  w.members = 24;
+  return w;
+}
+
+TEST(Determinism, RepeatedSimulationsBitIdentical) {
+  const MachineConfig machine;
+  const auto w = workload();
+  SenkfParams params{12, 6, 5, 6};
+  const auto a = vcluster::simulate_senkf(machine, w, params);
+  const auto b = vcluster::simulate_senkf(machine, w, params);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.io_read, b.io_read);
+  EXPECT_EQ(a.io_queued, b.io_queued);
+  EXPECT_EQ(a.comp_wait, b.comp_wait);
+  EXPECT_EQ(a.overlap_fraction, b.overlap_fraction);
+}
+
+TEST(Determinism, BlockReadRepeatable) {
+  const MachineConfig machine;
+  const auto w = workload();
+  const auto a = vcluster::simulate_block_read(machine, w, 36, 10);
+  const auto b = vcluster::simulate_block_read(machine, w, 36, 10);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.queued_time, b.queued_time);
+}
+
+TEST(Conservation, ReadMakespanBoundedByWorkAndBandwidth) {
+  // Physical sanity: the makespan can never beat total-bytes over
+  // aggregate bandwidth, nor the longest single reader's own work.
+  const MachineConfig machine;
+  const auto w = workload();
+  const auto result = vcluster::simulate_concurrent_read(machine, w, 10, 6);
+  const double aggregate =
+      static_cast<double>(machine.pfs.ost_count) *
+      machine.pfs.ost.max_streams * machine.pfs.ost.stream_bandwidth;
+  const double total_bytes =
+      w.member_bytes() * static_cast<double>(w.members);
+  EXPECT_GE(result.makespan, total_bytes / aggregate - 1e-12);
+}
+
+TEST(Conservation, QueueingOnlyWhenOversubscribed) {
+  // Fewer concurrent readers than one OST's stream slots ⇒ no queueing.
+  MachineConfig machine;
+  machine.pfs.ost.max_streams = 16;
+  const auto w = workload();
+  const auto result = vcluster::simulate_concurrent_read(machine, w, 10, 1);
+  EXPECT_DOUBLE_EQ(result.queued_time, 0.0);
+}
+
+TEST(Tuning, AutoTuneNotWorseThanSampledFeasiblePoints) {
+  // The tuner's modelled pipeline total must be ≤ that of any feasible
+  // configuration within the same processor budget.
+  const MachineConfig machine;
+  const auto w = workload();
+  const tuning::CostModel model(tuning::params_from(machine, w));
+  const std::uint64_t budget = 240;
+  const auto tuned = tuning::auto_tune(model, budget, 1e-5);
+
+  const SenkfParams samples[] = {
+      {12, 6, 5, 6}, {36, 5, 12, 4}, {18, 10, 6, 6},
+      {24, 6, 15, 8}, {12, 12, 3, 4},
+  };
+  for (const auto& sample : samples) {
+    if (!model.feasible(sample)) continue;
+    if (sample.computation_processors() + sample.io_processors() > budget) {
+      continue;
+    }
+    EXPECT_LE(tuned.t_total, model.t_pipeline(sample) * (1.0 + 1e-12))
+        << "sample beat the tuner";
+  }
+}
+
+TEST(Tuning, PipelineEqualsEquation10WhenOverlapFeasible) {
+  // The documented property of the deviation (DESIGN.md §7.3).
+  const MachineConfig machine;
+  const auto w = workload();
+  const tuning::CostModel model(tuning::params_from(machine, w));
+  const SenkfParams compute_bound{12, 6, 2, 6};  // big stages, slow compute
+  if (model.t1(compute_bound) <= model.t_comp(compute_bound)) {
+    EXPECT_DOUBLE_EQ(model.t_pipeline(compute_bound),
+                     model.t_total(compute_bound));
+  }
+  const SenkfParams io_bound{360, 10, 90, 1};  // thin stages, single group
+  if (model.feasible(io_bound) &&
+      model.t1(io_bound) > model.t_comp(io_bound)) {
+    EXPECT_GT(model.t_pipeline(io_bound), model.t_total(io_bound));
+  }
+}
+
+}  // namespace
+}  // namespace senkf

@@ -1,0 +1,209 @@
+#include "sim/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace senkf::sim {
+namespace {
+
+TEST(Resource, AdmitsUpToCapacity) {
+  Simulation sim;
+  Resource res(sim, 2);
+  std::vector<double> finish;
+  auto worker = [](Simulation& s, Resource& r,
+                   std::vector<double>& out) -> Task {
+    co_await r.acquire();
+    co_await s.delay(1.0);
+    r.release();
+    out.push_back(s.now());
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(worker(sim, res, finish));
+  sim.run();
+  ASSERT_EQ(finish.size(), 4u);
+  // Two waves: 2 at t=1, 2 at t=2.
+  EXPECT_DOUBLE_EQ(finish[0], 1.0);
+  EXPECT_DOUBLE_EQ(finish[1], 1.0);
+  EXPECT_DOUBLE_EQ(finish[2], 2.0);
+  EXPECT_DOUBLE_EQ(finish[3], 2.0);
+  EXPECT_EQ(res.in_use(), 0);
+}
+
+TEST(Resource, FifoAdmission) {
+  Simulation sim;
+  Resource res(sim, 1);
+  std::vector<int> order;
+  auto worker = [](Simulation& s, Resource& r, std::vector<int>& out,
+                   int id) -> Task {
+    co_await r.acquire();
+    co_await s.delay(1.0);
+    r.release();
+    out.push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(worker(sim, res, order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Resource, TracksWaitTime) {
+  Simulation sim;
+  Resource res(sim, 1);
+  auto worker = [](Simulation& s, Resource& r) -> Task {
+    co_await r.acquire();
+    co_await s.delay(2.0);
+    r.release();
+  };
+  sim.spawn(worker(sim, res));
+  sim.spawn(worker(sim, res));  // waits 2.0
+  sim.spawn(worker(sim, res));  // waits 4.0
+  sim.run();
+  EXPECT_DOUBLE_EQ(res.total_wait_time(), 6.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 6.0);
+}
+
+TEST(Resource, ReleaseWithoutAcquireThrows) {
+  Simulation sim;
+  Resource res(sim, 1);
+  EXPECT_THROW(res.release(), InvalidArgument);
+  EXPECT_THROW(Resource(sim, 0), InvalidArgument);
+}
+
+TEST(WaitGroup, ReleasesWhenCountReachesZero) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  wg.add(3);
+  double released_at = -1.0;
+  auto waiter = [](Simulation& s, WaitGroup& g, double& out) -> Task {
+    co_await g.wait();
+    out = s.now();
+  };
+  auto worker = [](Simulation& s, WaitGroup& g, double t) -> Task {
+    co_await s.delay(t);
+    g.done();
+  };
+  sim.spawn(waiter(sim, wg, released_at));
+  sim.spawn(worker(sim, wg, 1.0));
+  sim.spawn(worker(sim, wg, 5.0));
+  sim.spawn(worker(sim, wg, 3.0));
+  sim.run();
+  EXPECT_DOUBLE_EQ(released_at, 5.0);
+}
+
+TEST(WaitGroup, WaitOnZeroPendingReturnsImmediately) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  double at = -1.0;
+  sim.spawn([](Simulation& s, WaitGroup& g, double& out) -> Task {
+    co_await g.wait();
+    out = s.now();
+  }(sim, wg, at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 0.0);
+}
+
+TEST(WaitGroup, MisuseThrows) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  EXPECT_THROW(wg.done(), InvalidArgument);
+  EXPECT_THROW(wg.add(0), InvalidArgument);
+}
+
+TEST(Event, BroadcastsToAllWaiters) {
+  Simulation sim;
+  Event event(sim);
+  std::vector<double> woken;
+  auto waiter = [](Simulation& s, Event& e, std::vector<double>& out) -> Task {
+    co_await e.wait();
+    out.push_back(s.now());
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter(sim, event, woken));
+  sim.spawn([](Simulation& s, Event& e) -> Task {
+    co_await s.delay(4.0);
+    e.set();
+  }(sim, event));
+  sim.run();
+  ASSERT_EQ(woken.size(), 3u);
+  for (const double t : woken) EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+TEST(Event, WaitAfterSetIsImmediate) {
+  Simulation sim;
+  Event event(sim);
+  event.set();
+  double at = -1.0;
+  sim.spawn([](Simulation& s, Event& e, double& out) -> Task {
+    co_await s.delay(1.0);
+    co_await e.wait();
+    out = s.now();
+  }(sim, event, at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(at, 1.0);
+  EXPECT_THROW(event.set(), InvalidArgument);
+}
+
+TEST(Simulation, UnfinishedTaskIsDeadlockError) {
+  Simulation sim;
+  Event never(sim);
+  sim.spawn([](Event& e) -> Task { co_await e.wait(); }(never));
+  EXPECT_THROW(sim.run(), ProtocolError);
+}
+
+TEST(SimQueue, FifoDelivery) {
+  Simulation sim;
+  Queue<int> q(sim);
+  std::vector<int> got;
+  sim.spawn([](Queue<int>& queue, std::vector<int>& out) -> Task {
+    for (int i = 0; i < 3; ++i) out.push_back(co_await queue.pop());
+  }(q, got));
+  sim.spawn([](Simulation& s, Queue<int>& queue) -> Task {
+    queue.push(1);
+    co_await s.delay(1.0);
+    queue.push(2);
+    queue.push(3);
+  }(sim, q));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimQueue, MultipleConsumersEachGetOneItem) {
+  Simulation sim;
+  Queue<int> q(sim);
+  std::vector<int> got;
+  auto consumer = [](Queue<int>& queue, std::vector<int>& out) -> Task {
+    out.push_back(co_await queue.pop());
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(consumer(q, got));
+  sim.spawn([](Simulation& s, Queue<int>& queue) -> Task {
+    co_await s.delay(1.0);
+    queue.push(10);
+    queue.push(20);
+    queue.push(30);
+  }(sim, q));
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0] + got[1] + got[2], 60);
+}
+
+TEST(SimQueue, MixedReadyAndSuspendedConsumers) {
+  // A consumer that polls while another is suspended must not starve the
+  // suspended one (direct handoff property).
+  Simulation sim;
+  Queue<int> q(sim);
+  int suspended_got = 0;
+  int eager_got = 0;
+  sim.spawn([](Queue<int>& queue, int& out) -> Task {
+    out = co_await queue.pop();  // suspends first
+  }(q, suspended_got));
+  sim.spawn([](Simulation& s, Queue<int>& queue, int& out) -> Task {
+    co_await s.delay(1.0);
+    queue.push(1);  // promised to the suspended consumer
+    queue.push(2);
+    out = co_await queue.pop();  // must get 2, not steal 1
+  }(sim, q, eager_got));
+  sim.run();
+  EXPECT_EQ(suspended_got, 1);
+  EXPECT_EQ(eager_got, 2);
+}
+
+}  // namespace
+}  // namespace senkf::sim

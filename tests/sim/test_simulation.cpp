@@ -1,0 +1,149 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace senkf::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulation, DelayAdvancesClock) {
+  Simulation sim;
+  double observed = -1.0;
+  sim.spawn([](Simulation& s, double& out) -> Task {
+    co_await s.delay(2.5);
+    out = s.now();
+  }(sim, observed));
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulation, SequentialDelaysAccumulate) {
+  Simulation sim;
+  std::vector<double> stamps;
+  sim.spawn([](Simulation& s, std::vector<double>& out) -> Task {
+    co_await s.delay(1.0);
+    out.push_back(s.now());
+    co_await s.delay(0.5);
+    out.push_back(s.now());
+    co_await s.delay(0.0);
+    out.push_back(s.now());
+  }(sim, stamps));
+  sim.run();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_DOUBLE_EQ(stamps[0], 1.0);
+  EXPECT_DOUBLE_EQ(stamps[1], 1.5);
+  EXPECT_DOUBLE_EQ(stamps[2], 1.5);
+}
+
+TEST(Simulation, ConcurrentTasksInterleaveByTime) {
+  Simulation sim;
+  std::vector<int> order;
+  auto worker = [](Simulation& s, std::vector<int>& out, int id,
+                   double delay) -> Task {
+    co_await s.delay(delay);
+    out.push_back(id);
+  };
+  sim.spawn(worker(sim, order, 1, 3.0));
+  sim.spawn(worker(sim, order, 2, 1.0));
+  sim.spawn(worker(sim, order, 3, 2.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(Simulation, SameTimeEventsFireInSpawnOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  auto worker = [](Simulation& s, std::vector<int>& out, int id) -> Task {
+    co_await s.delay(1.0);
+    out.push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) sim.spawn(worker(sim, order, i));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, AwaitedChildTaskRunsInline) {
+  Simulation sim;
+  std::vector<double> stamps;
+  auto child = [](Simulation& s, std::vector<double>& out) -> Task {
+    co_await s.delay(2.0);
+    out.push_back(s.now());
+  };
+  sim.spawn([](Simulation& s, std::vector<double>& out,
+               decltype(child)& make_child) -> Task {
+    co_await s.delay(1.0);
+    co_await make_child(s, out);
+    out.push_back(s.now());
+  }(sim, stamps, child));
+  sim.run();
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_DOUBLE_EQ(stamps[0], 3.0);  // child saw 1.0 + 2.0
+  EXPECT_DOUBLE_EQ(stamps[1], 3.0);  // parent resumed right after
+}
+
+TEST(Simulation, ChildExceptionPropagatesToParent) {
+  Simulation sim;
+  bool caught = false;
+  auto child = [](Simulation& s) -> Task {
+    co_await s.delay(1.0);
+    throw NumericError("child failed");
+  };
+  sim.spawn([](Simulation& s, bool& flag, decltype(child)& make) -> Task {
+    try {
+      co_await make(s);
+    } catch (const NumericError&) {
+      flag = true;
+    }
+  }(sim, caught, child));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Simulation, SpawnedTaskExceptionRethrownByRun) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task {
+    co_await s.delay(1.0);
+    throw ShapeError("boom");
+  }(sim));
+  EXPECT_THROW(sim.run(), ShapeError);
+}
+
+TEST(Simulation, NegativeDelayThrows) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task { co_await s.delay(-1.0); }(sim));
+  EXPECT_THROW(sim.run(), InvalidArgument);
+}
+
+TEST(Simulation, CountsEvents) {
+  Simulation sim;
+  sim.spawn([](Simulation& s) -> Task {
+    co_await s.delay(1.0);
+    co_await s.delay(1.0);
+  }(sim));
+  sim.run();
+  EXPECT_GE(sim.events_processed(), 3u);  // spawn + 2 delays
+}
+
+TEST(Simulation, ManyTasksScale) {
+  Simulation sim;
+  int finished = 0;
+  auto worker = [](Simulation& s, int id, int& done) -> Task {
+    co_await s.delay(static_cast<double>(id % 97));
+    co_await s.delay(static_cast<double>(id % 13));
+    ++done;
+  };
+  for (int i = 0; i < 10000; ++i) sim.spawn(worker(sim, i, finished));
+  sim.run();
+  EXPECT_EQ(finished, 10000);
+  EXPECT_DOUBLE_EQ(sim.now(), 96.0 + 12.0);
+}
+
+}  // namespace
+}  // namespace senkf::sim

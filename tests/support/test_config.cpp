@@ -1,0 +1,58 @@
+#include "support/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace senkf {
+namespace {
+
+Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ParsesKeyValuePairs) {
+  const Config c = parse({"nx=720", "name=ocean", "eps=0.5"});
+  EXPECT_EQ(c.get_int("nx", 0), 720);
+  EXPECT_EQ(c.get_string("name", ""), "ocean");
+  EXPECT_DOUBLE_EQ(c.get_double("eps", 0.0), 0.5);
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config c = parse({});
+  EXPECT_EQ(c.get_int("missing", 17), 17);
+  EXPECT_EQ(c.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(c.get_bool("missing", true));
+  EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, BoolAcceptsCommonSpellings) {
+  const Config c = parse({"a=true", "b=0", "c=yes", "d=off"});
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+}
+
+TEST(Config, MalformedValuesThrow) {
+  const Config c = parse({"n=12x", "f=1.2.3", "b=maybe"});
+  EXPECT_THROW(c.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(c.get_double("f", 0.0), InvalidArgument);
+  EXPECT_THROW(c.get_bool("b", false), InvalidArgument);
+}
+
+TEST(Config, MalformedTokenThrows) {
+  EXPECT_THROW(parse({"noequals"}), InvalidArgument);
+  EXPECT_THROW(parse({"=value"}), InvalidArgument);
+}
+
+TEST(Config, LaterSetOverrides) {
+  Config c = parse({"k=1"});
+  c.set("k", "2");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace senkf

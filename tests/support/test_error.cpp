@@ -1,0 +1,50 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace senkf {
+namespace {
+
+TEST(Error, RequireThrowsInvalidArgumentWithContext) {
+  try {
+    SENKF_REQUIRE(1 == 2, "numbers disagree");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(SENKF_REQUIRE(2 + 2 == 4, "arithmetic works"));
+}
+
+TEST(Error, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw ShapeError("x"), Error);
+  EXPECT_THROW(throw NumericError("x"), Error);
+  EXPECT_THROW(throw ProtocolError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+}
+
+TEST(Error, ErrorIsRuntimeError) {
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(CheckedCast, FittingValuesPass) {
+  EXPECT_EQ(checked_cast<int>(42L), 42);
+  EXPECT_EQ(checked_cast<std::size_t>(7), 7u);
+  EXPECT_EQ(checked_cast<long long>(-3), -3LL);
+}
+
+TEST(CheckedCast, OverflowThrows) {
+  EXPECT_THROW(checked_cast<std::int8_t>(1000), InvalidArgument);
+}
+
+TEST(CheckedCast, NegativeToUnsignedThrows) {
+  EXPECT_THROW(checked_cast<unsigned>(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace senkf

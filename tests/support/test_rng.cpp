@@ -1,0 +1,130 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace senkf {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.0);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 4.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+  EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndDeterministic) {
+  Rng parent(42);
+  Rng c1 = parent.child(1);
+  Rng c1_again = parent.child(1);
+  Rng c2 = parent.child(2);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  // Child streams differ from one another and from the parent.
+  Rng p_copy(42);
+  EXPECT_NE(parent.child(1).next_u64(), p_copy.next_u64());
+  EXPECT_NE(parent.child(1).next_u64(), c2.next_u64());
+}
+
+TEST(Rng, ChildDoesNotAdvanceParent) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.child(5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, FillNormalFillsEveryEntry) {
+  Rng rng(23);
+  std::vector<double> buffer(64, 1234.5);
+  rng.fill_normal(buffer);
+  int unchanged = 0;
+  for (const double v : buffer) {
+    if (v == 1234.5) ++unchanged;
+  }
+  EXPECT_EQ(unchanged, 0);
+}
+
+TEST(Splitmix64, KnownSequenceAdvancesState) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+}  // namespace
+}  // namespace senkf

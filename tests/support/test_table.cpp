@@ -1,0 +1,46 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace senkf {
+namespace {
+
+TEST(Table, PrintsHeaderAndRowsAligned) {
+  Table t({"proc", "time_s"});
+  t.add_row({"100", "1.5"});
+  t.add_row({"2000", "0.25"});
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("proc"), std::string::npos);
+  EXPECT_NE(out.find("2000"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), InvalidArgument);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 3), "1.000");
+  EXPECT_EQ(Table::num(42LL), "42");
+}
+
+TEST(Table, PercentFormatsFraction) {
+  EXPECT_EQ(Table::percent(0.423, 1), "42.3%");
+  EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace senkf

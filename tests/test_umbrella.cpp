@@ -1,0 +1,39 @@
+// Compile-and-smoke test of the umbrella header: every public API symbol
+// must be reachable through one include.
+#include "senkf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace senkf {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  const grid::LatLonGrid mesh(24, 12);
+  Rng rng(1);
+  const auto scenario = grid::synthetic_ensemble(mesh, 4, rng, 0.5);
+  const enkf::MemoryEnsembleStore store(mesh, scenario.members);
+
+  obs::NetworkOptions net;
+  net.station_count = 30;
+  Rng obs_rng(2);
+  const auto observations =
+      obs::random_network(mesh, scenario.truth, obs_rng, net);
+  const auto ys = obs::perturbed_observations(observations, 4, Rng(3));
+
+  enkf::SenkfConfig config;
+  config.n_sdx = 2;
+  config.n_sdy = 2;
+  config.analysis.halo = grid::Halo{2, 1};
+  const auto analysis = enkf::senkf(store, observations, ys, config);
+  EXPECT_LE(enkf::mean_field_rmse(analysis, scenario.truth),
+            enkf::mean_field_rmse(scenario.members, scenario.truth));
+
+  // Performance plane reachable too.
+  const vcluster::MachineConfig machine;
+  const vcluster::SimWorkload workload;
+  const tuning::CostModel model(tuning::params_from(machine, workload));
+  EXPECT_GT(model.t_comp(vcluster::SenkfParams{400, 10, 9, 6}), 0.0);
+}
+
+}  // namespace
+}  // namespace senkf

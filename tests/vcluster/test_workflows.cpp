@@ -1,0 +1,298 @@
+#include "vcluster/workflows.hpp"
+
+#include <gtest/gtest.h>
+
+namespace senkf::vcluster {
+namespace {
+
+// Downscaled workload keeps the unit tests fast; the benches run the
+// paper-scale 3600×1800×120 configuration.
+SimWorkload small_workload() {
+  SimWorkload w;
+  w.nx = 360;
+  w.ny = 180;
+  w.members = 24;
+  w.halo_xi = 4;
+  w.halo_eta = 2;
+  return w;
+}
+
+MachineConfig default_machine() { return MachineConfig{}; }
+
+TEST(BlockRead, TimeGrowsWithLongitudeSubdivisions) {
+  // Fig. 5's phenomenon: fixed n_sdy, growing n_sdx → more addressing
+  // operations → longer reads.
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const double t1 = simulate_block_read(machine, workload, 10, 10).makespan;
+  const double t2 = simulate_block_read(machine, workload, 20, 10).makespan;
+  const double t3 = simulate_block_read(machine, workload, 40, 10).makespan;
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t2, t3);
+}
+
+TEST(BlockRead, RequestAccounting) {
+  const auto result =
+      simulate_block_read(default_machine(), small_workload(), 4, 4);
+  EXPECT_EQ(result.requests, 4u * 4u * 24u);
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(BlockRead, ValidatesDivisibility) {
+  EXPECT_THROW(simulate_block_read(default_machine(), small_workload(), 7, 4),
+               senkf::InvalidArgument);
+  EXPECT_THROW(simulate_block_read(default_machine(), small_workload(), 4, 7),
+               senkf::InvalidArgument);
+}
+
+TEST(SingleReader, SlowerThanConcurrentRead) {
+  // The L-EnKF defect (§3.1): a single reader + serial scatter cannot
+  // compete with parallel bar reading.
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const double single =
+      simulate_single_reader(machine, workload, 100).makespan;
+  const double concurrent =
+      simulate_concurrent_read(machine, workload, 10, 6).makespan;
+  EXPECT_GT(single, concurrent);
+}
+
+TEST(ConcurrentRead, MoreGroupsFasterUntilSaturation) {
+  // Fig. 10's phenomenon: monotone improvement up to the disk parallelism,
+  // then flat.
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const double t1 = simulate_concurrent_read(machine, workload, 10, 1).makespan;
+  const double t2 = simulate_concurrent_read(machine, workload, 10, 2).makespan;
+  const double t4 = simulate_concurrent_read(machine, workload, 10, 4).makespan;
+  const double t6 = simulate_concurrent_read(machine, workload, 10, 6).makespan;
+  const double t12 =
+      simulate_concurrent_read(machine, workload, 10, 12).makespan;
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+  EXPECT_GT(t4, t6);
+  // Past the OST count gains are marginal (< 20% further improvement).
+  EXPECT_LT(t6 - t12, 0.2 * t6);
+}
+
+TEST(ConcurrentRead, BarReadingBeatsBlockReadingAtScale) {
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const double block = simulate_block_read(machine, workload, 36, 10).makespan;
+  const double bars = simulate_concurrent_read(machine, workload, 10, 6).makespan;
+  EXPECT_GT(block, bars);
+}
+
+TEST(ConcurrentRead, ValidatesInputs) {
+  EXPECT_THROW(
+      simulate_concurrent_read(default_machine(), small_workload(), 7, 1),
+      senkf::InvalidArgument);
+  EXPECT_THROW(
+      simulate_concurrent_read(default_machine(), small_workload(), 10, 5),
+      senkf::InvalidArgument);  // 24 % 5 != 0
+}
+
+TEST(Lenkf, SingleReaderSerializationDominates) {
+  // The full L-EnKF run: the serial read+scatter does not parallelize, so
+  // scaling stalls almost immediately.
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const auto small = simulate_lenkf(machine, workload, 6, 6);
+  const auto large = simulate_lenkf(machine, workload, 36, 6);
+  // Compute shrinks 6x but the read+scatter phase barely changes (it even
+  // grows slightly: one more startup latency per extra destination).
+  EXPECT_GE(large.read_time, small.read_time);
+  EXPECT_LT(large.read_time, 1.5 * small.read_time);
+  EXPECT_GT(large.io_fraction, small.io_fraction);
+}
+
+TEST(Lenkf, SlowerThanPenkfAtScale) {
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const auto l = simulate_lenkf(machine, workload, 36, 6);
+  const auto p = simulate_penkf(machine, workload, 36, 6);
+  EXPECT_GT(l.makespan, p.makespan);
+}
+
+TEST(Penkf, BreakdownIsConsistent) {
+  const auto result =
+      simulate_penkf(default_machine(), small_workload(), 12, 6);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_NEAR(result.read_time + result.compute_time, result.makespan, 1e-9);
+  EXPECT_GT(result.io_fraction, 0.0);
+  EXPECT_LT(result.io_fraction, 1.0);
+}
+
+TEST(Penkf, IoFractionGrowsWithProcessors) {
+  // Fig. 1's phenomenon.
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const double f1 = simulate_penkf(machine, workload, 6, 6).io_fraction;
+  const double f2 = simulate_penkf(machine, workload, 18, 6).io_fraction;
+  const double f3 = simulate_penkf(machine, workload, 36, 6).io_fraction;
+  EXPECT_LT(f1, f2);
+  EXPECT_LT(f2, f3);
+}
+
+SenkfParams small_params() {
+  SenkfParams p;
+  p.n_sdx = 12;
+  p.n_sdy = 6;   // 30 rows per sub-domain
+  p.layers = 5;  // 6 rows per stage
+  p.n_cg = 6;
+  return p;
+}
+
+TEST(Senkf, RunsAndReportsPhases) {
+  const auto result =
+      simulate_senkf(default_machine(), small_workload(), small_params());
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GT(result.compute, 0.0);
+  EXPECT_GT(result.io_read, 0.0);
+  EXPECT_GE(result.io_wait, 0.0);
+  EXPECT_GE(result.comp_wait, 0.0);
+  EXPECT_GT(result.prologue, 0.0);
+  EXPECT_GE(result.overlap_fraction, 0.0);
+  EXPECT_LE(result.overlap_fraction, 1.0);
+}
+
+TEST(Senkf, PrologueIsSmallShareOfRuntime) {
+  // §5.4: the unoverlappable first read+comm is < 8% of total time at the
+  // operating points the tuner chooses.
+  const auto result =
+      simulate_senkf(default_machine(), small_workload(), small_params());
+  EXPECT_LT(result.prologue / result.makespan, 0.30);
+}
+
+TEST(Senkf, BeatsPenkfAtScale) {
+  // The headline comparison at a (scaled-down) high processor count.
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  SenkfParams p;
+  p.n_sdx = 36;
+  p.n_sdy = 6;
+  p.layers = 5;
+  p.n_cg = 6;
+  const double senkf = simulate_senkf(machine, workload, p).makespan;
+  const double penkf = simulate_penkf(machine, workload, 36, 6).makespan;
+  EXPECT_GT(penkf, senkf);
+}
+
+TEST(Senkf, MultiStageOverlapsBetterThanSingleStage) {
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  SenkfParams staged = small_params();
+  SenkfParams single = small_params();
+  single.layers = 1;
+  const auto with_stages = simulate_senkf(machine, workload, staged);
+  const auto no_stages = simulate_senkf(machine, workload, single);
+  EXPECT_GT(with_stages.overlap_fraction, no_stages.overlap_fraction);
+  // With one layer the whole read is prologue.
+  EXPECT_GT(no_stages.prologue / no_stages.makespan, 0.5 * 0.0);
+}
+
+TEST(Senkf, ComputeMatchesClosedForm) {
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const auto params = small_params();
+  const auto result = simulate_senkf(machine, workload, params);
+  const double expected = machine.update_cost_per_point_s *
+                          static_cast<double>(workload.nx / params.n_sdx) *
+                          static_cast<double>(workload.ny / params.n_sdy);
+  EXPECT_NEAR(result.compute, expected, 1e-9);
+}
+
+TEST(Senkf, ValidatesParameters) {
+  SenkfParams p = small_params();
+  p.layers = 7;  // 30 % 7 != 0
+  EXPECT_THROW(simulate_senkf(default_machine(), small_workload(), p),
+               senkf::InvalidArgument);
+  p = small_params();
+  p.n_cg = 5;  // 24 % 5 != 0
+  EXPECT_THROW(simulate_senkf(default_machine(), small_workload(), p),
+               senkf::InvalidArgument);
+}
+
+TEST(ReadAndComm, FasterThanFullRunAndPositive) {
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const auto params = small_params();
+  const double t1 = simulate_read_and_comm(machine, workload, params);
+  const auto full = simulate_senkf(machine, workload, params);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_LT(t1, full.makespan);
+}
+
+TEST(ReadAndComm, MoreIoProcessorsReduceT1) {
+  // The monotonicity Algorithm 2 exploits: larger C1 → smaller T1 (until
+  // saturation).
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  SenkfParams p = small_params();
+  p.n_cg = 1;
+  const double t_1 = simulate_read_and_comm(machine, workload, p);
+  p.n_cg = 4;
+  const double t_4 = simulate_read_and_comm(machine, workload, p);
+  EXPECT_GT(t_1, t_4);
+}
+
+TEST(ReadPlanPricing, MatchesBespokeBlockWorkflow) {
+  // simulate_read_plan over the §4.1.1 plan must agree with the bespoke
+  // simulate_block_read (same actors, same requests, same machine).
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const grid::Decomposition d(grid::LatLonGrid(workload.nx, workload.ny),
+                              12, 10, grid::Halo{0, 0});
+  const auto plan = io::block_read_plan(d, workload.members,
+                                        workload.point_bytes());
+  const auto priced = simulate_read_plan(machine, plan);
+  // The bespoke workflow reads zero-halo blocks of identical geometry.
+  const auto bespoke = simulate_block_read(machine, workload, 12, 10);
+  EXPECT_NEAR(priced.makespan, bespoke.makespan, 1e-9);
+}
+
+TEST(ReadPlanPricing, MatchesBespokeConcurrentWorkflow) {
+  const auto machine = default_machine();
+  const auto workload = small_workload();
+  const grid::Decomposition d(grid::LatLonGrid(workload.nx, workload.ny),
+                              1, 10, grid::Halo{0, 0});
+  const auto plan = io::concurrent_bar_plan(d, workload.members, 6, 1,
+                                            workload.point_bytes());
+  const auto priced = simulate_read_plan(machine, plan);
+  const auto bespoke = simulate_concurrent_read(machine, workload, 10, 6);
+  EXPECT_NEAR(priced.makespan, bespoke.makespan, 1e-9);
+}
+
+TEST(ReadPlanPricing, EmptyPlanRejected) {
+  EXPECT_THROW(simulate_read_plan(default_machine(), io::ReadPlan{}),
+               senkf::InvalidArgument);
+}
+
+TEST(Workload, DerivedQuantities) {
+  const auto w = small_workload();
+  EXPECT_DOUBLE_EQ(w.member_bytes(), 360.0 * 180.0 * 8.0);
+  EXPECT_DOUBLE_EQ(w.bar_bytes(10), w.member_bytes() / 10.0);
+  EXPECT_EQ(w.rows_per_stage(6, 5), 6u);
+}
+
+TEST(Workload, VerticalLevelsScaleVolume) {
+  auto w = small_workload();
+  const double flat = w.member_bytes();
+  w.levels = 30;
+  EXPECT_DOUBLE_EQ(w.member_bytes(), 30.0 * flat);
+  EXPECT_DOUBLE_EQ(w.point_bytes(), 240.0);
+}
+
+TEST(Workload, MoreLevelsLengthenReads) {
+  const auto machine = default_machine();
+  auto workload = small_workload();
+  const double t1 =
+      simulate_concurrent_read(machine, workload, 10, 6).makespan;
+  workload.levels = 10;
+  const double t10 =
+      simulate_concurrent_read(machine, workload, 10, 6).makespan;
+  EXPECT_GT(t10, 5.0 * t1);  // transfer-dominated: ~10x
+}
+
+}  // namespace
+}  // namespace senkf::vcluster
