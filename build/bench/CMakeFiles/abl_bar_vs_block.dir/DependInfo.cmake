@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_bar_vs_block.cpp" "bench/CMakeFiles/abl_bar_vs_block.dir/abl_bar_vs_block.cpp.o" "gcc" "bench/CMakeFiles/abl_bar_vs_block.dir/abl_bar_vs_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vcluster/CMakeFiles/senkf_vcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuning/CMakeFiles/senkf_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/enkf/CMakeFiles/senkf_enkf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/senkf_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/senkf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/senkf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/senkf_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/senkf_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/parcomm/CMakeFiles/senkf_parcomm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/senkf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/senkf_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/senkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bar_vs_block.dir/abl_bar_vs_block.cpp.o"
+  "CMakeFiles/abl_bar_vs_block.dir/abl_bar_vs_block.cpp.o.d"
+  "abl_bar_vs_block"
+  "abl_bar_vs_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bar_vs_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_bar_vs_block.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_helper_thread.dir/abl_helper_thread.cpp.o"
+  "CMakeFiles/abl_helper_thread.dir/abl_helper_thread.cpp.o.d"
+  "abl_helper_thread"
+  "abl_helper_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_helper_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

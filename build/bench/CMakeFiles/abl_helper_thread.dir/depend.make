@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_helper_thread.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_layers_sweep.dir/abl_layers_sweep.cpp.o"
+  "CMakeFiles/abl_layers_sweep.dir/abl_layers_sweep.cpp.o.d"
+  "abl_layers_sweep"
+  "abl_layers_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_layers_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

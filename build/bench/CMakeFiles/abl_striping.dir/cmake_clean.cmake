@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_striping.dir/abl_striping.cpp.o"
+  "CMakeFiles/abl_striping.dir/abl_striping.cpp.o.d"
+  "abl_striping"
+  "abl_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

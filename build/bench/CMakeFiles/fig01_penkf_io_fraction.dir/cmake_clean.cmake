@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_penkf_io_fraction.dir/fig01_penkf_io_fraction.cpp.o"
+  "CMakeFiles/fig01_penkf_io_fraction.dir/fig01_penkf_io_fraction.cpp.o.d"
+  "fig01_penkf_io_fraction"
+  "fig01_penkf_io_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_penkf_io_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

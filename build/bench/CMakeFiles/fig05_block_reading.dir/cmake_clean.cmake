@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_block_reading.dir/fig05_block_reading.cpp.o"
+  "CMakeFiles/fig05_block_reading.dir/fig05_block_reading.cpp.o.d"
+  "fig05_block_reading"
+  "fig05_block_reading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_block_reading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_concurrent_access.dir/fig10_concurrent_access.cpp.o"
+  "CMakeFiles/fig10_concurrent_access.dir/fig10_concurrent_access.cpp.o.d"
+  "fig10_concurrent_access"
+  "fig10_concurrent_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_concurrent_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

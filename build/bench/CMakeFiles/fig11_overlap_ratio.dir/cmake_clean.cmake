@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overlap_ratio.dir/fig11_overlap_ratio.cpp.o"
+  "CMakeFiles/fig11_overlap_ratio.dir/fig11_overlap_ratio.cpp.o.d"
+  "fig11_overlap_ratio"
+  "fig11_overlap_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overlap_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

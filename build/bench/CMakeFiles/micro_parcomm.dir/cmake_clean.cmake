@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parcomm.dir/micro_parcomm.cpp.o"
+  "CMakeFiles/micro_parcomm.dir/micro_parcomm.cpp.o.d"
+  "micro_parcomm"
+  "micro_parcomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

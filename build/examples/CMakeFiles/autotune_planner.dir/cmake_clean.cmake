@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_planner.dir/autotune_planner.cpp.o"
+  "CMakeFiles/autotune_planner.dir/autotune_planner.cpp.o.d"
+  "autotune_planner"
+  "autotune_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

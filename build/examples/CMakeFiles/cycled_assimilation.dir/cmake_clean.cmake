@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycled_assimilation.dir/cycled_assimilation.cpp.o"
+  "CMakeFiles/cycled_assimilation.dir/cycled_assimilation.cpp.o.d"
+  "cycled_assimilation"
+  "cycled_assimilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycled_assimilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

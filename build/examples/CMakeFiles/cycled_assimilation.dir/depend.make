@@ -1,0 +1,2 @@
+# Empty dependencies file for cycled_assimilation.
+# This may be replaced when dependencies are built.

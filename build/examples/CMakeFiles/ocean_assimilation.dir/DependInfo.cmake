@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ocean_assimilation.cpp" "examples/CMakeFiles/ocean_assimilation.dir/ocean_assimilation.cpp.o" "gcc" "examples/CMakeFiles/ocean_assimilation.dir/ocean_assimilation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enkf/CMakeFiles/senkf_enkf.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/senkf_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/parcomm/CMakeFiles/senkf_parcomm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/senkf_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/senkf_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/senkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_assimilation.dir/ocean_assimilation.cpp.o"
+  "CMakeFiles/ocean_assimilation.dir/ocean_assimilation.cpp.o.d"
+  "ocean_assimilation"
+  "ocean_assimilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_assimilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

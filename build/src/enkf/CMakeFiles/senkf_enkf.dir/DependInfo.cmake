@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enkf/cycle.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/cycle.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/cycle.cpp.o.d"
+  "/root/repo/src/enkf/diagnostics.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/diagnostics.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/enkf/ensemble_store.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/ensemble_store.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/ensemble_store.cpp.o.d"
+  "/root/repo/src/enkf/file_store.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/file_store.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/file_store.cpp.o.d"
+  "/root/repo/src/enkf/lenkf.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/lenkf.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/lenkf.cpp.o.d"
+  "/root/repo/src/enkf/local_analysis.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/local_analysis.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/local_analysis.cpp.o.d"
+  "/root/repo/src/enkf/patch_wire.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/patch_wire.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/patch_wire.cpp.o.d"
+  "/root/repo/src/enkf/penkf.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/penkf.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/penkf.cpp.o.d"
+  "/root/repo/src/enkf/senkf.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/senkf.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/senkf.cpp.o.d"
+  "/root/repo/src/enkf/serial_enkf.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/serial_enkf.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/serial_enkf.cpp.o.d"
+  "/root/repo/src/enkf/verification.cpp" "src/enkf/CMakeFiles/senkf_enkf.dir/verification.cpp.o" "gcc" "src/enkf/CMakeFiles/senkf_enkf.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/senkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/senkf_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/senkf_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/parcomm/CMakeFiles/senkf_parcomm.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/senkf_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

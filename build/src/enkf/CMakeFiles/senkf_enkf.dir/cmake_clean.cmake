@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_enkf.dir/cycle.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/cycle.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/diagnostics.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/ensemble_store.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/ensemble_store.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/file_store.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/file_store.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/lenkf.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/lenkf.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/local_analysis.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/local_analysis.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/patch_wire.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/patch_wire.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/penkf.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/penkf.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/senkf.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/senkf.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/serial_enkf.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/serial_enkf.cpp.o.d"
+  "CMakeFiles/senkf_enkf.dir/verification.cpp.o"
+  "CMakeFiles/senkf_enkf.dir/verification.cpp.o.d"
+  "libsenkf_enkf.a"
+  "libsenkf_enkf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_enkf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/decomposition.cpp" "src/grid/CMakeFiles/senkf_grid.dir/decomposition.cpp.o" "gcc" "src/grid/CMakeFiles/senkf_grid.dir/decomposition.cpp.o.d"
+  "/root/repo/src/grid/field.cpp" "src/grid/CMakeFiles/senkf_grid.dir/field.cpp.o" "gcc" "src/grid/CMakeFiles/senkf_grid.dir/field.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/senkf_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/senkf_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/local_box.cpp" "src/grid/CMakeFiles/senkf_grid.dir/local_box.cpp.o" "gcc" "src/grid/CMakeFiles/senkf_grid.dir/local_box.cpp.o.d"
+  "/root/repo/src/grid/synthetic.cpp" "src/grid/CMakeFiles/senkf_grid.dir/synthetic.cpp.o" "gcc" "src/grid/CMakeFiles/senkf_grid.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/senkf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

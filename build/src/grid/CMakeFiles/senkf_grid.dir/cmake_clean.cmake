@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_grid.dir/decomposition.cpp.o"
+  "CMakeFiles/senkf_grid.dir/decomposition.cpp.o.d"
+  "CMakeFiles/senkf_grid.dir/field.cpp.o"
+  "CMakeFiles/senkf_grid.dir/field.cpp.o.d"
+  "CMakeFiles/senkf_grid.dir/grid.cpp.o"
+  "CMakeFiles/senkf_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/senkf_grid.dir/local_box.cpp.o"
+  "CMakeFiles/senkf_grid.dir/local_box.cpp.o.d"
+  "CMakeFiles/senkf_grid.dir/synthetic.cpp.o"
+  "CMakeFiles/senkf_grid.dir/synthetic.cpp.o.d"
+  "libsenkf_grid.a"
+  "libsenkf_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_io.dir/read_plan.cpp.o"
+  "CMakeFiles/senkf_io.dir/read_plan.cpp.o.d"
+  "libsenkf_io.a"
+  "libsenkf_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

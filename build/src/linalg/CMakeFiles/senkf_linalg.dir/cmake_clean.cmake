@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/senkf_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/senkf_linalg.dir/covariance.cpp.o"
+  "CMakeFiles/senkf_linalg.dir/covariance.cpp.o.d"
+  "CMakeFiles/senkf_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/senkf_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/senkf_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/senkf_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/senkf_linalg.dir/modified_cholesky.cpp.o"
+  "CMakeFiles/senkf_linalg.dir/modified_cholesky.cpp.o.d"
+  "CMakeFiles/senkf_linalg.dir/ops.cpp.o"
+  "CMakeFiles/senkf_linalg.dir/ops.cpp.o.d"
+  "CMakeFiles/senkf_linalg.dir/solve.cpp.o"
+  "CMakeFiles/senkf_linalg.dir/solve.cpp.o.d"
+  "CMakeFiles/senkf_linalg.dir/sparse_lower.cpp.o"
+  "CMakeFiles/senkf_linalg.dir/sparse_lower.cpp.o.d"
+  "libsenkf_linalg.a"
+  "libsenkf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_model.dir/advection.cpp.o"
+  "CMakeFiles/senkf_model.dir/advection.cpp.o.d"
+  "libsenkf_model.a"
+  "libsenkf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

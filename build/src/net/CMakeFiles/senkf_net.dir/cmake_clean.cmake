@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_net.dir/net.cpp.o"
+  "CMakeFiles/senkf_net.dir/net.cpp.o.d"
+  "libsenkf_net.a"
+  "libsenkf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/local_obs.cpp" "src/obs/CMakeFiles/senkf_obs.dir/local_obs.cpp.o" "gcc" "src/obs/CMakeFiles/senkf_obs.dir/local_obs.cpp.o.d"
+  "/root/repo/src/obs/obs_io.cpp" "src/obs/CMakeFiles/senkf_obs.dir/obs_io.cpp.o" "gcc" "src/obs/CMakeFiles/senkf_obs.dir/obs_io.cpp.o.d"
+  "/root/repo/src/obs/observation.cpp" "src/obs/CMakeFiles/senkf_obs.dir/observation.cpp.o" "gcc" "src/obs/CMakeFiles/senkf_obs.dir/observation.cpp.o.d"
+  "/root/repo/src/obs/perturbed.cpp" "src/obs/CMakeFiles/senkf_obs.dir/perturbed.cpp.o" "gcc" "src/obs/CMakeFiles/senkf_obs.dir/perturbed.cpp.o.d"
+  "/root/repo/src/obs/quality_control.cpp" "src/obs/CMakeFiles/senkf_obs.dir/quality_control.cpp.o" "gcc" "src/obs/CMakeFiles/senkf_obs.dir/quality_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/senkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/senkf_grid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_obs.dir/local_obs.cpp.o"
+  "CMakeFiles/senkf_obs.dir/local_obs.cpp.o.d"
+  "CMakeFiles/senkf_obs.dir/obs_io.cpp.o"
+  "CMakeFiles/senkf_obs.dir/obs_io.cpp.o.d"
+  "CMakeFiles/senkf_obs.dir/observation.cpp.o"
+  "CMakeFiles/senkf_obs.dir/observation.cpp.o.d"
+  "CMakeFiles/senkf_obs.dir/perturbed.cpp.o"
+  "CMakeFiles/senkf_obs.dir/perturbed.cpp.o.d"
+  "CMakeFiles/senkf_obs.dir/quality_control.cpp.o"
+  "CMakeFiles/senkf_obs.dir/quality_control.cpp.o.d"
+  "libsenkf_obs.a"
+  "libsenkf_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parcomm/bus.cpp" "src/parcomm/CMakeFiles/senkf_parcomm.dir/bus.cpp.o" "gcc" "src/parcomm/CMakeFiles/senkf_parcomm.dir/bus.cpp.o.d"
+  "/root/repo/src/parcomm/communicator.cpp" "src/parcomm/CMakeFiles/senkf_parcomm.dir/communicator.cpp.o" "gcc" "src/parcomm/CMakeFiles/senkf_parcomm.dir/communicator.cpp.o.d"
+  "/root/repo/src/parcomm/mailbox.cpp" "src/parcomm/CMakeFiles/senkf_parcomm.dir/mailbox.cpp.o" "gcc" "src/parcomm/CMakeFiles/senkf_parcomm.dir/mailbox.cpp.o.d"
+  "/root/repo/src/parcomm/runtime.cpp" "src/parcomm/CMakeFiles/senkf_parcomm.dir/runtime.cpp.o" "gcc" "src/parcomm/CMakeFiles/senkf_parcomm.dir/runtime.cpp.o.d"
+  "/root/repo/src/parcomm/wire.cpp" "src/parcomm/CMakeFiles/senkf_parcomm.dir/wire.cpp.o" "gcc" "src/parcomm/CMakeFiles/senkf_parcomm.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

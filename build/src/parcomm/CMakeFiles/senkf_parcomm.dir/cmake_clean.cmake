@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_parcomm.dir/bus.cpp.o"
+  "CMakeFiles/senkf_parcomm.dir/bus.cpp.o.d"
+  "CMakeFiles/senkf_parcomm.dir/communicator.cpp.o"
+  "CMakeFiles/senkf_parcomm.dir/communicator.cpp.o.d"
+  "CMakeFiles/senkf_parcomm.dir/mailbox.cpp.o"
+  "CMakeFiles/senkf_parcomm.dir/mailbox.cpp.o.d"
+  "CMakeFiles/senkf_parcomm.dir/runtime.cpp.o"
+  "CMakeFiles/senkf_parcomm.dir/runtime.cpp.o.d"
+  "CMakeFiles/senkf_parcomm.dir/wire.cpp.o"
+  "CMakeFiles/senkf_parcomm.dir/wire.cpp.o.d"
+  "libsenkf_parcomm.a"
+  "libsenkf_parcomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_parcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/senkf_pfs.dir/pfs.cpp.o.d"
+  "libsenkf_pfs.a"
+  "libsenkf_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for senkf_pfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_sim.dir/primitives.cpp.o"
+  "CMakeFiles/senkf_sim.dir/primitives.cpp.o.d"
+  "CMakeFiles/senkf_sim.dir/simulation.cpp.o"
+  "CMakeFiles/senkf_sim.dir/simulation.cpp.o.d"
+  "libsenkf_sim.a"
+  "libsenkf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

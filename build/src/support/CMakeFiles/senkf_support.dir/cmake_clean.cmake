@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_support.dir/config.cpp.o"
+  "CMakeFiles/senkf_support.dir/config.cpp.o.d"
+  "CMakeFiles/senkf_support.dir/error.cpp.o"
+  "CMakeFiles/senkf_support.dir/error.cpp.o.d"
+  "CMakeFiles/senkf_support.dir/logging.cpp.o"
+  "CMakeFiles/senkf_support.dir/logging.cpp.o.d"
+  "CMakeFiles/senkf_support.dir/rng.cpp.o"
+  "CMakeFiles/senkf_support.dir/rng.cpp.o.d"
+  "CMakeFiles/senkf_support.dir/table.cpp.o"
+  "CMakeFiles/senkf_support.dir/table.cpp.o.d"
+  "libsenkf_support.a"
+  "libsenkf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_tuning.dir/auto_tune.cpp.o"
+  "CMakeFiles/senkf_tuning.dir/auto_tune.cpp.o.d"
+  "CMakeFiles/senkf_tuning.dir/cost_model.cpp.o"
+  "CMakeFiles/senkf_tuning.dir/cost_model.cpp.o.d"
+  "libsenkf_tuning.a"
+  "libsenkf_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

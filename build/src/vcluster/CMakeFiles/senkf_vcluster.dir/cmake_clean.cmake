@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/senkf_vcluster.dir/workflows.cpp.o"
+  "CMakeFiles/senkf_vcluster.dir/workflows.cpp.o.d"
+  "libsenkf_vcluster.a"
+  "libsenkf_vcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/senkf_vcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

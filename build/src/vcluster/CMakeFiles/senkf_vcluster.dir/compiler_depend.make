@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for senkf_vcluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enkf.dir/enkf/test_cycle.cpp.o"
+  "CMakeFiles/test_enkf.dir/enkf/test_cycle.cpp.o.d"
+  "CMakeFiles/test_enkf.dir/enkf/test_deterministic.cpp.o"
+  "CMakeFiles/test_enkf.dir/enkf/test_deterministic.cpp.o.d"
+  "CMakeFiles/test_enkf.dir/enkf/test_ensemble_store.cpp.o"
+  "CMakeFiles/test_enkf.dir/enkf/test_ensemble_store.cpp.o.d"
+  "CMakeFiles/test_enkf.dir/enkf/test_file_store.cpp.o"
+  "CMakeFiles/test_enkf.dir/enkf/test_file_store.cpp.o.d"
+  "CMakeFiles/test_enkf.dir/enkf/test_local_analysis.cpp.o"
+  "CMakeFiles/test_enkf.dir/enkf/test_local_analysis.cpp.o.d"
+  "CMakeFiles/test_enkf.dir/enkf/test_serial_enkf.cpp.o"
+  "CMakeFiles/test_enkf.dir/enkf/test_serial_enkf.cpp.o.d"
+  "CMakeFiles/test_enkf.dir/enkf/test_verification.cpp.o"
+  "CMakeFiles/test_enkf.dir/enkf/test_verification.cpp.o.d"
+  "test_enkf"
+  "test_enkf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enkf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/grid/test_decomposition.cpp" "tests/CMakeFiles/test_grid.dir/grid/test_decomposition.cpp.o" "gcc" "tests/CMakeFiles/test_grid.dir/grid/test_decomposition.cpp.o.d"
+  "/root/repo/tests/grid/test_decomposition_properties.cpp" "tests/CMakeFiles/test_grid.dir/grid/test_decomposition_properties.cpp.o" "gcc" "tests/CMakeFiles/test_grid.dir/grid/test_decomposition_properties.cpp.o.d"
+  "/root/repo/tests/grid/test_field.cpp" "tests/CMakeFiles/test_grid.dir/grid/test_field.cpp.o" "gcc" "tests/CMakeFiles/test_grid.dir/grid/test_field.cpp.o.d"
+  "/root/repo/tests/grid/test_grid.cpp" "tests/CMakeFiles/test_grid.dir/grid/test_grid.cpp.o" "gcc" "tests/CMakeFiles/test_grid.dir/grid/test_grid.cpp.o.d"
+  "/root/repo/tests/grid/test_local_box.cpp" "tests/CMakeFiles/test_grid.dir/grid/test_local_box.cpp.o" "gcc" "tests/CMakeFiles/test_grid.dir/grid/test_local_box.cpp.o.d"
+  "/root/repo/tests/grid/test_synthetic.cpp" "tests/CMakeFiles/test_grid.dir/grid/test_synthetic.cpp.o" "gcc" "tests/CMakeFiles/test_grid.dir/grid/test_synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/senkf_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/senkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

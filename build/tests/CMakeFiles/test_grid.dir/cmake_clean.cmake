@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid.dir/grid/test_decomposition.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_decomposition.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_decomposition_properties.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_decomposition_properties.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_field.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_field.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_grid.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_grid.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_local_box.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_local_box.cpp.o.d"
+  "CMakeFiles/test_grid.dir/grid/test_synthetic.cpp.o"
+  "CMakeFiles/test_grid.dir/grid/test_synthetic.cpp.o.d"
+  "test_grid"
+  "test_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/test_cholesky.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_cholesky.cpp.o.d"
+  "/root/repo/tests/linalg/test_covariance.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_covariance.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_covariance.cpp.o.d"
+  "/root/repo/tests/linalg/test_eigen.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_eigen.cpp.o.d"
+  "/root/repo/tests/linalg/test_matrix.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o.d"
+  "/root/repo/tests/linalg/test_modified_cholesky.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_modified_cholesky.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_modified_cholesky.cpp.o.d"
+  "/root/repo/tests/linalg/test_ops.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_ops.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_ops.cpp.o.d"
+  "/root/repo/tests/linalg/test_solve.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_solve.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_solve.cpp.o.d"
+  "/root/repo/tests/linalg/test_sparse_lower.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_sparse_lower.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_sparse_lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/senkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

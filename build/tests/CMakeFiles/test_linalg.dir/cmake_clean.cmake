@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/test_cholesky.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_cholesky.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_covariance.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_covariance.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_eigen.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_eigen.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_matrix.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_modified_cholesky.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_modified_cholesky.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_ops.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_ops.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_solve.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_solve.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_sparse_lower.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_sparse_lower.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/test_local_obs.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_local_obs.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_local_obs.cpp.o.d"
+  "/root/repo/tests/obs/test_obs_io.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_obs_io.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_obs_io.cpp.o.d"
+  "/root/repo/tests/obs/test_observation.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_observation.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_observation.cpp.o.d"
+  "/root/repo/tests/obs/test_perturbed.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_perturbed.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_perturbed.cpp.o.d"
+  "/root/repo/tests/obs/test_quality_control.cpp" "tests/CMakeFiles/test_obs.dir/obs/test_quality_control.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/obs/test_quality_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obs/CMakeFiles/senkf_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/senkf_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/senkf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs.dir/obs/test_local_obs.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_local_obs.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/test_obs_io.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_obs_io.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/test_observation.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_observation.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/test_perturbed.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_perturbed.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/test_quality_control.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/test_quality_control.cpp.o.d"
+  "test_obs"
+  "test_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parcomm/test_communicator.cpp" "tests/CMakeFiles/test_parcomm.dir/parcomm/test_communicator.cpp.o" "gcc" "tests/CMakeFiles/test_parcomm.dir/parcomm/test_communicator.cpp.o.d"
+  "/root/repo/tests/parcomm/test_mailbox.cpp" "tests/CMakeFiles/test_parcomm.dir/parcomm/test_mailbox.cpp.o" "gcc" "tests/CMakeFiles/test_parcomm.dir/parcomm/test_mailbox.cpp.o.d"
+  "/root/repo/tests/parcomm/test_stress.cpp" "tests/CMakeFiles/test_parcomm.dir/parcomm/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_parcomm.dir/parcomm/test_stress.cpp.o.d"
+  "/root/repo/tests/parcomm/test_wire.cpp" "tests/CMakeFiles/test_parcomm.dir/parcomm/test_wire.cpp.o" "gcc" "tests/CMakeFiles/test_parcomm.dir/parcomm/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parcomm/CMakeFiles/senkf_parcomm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parcomm.dir/parcomm/test_communicator.cpp.o"
+  "CMakeFiles/test_parcomm.dir/parcomm/test_communicator.cpp.o.d"
+  "CMakeFiles/test_parcomm.dir/parcomm/test_mailbox.cpp.o"
+  "CMakeFiles/test_parcomm.dir/parcomm/test_mailbox.cpp.o.d"
+  "CMakeFiles/test_parcomm.dir/parcomm/test_stress.cpp.o"
+  "CMakeFiles/test_parcomm.dir/parcomm/test_stress.cpp.o.d"
+  "CMakeFiles/test_parcomm.dir/parcomm/test_wire.cpp.o"
+  "CMakeFiles/test_parcomm.dir/parcomm/test_wire.cpp.o.d"
+  "test_parcomm"
+  "test_parcomm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parcomm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pfs/test_pfs.cpp" "tests/CMakeFiles/test_pfs.dir/pfs/test_pfs.cpp.o" "gcc" "tests/CMakeFiles/test_pfs.dir/pfs/test_pfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pfs/CMakeFiles/senkf_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/senkf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/senkf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfs.dir/pfs/test_pfs.cpp.o"
+  "CMakeFiles/test_pfs.dir/pfs/test_pfs.cpp.o.d"
+  "test_pfs"
+  "test_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

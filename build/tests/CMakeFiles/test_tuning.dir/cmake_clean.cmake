@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuning.dir/tuning/test_auto_tune.cpp.o"
+  "CMakeFiles/test_tuning.dir/tuning/test_auto_tune.cpp.o.d"
+  "CMakeFiles/test_tuning.dir/tuning/test_cost_model.cpp.o"
+  "CMakeFiles/test_tuning.dir/tuning/test_cost_model.cpp.o.d"
+  "test_tuning"
+  "test_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

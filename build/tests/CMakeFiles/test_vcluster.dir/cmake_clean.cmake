@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcluster.dir/vcluster/test_workflows.cpp.o"
+  "CMakeFiles/test_vcluster.dir/vcluster/test_workflows.cpp.o.d"
+  "test_vcluster"
+  "test_vcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_vcluster.
+# This may be replaced when dependencies are built.
