@@ -31,6 +31,14 @@ Matrix random_spd(Index n, std::uint64_t seed) {
   return a;
 }
 
+/// Reports the kernel throughput: `flops` is the FLOP count of one
+/// iteration (2·m·n·k for a GEMM).
+void report_gflops(benchmark::State& state, double flops) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
 void BM_Gemm(benchmark::State& state) {
   const Index n = static_cast<Index>(state.range(0));
   const Matrix a = random_matrix(n, n, 1);
@@ -39,8 +47,28 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(linalg::multiply(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  report_gflops(state, 2.0 * static_cast<double>(n * n * n));
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// The LETKF-shaped products are tall and skinny, not square: the
+// expansion has thousands of grid points (rows) but only N ≈ 40–120
+// ensemble members (columns).  Xᵃ = U·W is (rows × N)·(N × N).
+void BM_GemmAnomalyTransform(benchmark::State& state) {
+  const Index rows = static_cast<Index>(state.range(0));
+  const Index members = static_cast<Index>(state.range(1));
+  const Matrix u = random_matrix(rows, members, 1);
+  const Matrix w = random_matrix(members, members, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::multiply(u, w));
+  }
+  report_gflops(state, 2.0 * static_cast<double>(rows * members * members));
+}
+BENCHMARK(BM_GemmAnomalyTransform)
+    ->Args({1024, 40})
+    ->Args({4096, 40})
+    ->Args({4096, 120})
+    ->Args({16384, 40});
 
 void BM_GemmAtB(benchmark::State& state) {
   const Index n = static_cast<Index>(state.range(0));
@@ -49,8 +77,36 @@ void BM_GemmAtB(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(linalg::multiply_at_b(a, b));
   }
+  report_gflops(state, 2.0 * static_cast<double>(n * n * n));
 }
 BENCHMARK(BM_GemmAtB)->Arg(64)->Arg(128);
+
+// ỸᵀR⁻¹Ỹ-shaped reduction: (m̄ × N)ᵀ·(m̄ × N) with many observation rows
+// collapsing onto an N×N ensemble-space system.
+void BM_GemmAtBTall(benchmark::State& state) {
+  const Index rows = static_cast<Index>(state.range(0));
+  const Index members = static_cast<Index>(state.range(1));
+  const Matrix a = random_matrix(rows, members, 3);
+  const Matrix b = random_matrix(rows, members, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::multiply_at_b(a, b));
+  }
+  report_gflops(state,
+                2.0 * static_cast<double>(rows * members * members));
+}
+BENCHMARK(BM_GemmAtBTall)->Args({4096, 40})->Args({4096, 120});
+
+// B = U·Uᵀ-shaped outer product over a short member axis.
+void BM_GemmABtTall(benchmark::State& state) {
+  const Index rows = static_cast<Index>(state.range(0));
+  const Index members = static_cast<Index>(state.range(1));
+  const Matrix u = random_matrix(rows, members, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::multiply_a_bt(u, u));
+  }
+  report_gflops(state, 2.0 * static_cast<double>(rows * rows * members));
+}
+BENCHMARK(BM_GemmABtTall)->Args({512, 40})->Args({1024, 40});
 
 void BM_Cholesky(benchmark::State& state) {
   const Index n = static_cast<Index>(state.range(0));

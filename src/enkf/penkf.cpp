@@ -4,6 +4,7 @@
 
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
+#include "support/thread_pool.hpp"
 
 namespace senkf::enkf {
 
@@ -39,9 +40,14 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
     }
 
     // --- phase 2: local update (no inter-processor communication) --------
-    parcomm::Packer results;
-    results.put<std::uint64_t>(config.layers * n_members);
-    for (Index l = 0; l < config.layers; ++l) {
+    // The layer analyses are independent (they only read `my_members`),
+    // so they fan out across the rank's analysis pool; results are packed
+    // in layer order afterwards, keeping the output bit-identical to the
+    // sequential loop for any pool width.
+    std::vector<AnalysisResult> locals(config.layers);
+    ThreadPool pool(
+        ThreadPool::resolve_thread_count(config.analysis_threads));
+    pool.parallel_for(config.layers, [&](std::size_t l) {
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       const grid::Rect expansion =
           decomposition.layer_expansion(my_id, l, config.layers);
@@ -50,11 +56,15 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
       for (Index k = 0; k < n_members; ++k) {
         background.push_back(my_members[k].extract(expansion));
       }
-      AnalysisResult local = local_analysis(background, target, observations,
-                                            perturbed, config.analysis);
+      locals[l] = local_analysis(background, target, observations,
+                                 perturbed, config.analysis);
+    });
+    parcomm::Packer results;
+    results.put<std::uint64_t>(config.layers * n_members);
+    for (Index l = 0; l < config.layers; ++l) {
       for (Index k = 0; k < n_members; ++k) {
         results.put<std::uint64_t>(k);
-        pack_patch(results, local.members[k]);
+        pack_patch(results, locals[l].members[k]);
       }
     }
 

@@ -8,6 +8,7 @@
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
 #include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace senkf::enkf {
 
@@ -163,24 +164,41 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
     }
   } join_guard{helper};
 
+  // Analysis pool (§4.2 extended): each completed stage is submitted as
+  // an independent task, so while the helper thread drains stage l+1 and
+  // the main thread blocks on take_stage, up to `analysis_threads` layer
+  // analyses run concurrently.  Every task writes only its own slot of
+  // `locals` / `stage_data`, and the results are packed in layer order
+  // below — bit-identical output for any pool width.
+  ThreadPool pool(
+      ThreadPool::resolve_thread_count(config.analysis_threads));
+  std::vector<std::vector<grid::Patch>> stage_data(config.layers);
+  std::vector<AnalysisResult> locals(config.layers);
+
   double wait_seconds = 0.0;
   double update_seconds = 0.0;
+  Stopwatch analysis_watch;
+  for (Index l = 0; l < config.layers; ++l) {
+    Stopwatch wait_watch;
+    stage_data[l] = buffers.take_stage(l);
+    wait_seconds += wait_watch.elapsed_seconds();
+
+    pool.submit([&, l] {
+      const grid::Rect target = decomposition.layer(my_id, l, config.layers);
+      locals[l] = local_analysis(stage_data[l], target, observations,
+                                 perturbed, config.analysis);
+    });
+  }
+  pool.wait_idle();
+  update_seconds = analysis_watch.elapsed_seconds() - wait_seconds;
+
   parcomm::Packer results;
   results.put<std::uint64_t>(config.layers * n_members);
   for (Index l = 0; l < config.layers; ++l) {
-    Stopwatch wait_watch;
-    std::vector<grid::Patch> background = buffers.take_stage(l);
-    wait_seconds += wait_watch.elapsed_seconds();
-
-    Stopwatch update_watch;
-    const grid::Rect target = decomposition.layer(my_id, l, config.layers);
-    AnalysisResult local = local_analysis(background, target, observations,
-                                          perturbed, config.analysis);
     for (Index k = 0; k < n_members; ++k) {
       results.put<std::uint64_t>(k);
-      pack_patch(results, local.members[k]);
+      pack_patch(results, locals[l].members[k]);
     }
-    update_seconds += update_watch.elapsed_seconds();
   }
   helper.join();
   if (helper_error) std::rethrow_exception(helper_error);

@@ -32,6 +32,13 @@ struct SenkfConfig {
   Index n_sdy = 1;
   Index layers = 1;  ///< L
   Index n_cg = 1;    ///< concurrent groups
+  /// Width of each computation rank's analysis thread pool: completed
+  /// stages are handed to the pool so several layers update concurrently
+  /// while the helper thread keeps draining blocks.  0 = hardware
+  /// concurrency capped at 8 (ThreadPool::default_thread_count); results
+  /// are packed in layer order, so any width produces bit-identical
+  /// analyses.
+  Index analysis_threads = 0;
   AnalysisOptions analysis;
 
   Index computation_ranks() const { return n_sdx * n_sdy; }

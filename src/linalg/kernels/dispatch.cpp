@@ -1,0 +1,46 @@
+#include "linalg/kernels/dispatch.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace senkf::linalg::kernels {
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable& resolve_kernels(const char* requested) {
+  const std::string want = requested == nullptr ? "" : requested;
+  if (want == "scalar") return scalar_kernels();
+
+  const KernelTable* avx2 = avx2_kernels();
+  const bool avx2_usable = avx2 != nullptr && cpu_supports_avx2();
+  if (want == "avx2") {
+    if (avx2_usable) return *avx2;
+    SENKF_LOG_WARN("SENKF_KERNEL=avx2 requested but ",
+                   avx2 == nullptr ? "this build has no AVX2 kernels"
+                                   : "the CPU lacks AVX2/FMA",
+                   "; falling back to scalar kernels");
+    return scalar_kernels();
+  }
+  if (!want.empty() && want != "auto") {
+    throw InvalidArgument("SENKF_KERNEL: unknown kernel set '" + want +
+                          "' (expected scalar, avx2 or auto)");
+  }
+  return avx2_usable ? *avx2 : scalar_kernels();
+}
+
+const KernelTable& active_kernels() {
+  static const KernelTable& table =
+      resolve_kernels(std::getenv("SENKF_KERNEL"));
+  return table;
+}
+
+}  // namespace senkf::linalg::kernels

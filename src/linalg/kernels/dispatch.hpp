@@ -1,0 +1,35 @@
+// Runtime kernel dispatch (CPUID + SENKF_KERNEL override).
+//
+// Selection order:
+//   1. `SENKF_KERNEL=scalar` forces the portable kernels (testing / triage);
+//   2. `SENKF_KERNEL=avx2` requests the AVX2 kernels, falling back to
+//      scalar with a warning when the binary or the CPU lacks them — so a
+//      test matrix that always sets both values stays green on any host;
+//   3. unset / `auto`: AVX2 when compiled in and the CPU reports
+//      AVX2+FMA, scalar otherwise.
+//
+// `active_kernels()` caches the decision on first use; `resolve_kernels`
+// is the pure resolution step, exposed so tests can exercise every branch
+// in one process without re-execing.
+#pragma once
+
+#include "linalg/kernels/kernels.hpp"
+
+namespace senkf::linalg::kernels {
+
+/// True when the running CPU reports AVX2 and FMA.
+bool cpu_supports_avx2();
+
+/// Resolves a requested implementation name (nullptr or "auto" = pick the
+/// best available).  Unknown names throw InvalidArgument so typos in
+/// SENKF_KERNEL fail loudly instead of silently benchmarking the wrong
+/// kernels.
+const KernelTable& resolve_kernels(const char* requested);
+
+/// The process-wide kernel table: resolve_kernels($SENKF_KERNEL), cached
+/// on first call.  Every linalg entry point routes through this, so all
+/// EnKF variants in a process use the same kernels (a precondition for
+/// their bit-identical-analysis guarantee).
+const KernelTable& active_kernels();
+
+}  // namespace senkf::linalg::kernels

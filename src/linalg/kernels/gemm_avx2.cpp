@@ -1,0 +1,251 @@
+// AVX2 + FMA kernels.  This is the only translation unit in the library
+// that may contain AVX2 instructions; CMake compiles it with per-file
+// `-mavx2 -mfma` (the rest of the build stays at the base ISA so the
+// binary still runs on non-AVX2 hosts — dispatch.cpp checks CPUID before
+// ever calling into this file).  On toolchains/architectures without
+// AVX2 the whole implementation compiles away and avx2_kernels() returns
+// nullptr.
+//
+// GEMM structure: the same (jc, kc) cache blocks as gemm_scalar.cpp with
+// 4×8 (rows × columns) register tiles inside — each C element's
+// k-reduction lives in one ymm lane accumulated in ascending-k order, so
+// results match the scalar kernels to FMA rounding.  A is addressed
+// through (row, k) strides, which lets the nn (A row-major) and tn (A
+// column-of-kᵀ) products share every micro-kernel.
+#include "linalg/kernels/kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace senkf::linalg::kernels {
+namespace {
+
+void zero_rows(Index m, Index n, double* c, Index ldc) {
+  for (Index i = 0; i < m; ++i) std::fill_n(c + i * ldc, n, 0.0);
+}
+
+double hsum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+// C[r][0..7] += Σ_kk A(r, kk) · B(kk, 0..7) for r = 0..3, with A(r, kk)
+// at a[r·ars + kk·aks]; b and c are pre-offset to the tile's column.
+void tile4x8(Index k0, Index kend, const double* a, Index ars, Index aks,
+             const double* b, Index ldb, double* c, Index ldc) {
+  __m256d c00 = _mm256_loadu_pd(c + 0 * ldc);
+  __m256d c01 = _mm256_loadu_pd(c + 0 * ldc + 4);
+  __m256d c10 = _mm256_loadu_pd(c + 1 * ldc);
+  __m256d c11 = _mm256_loadu_pd(c + 1 * ldc + 4);
+  __m256d c20 = _mm256_loadu_pd(c + 2 * ldc);
+  __m256d c21 = _mm256_loadu_pd(c + 2 * ldc + 4);
+  __m256d c30 = _mm256_loadu_pd(c + 3 * ldc);
+  __m256d c31 = _mm256_loadu_pd(c + 3 * ldc + 4);
+  for (Index kk = k0; kk < kend; ++kk) {
+    const double* bk = b + kk * ldb;
+    const __m256d b0 = _mm256_loadu_pd(bk);
+    const __m256d b1 = _mm256_loadu_pd(bk + 4);
+    const double* ak = a + kk * aks;
+    const __m256d a0 = _mm256_set1_pd(ak[0 * ars]);
+    c00 = _mm256_fmadd_pd(a0, b0, c00);
+    c01 = _mm256_fmadd_pd(a0, b1, c01);
+    const __m256d a1 = _mm256_set1_pd(ak[1 * ars]);
+    c10 = _mm256_fmadd_pd(a1, b0, c10);
+    c11 = _mm256_fmadd_pd(a1, b1, c11);
+    const __m256d a2 = _mm256_set1_pd(ak[2 * ars]);
+    c20 = _mm256_fmadd_pd(a2, b0, c20);
+    c21 = _mm256_fmadd_pd(a2, b1, c21);
+    const __m256d a3 = _mm256_set1_pd(ak[3 * ars]);
+    c30 = _mm256_fmadd_pd(a3, b0, c30);
+    c31 = _mm256_fmadd_pd(a3, b1, c31);
+  }
+  _mm256_storeu_pd(c + 0 * ldc, c00);
+  _mm256_storeu_pd(c + 0 * ldc + 4, c01);
+  _mm256_storeu_pd(c + 1 * ldc, c10);
+  _mm256_storeu_pd(c + 1 * ldc + 4, c11);
+  _mm256_storeu_pd(c + 2 * ldc, c20);
+  _mm256_storeu_pd(c + 2 * ldc + 4, c21);
+  _mm256_storeu_pd(c + 3 * ldc, c30);
+  _mm256_storeu_pd(c + 3 * ldc + 4, c31);
+}
+
+// Single-row edition of tile4x8 for the m % 4 remainder rows.
+void tile1x8(Index k0, Index kend, const double* a, Index aks,
+             const double* b, Index ldb, double* c) {
+  __m256d c0 = _mm256_loadu_pd(c);
+  __m256d c1 = _mm256_loadu_pd(c + 4);
+  for (Index kk = k0; kk < kend; ++kk) {
+    const double* bk = b + kk * ldb;
+    const __m256d av = _mm256_set1_pd(a[kk * aks]);
+    c0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bk), c0);
+    c1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bk + 4), c1);
+  }
+  _mm256_storeu_pd(c, c0);
+  _mm256_storeu_pd(c + 4, c1);
+}
+
+// Shared driver for C = op(A)·B: op selected by A's (row, k) strides —
+// (lda, 1) for A as given, (1, lda) for Aᵀ of a k×m matrix.
+void gemm_driver(Index m, Index n, Index k, const double* a, Index ars,
+                 Index aks, const double* b, Index ldb, double* c,
+                 Index ldc) {
+  zero_rows(m, n, c, ldc);
+  for (Index j0 = 0; j0 < n; j0 += kBlockN) {
+    const Index jend = std::min(n, j0 + kBlockN);
+    for (Index k0 = 0; k0 < k; k0 += kBlockK) {
+      const Index kend = std::min(k, k0 + kBlockK);
+      Index i = 0;
+      for (; i + 4 <= m; i += 4) {
+        const double* ai = a + i * ars;
+        Index j = j0;
+        for (; j + 8 <= jend; j += 8) {
+          tile4x8(k0, kend, ai, ars, aks, b + j, ldb, c + i * ldc + j, ldc);
+        }
+        for (; j < jend; ++j) {
+          for (Index r = 0; r < 4; ++r) {
+            double sum = c[(i + r) * ldc + j];
+            for (Index kk = k0; kk < kend; ++kk) {
+              sum += ai[r * ars + kk * aks] * b[kk * ldb + j];
+            }
+            c[(i + r) * ldc + j] = sum;
+          }
+        }
+      }
+      for (; i < m; ++i) {
+        const double* ai = a + i * ars;
+        Index j = j0;
+        for (; j + 8 <= jend; j += 8) {
+          tile1x8(k0, kend, ai, aks, b + j, ldb, c + i * ldc + j);
+        }
+        for (; j < jend; ++j) {
+          double sum = c[i * ldc + j];
+          for (Index kk = k0; kk < kend; ++kk) {
+            sum += ai[kk * aks] * b[kk * ldb + j];
+          }
+          c[i * ldc + j] = sum;
+        }
+      }
+    }
+  }
+}
+
+void gemm_nn(Index m, Index n, Index k, const double* a, Index lda,
+             const double* b, Index ldb, double* c, Index ldc) {
+  gemm_driver(m, n, k, a, lda, 1, b, ldb, c, ldc);
+}
+
+void gemm_tn(Index m, Index n, Index k, const double* a, Index lda,
+             const double* b, Index ldb, double* c, Index ldc) {
+  gemm_driver(m, n, k, a, 1, lda, b, ldb, c, ldc);
+}
+
+// C = A·Bᵀ: both operand rows are contiguous, so vectorize the dot
+// products over k, four B rows at a time to reuse each A load.
+void gemm_nt(Index m, Index n, Index k, const double* a, Index lda,
+             const double* b, Index ldb, double* c, Index ldc) {
+  for (Index i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* b0 = b + (j + 0) * ldb;
+      const double* b1 = b + (j + 1) * ldb;
+      const double* b2 = b + (j + 2) * ldb;
+      const double* b3 = b + (j + 3) * ldb;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      Index kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        const __m256d av = _mm256_loadu_pd(ai + kk);
+        acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b0 + kk), acc0);
+        acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b1 + kk), acc1);
+        acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b2 + kk), acc2);
+        acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b3 + kk), acc3);
+      }
+      double s0 = hsum(acc0), s1 = hsum(acc1);
+      double s2 = hsum(acc2), s3 = hsum(acc3);
+      for (; kk < k; ++kk) {
+        const double av = ai[kk];
+        s0 += av * b0[kk];
+        s1 += av * b1[kk];
+        s2 += av * b2[kk];
+        s3 += av * b3[kk];
+      }
+      ci[j] = s0;
+      ci[j + 1] = s1;
+      ci[j + 2] = s2;
+      ci[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const double* bj = b + j * ldb;
+      __m256d acc = _mm256_setzero_pd();
+      Index kk = 0;
+      for (; kk + 4 <= k; kk += 4) {
+        acc = _mm256_fmadd_pd(_mm256_loadu_pd(ai + kk),
+                              _mm256_loadu_pd(bj + kk), acc);
+      }
+      double sum = hsum(acc);
+      for (; kk < k; ++kk) sum += ai[kk] * bj[kk];
+      ci[j] = sum;
+    }
+  }
+}
+
+void gemv_n(Index m, Index n, const double* a, Index lda, const double* x,
+            double* y) {
+  for (Index i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    __m256d acc = _mm256_setzero_pd();
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      acc = _mm256_fmadd_pd(_mm256_loadu_pd(ai + j), _mm256_loadu_pd(x + j),
+                            acc);
+    }
+    double sum = hsum(acc);
+    for (; j < n; ++j) sum += ai[j] * x[j];
+    y[i] = sum;
+  }
+}
+
+void gemv_t(Index m, Index n, const double* a, Index lda, const double* x,
+            double* y) {
+  std::fill_n(y, n, 0.0);
+  for (Index i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    const __m256d xi = _mm256_set1_pd(x[i]);
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const __m256d yj = _mm256_fmadd_pd(xi, _mm256_loadu_pd(ai + j),
+                                         _mm256_loadu_pd(y + j));
+      _mm256_storeu_pd(y + j, yj);
+    }
+    for (; j < n; ++j) y[j] += ai[j] * x[i];
+  }
+}
+
+}  // namespace
+
+const KernelTable* avx2_kernels() {
+  static const KernelTable table{"avx2",  gemm_nn, gemm_tn,
+                                 gemm_nt, gemv_n,  gemv_t};
+  return &table;
+}
+
+}  // namespace senkf::linalg::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace senkf::linalg::kernels {
+
+const KernelTable* avx2_kernels() { return nullptr; }
+
+}  // namespace senkf::linalg::kernels
+
+#endif

@@ -1,0 +1,106 @@
+// Portable cache-blocked kernels — the reference every SIMD
+// implementation must match and the fallback on non-AVX2 hosts.
+//
+// The inner loops are branchless (no zero-skip: it defeats
+// auto-vectorization and makes the FP summation order data-dependent) and
+// iterate k in ascending order per output element, the contract that keeps
+// scalar and SIMD results within rounding of each other.
+#include "linalg/kernels/kernels.hpp"
+
+#include <algorithm>
+
+namespace senkf::linalg::kernels {
+namespace {
+
+void zero_rows(Index m, Index n, double* c, Index ldc) {
+  for (Index i = 0; i < m; ++i) std::fill_n(c + i * ldc, n, 0.0);
+}
+
+// C = A·B, ikj order inside (jc, kc) cache blocks: each B row segment is
+// streamed contiguously and C rows stay hot across the kk loop.
+void gemm_nn(Index m, Index n, Index k, const double* a, Index lda,
+             const double* b, Index ldb, double* c, Index ldc) {
+  zero_rows(m, n, c, ldc);
+  for (Index j0 = 0; j0 < n; j0 += kBlockN) {
+    const Index jend = std::min(n, j0 + kBlockN);
+    for (Index k0 = 0; k0 < k; k0 += kBlockK) {
+      const Index kend = std::min(k, k0 + kBlockK);
+      for (Index i = 0; i < m; ++i) {
+        double* ci = c + i * ldc;
+        const double* ai = a + i * lda;
+        for (Index kk = k0; kk < kend; ++kk) {
+          const double aik = ai[kk];
+          const double* bk = b + kk * ldb;
+          for (Index j = j0; j < jend; ++j) ci[j] += aik * bk[j];
+        }
+      }
+    }
+  }
+}
+
+// C = Aᵀ·B with A stored k×m: same blocked saxpy structure, broadcasting
+// A's column entry a(kk, i) instead of the row entry.
+void gemm_tn(Index m, Index n, Index k, const double* a, Index lda,
+             const double* b, Index ldb, double* c, Index ldc) {
+  zero_rows(m, n, c, ldc);
+  for (Index j0 = 0; j0 < n; j0 += kBlockN) {
+    const Index jend = std::min(n, j0 + kBlockN);
+    for (Index k0 = 0; k0 < k; k0 += kBlockK) {
+      const Index kend = std::min(k, k0 + kBlockK);
+      for (Index i = 0; i < m; ++i) {
+        double* ci = c + i * ldc;
+        for (Index kk = k0; kk < kend; ++kk) {
+          const double aki = a[kk * lda + i];
+          const double* bk = b + kk * ldb;
+          for (Index j = j0; j < jend; ++j) ci[j] += aki * bk[j];
+        }
+      }
+    }
+  }
+}
+
+// C = A·Bᵀ with B stored n×k: rows of both operands are contiguous, so
+// each element is a straight dot product.
+void gemm_nt(Index m, Index n, Index k, const double* a, Index lda,
+             const double* b, Index ldb, double* c, Index ldc) {
+  for (Index i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    for (Index j = 0; j < n; ++j) {
+      const double* bj = b + j * ldb;
+      double sum = 0.0;
+      for (Index kk = 0; kk < k; ++kk) sum += ai[kk] * bj[kk];
+      ci[j] = sum;
+    }
+  }
+}
+
+void gemv_n(Index m, Index n, const double* a, Index lda, const double* x,
+            double* y) {
+  for (Index i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double sum = 0.0;
+    for (Index j = 0; j < n; ++j) sum += ai[j] * x[j];
+    y[i] = sum;
+  }
+}
+
+void gemv_t(Index m, Index n, const double* a, Index lda, const double* x,
+            double* y) {
+  std::fill_n(y, n, 0.0);
+  for (Index i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    const double xi = x[i];
+    for (Index j = 0; j < n; ++j) y[j] += ai[j] * xi;
+  }
+}
+
+}  // namespace
+
+const KernelTable& scalar_kernels() {
+  static const KernelTable table{"scalar", gemm_nn, gemm_tn,
+                                 gemm_nt, gemv_n,  gemv_t};
+  return table;
+}
+
+}  // namespace senkf::linalg::kernels

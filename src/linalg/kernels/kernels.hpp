@@ -1,0 +1,69 @@
+// Cache-blocked GEMM/GEMV micro-kernels behind runtime ISA dispatch.
+//
+// Following the hmmer `simdvec` layout: every ISA-specific instruction
+// lives in exactly one translation unit per ISA (`gemm_scalar.cpp`,
+// `gemm_avx2.cpp`, compiled with per-file `-mavx2 -mfma`), and callers go
+// through a `KernelTable` of raw-pointer kernels resolved once at startup
+// by CPUID (`dispatch.cpp`).  `ops.cpp` is the only caller; the Matrix /
+// Vector API above it is unchanged, so every EnKF variant picks up the
+// fast kernels with zero call-site churn.
+//
+// Contract shared by all implementations:
+//   * row-major storage with explicit leading dimensions (lda/ldb/ldc);
+//   * C (or y) is *overwritten*, never accumulated into, and must not
+//     alias A, B or x;
+//   * any dimension may be zero (the output is zero-filled);
+//   * for each output element the reduction over k runs in ascending-k
+//     order in every implementation, so scalar and SIMD kernels agree to
+//     rounding (FMA contraction and lane-split dot reductions are the only
+//     divergence — bounded well below the 1e-12 relative tolerance the
+//     equivalence tests assert).
+#pragma once
+
+#include <cstddef>
+
+namespace senkf::linalg::kernels {
+
+using Index = std::size_t;
+
+/// One ISA's worth of kernels.  All matrices are row-major.
+struct KernelTable {
+  const char* name;  ///< "scalar" or "avx2" (dispatch / test reporting)
+
+  /// C(m×n) = A(m×k) · B(k×n).
+  void (*gemm_nn)(Index m, Index n, Index k, const double* a, Index lda,
+                  const double* b, Index ldb, double* c, Index ldc);
+
+  /// C(m×n) = Aᵀ · B with A stored k×m (never materializes Aᵀ).
+  void (*gemm_tn)(Index m, Index n, Index k, const double* a, Index lda,
+                  const double* b, Index ldb, double* c, Index ldc);
+
+  /// C(m×n) = A · Bᵀ with B stored n×k (never materializes Bᵀ).
+  void (*gemm_nt)(Index m, Index n, Index k, const double* a, Index lda,
+                  const double* b, Index ldb, double* c, Index ldc);
+
+  /// y(m) = A(m×n) · x(n).
+  void (*gemv_n)(Index m, Index n, const double* a, Index lda,
+                 const double* x, double* y);
+
+  /// y(n) = Aᵀ · x(m) with A stored m×n.
+  void (*gemv_t)(Index m, Index n, const double* a, Index lda,
+                 const double* x, double* y);
+};
+
+/// Cache-block sizes shared by every implementation.  The j/k blocking
+/// bounds the live B panel (kBlockK × kBlockN doubles ≈ 2 MB) while the
+/// register tiles keep each C element's k-reduction in a single
+/// accumulator per k-block, preserving the ascending-k order contract.
+inline constexpr Index kBlockK = 512;
+inline constexpr Index kBlockN = 512;
+
+/// The portable reference implementation (always available).
+const KernelTable& scalar_kernels();
+
+/// The AVX2+FMA implementation, or nullptr when this binary was built
+/// without AVX2 support.  Callers must additionally check
+/// `cpu_supports_avx2()` before using it (see dispatch.hpp).
+const KernelTable* avx2_kernels();
+
+}  // namespace senkf::linalg::kernels

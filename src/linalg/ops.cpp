@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels/dispatch.hpp"
+
 namespace senkf::linalg {
 
 namespace {
@@ -18,19 +20,18 @@ void require_same_size(const Vector& a, const Vector& b, const char* who) {
 }
 }  // namespace
 
+// The dense products route through the blocked micro-kernels selected at
+// startup (linalg/kernels/dispatch.hpp).  No zero-skip branches here: they
+// block vectorization and make the FP summation order data-dependent;
+// sparsity is exploited only where the structure is explicit
+// (sparse_lower.cpp).
+
 Matrix multiply(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw ShapeError("multiply: inner dim mismatch");
-  Matrix c(a.rows(), b.cols(), 0.0);
-  // ikj order: streams through contiguous rows of B and C.
-  for (Index i = 0; i < a.rows(); ++i) {
-    double* ci = c.data() + i * c.cols();
-    for (Index k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* bk = b.data() + k * b.cols();
-      for (Index j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-    }
-  }
+  Matrix c(a.rows(), b.cols());
+  kernels::active_kernels().gemm_nn(a.rows(), b.cols(), a.cols(), a.data(),
+                                    a.cols(), b.data(), b.cols(), c.data(),
+                                    c.cols());
   return c;
 }
 
@@ -38,17 +39,10 @@ Matrix multiply_at_b(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) {
     throw ShapeError("multiply_at_b: inner dim mismatch");
   }
-  Matrix c(a.cols(), b.cols(), 0.0);
-  for (Index k = 0; k < a.rows(); ++k) {
-    const double* ak = a.data() + k * a.cols();
-    const double* bk = b.data() + k * b.cols();
-    for (Index i = 0; i < a.cols(); ++i) {
-      const double aki = ak[i];
-      if (aki == 0.0) continue;
-      double* ci = c.data() + i * c.cols();
-      for (Index j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
-    }
-  }
+  Matrix c(a.cols(), b.cols());
+  kernels::active_kernels().gemm_tn(a.cols(), b.cols(), a.rows(), a.data(),
+                                    a.cols(), b.data(), b.cols(), c.data(),
+                                    c.cols());
   return c;
 }
 
@@ -56,40 +50,26 @@ Matrix multiply_a_bt(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.cols()) {
     throw ShapeError("multiply_a_bt: inner dim mismatch");
   }
-  Matrix c(a.rows(), b.rows(), 0.0);
-  for (Index i = 0; i < a.rows(); ++i) {
-    const double* ai = a.data() + i * a.cols();
-    for (Index j = 0; j < b.rows(); ++j) {
-      const double* bj = b.data() + j * b.cols();
-      double sum = 0.0;
-      for (Index k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
-      c(i, j) = sum;
-    }
-  }
+  Matrix c(a.rows(), b.rows());
+  kernels::active_kernels().gemm_nt(a.rows(), b.rows(), a.cols(), a.data(),
+                                    a.cols(), b.data(), b.cols(), c.data(),
+                                    c.cols());
   return c;
 }
 
 Vector multiply(const Matrix& a, const Vector& x) {
   if (a.cols() != x.size()) throw ShapeError("multiply: Ax dim mismatch");
-  Vector y(a.rows(), 0.0);
-  for (Index i = 0; i < a.rows(); ++i) {
-    const double* ai = a.data() + i * a.cols();
-    double sum = 0.0;
-    for (Index j = 0; j < a.cols(); ++j) sum += ai[j] * x[j];
-    y[i] = sum;
-  }
+  Vector y(a.rows());
+  kernels::active_kernels().gemv_n(a.rows(), a.cols(), a.data(), a.cols(),
+                                   x.data(), y.data());
   return y;
 }
 
 Vector multiply_at(const Matrix& a, const Vector& x) {
   if (a.rows() != x.size()) throw ShapeError("multiply_at: dim mismatch");
-  Vector y(a.cols(), 0.0);
-  for (Index i = 0; i < a.rows(); ++i) {
-    const double* ai = a.data() + i * a.cols();
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (Index j = 0; j < a.cols(); ++j) y[j] += ai[j] * xi;
-  }
+  Vector y(a.cols());
+  kernels::active_kernels().gemv_t(a.rows(), a.cols(), a.data(), a.cols(),
+                                   x.data(), y.data());
   return y;
 }
 

@@ -2,8 +2,11 @@
 //
 // These are the only kernels the EnKF local analysis needs: GEMM variants,
 // matrix-vector products, AXPY-style updates, transposes and norms.  The
-// implementations are cache-aware (ikj loop order) but deliberately simple;
-// the paper's bottleneck is I/O and overlap scheduling, not FLOPs.
+// hot products (GEMM / GEMV) dispatch to cache-blocked micro-kernels with
+// a runtime-selected ISA (linalg/kernels/): once the pipeline hides I/O
+// and communication behind the local analysis, these FLOPs bound the
+// end-to-end time, so they run as fast as the host allows (AVX2+FMA when
+// available, portable scalar otherwise; override with SENKF_KERNEL).
 #pragma once
 
 #include "linalg/matrix.hpp"

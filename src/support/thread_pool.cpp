@@ -1,0 +1,101 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace senkf {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads <= 1 ? 0 : threads - 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_task(std::function<void()> task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline mode: same error contract as the threaded path (captured,
+    // rethrown at wait_idle) so callers need no special case.
+    run_task(std::move(task));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to run
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    run_task(std::move(task));
+    lock.lock();
+    if (--active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Help drain: the submitting thread is the pool's extra worker.
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    run_task(std::move(task));
+    lock.lock();
+    --active_;
+  }
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
+std::size_t ThreadPool::default_thread_count(std::size_t cap) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, std::max<std::size_t>(cap, 1));
+}
+
+std::size_t ThreadPool::resolve_thread_count(std::size_t requested,
+                                             std::size_t cap) {
+  return requested != 0 ? requested : default_thread_count(cap);
+}
+
+}  // namespace senkf

@@ -1,0 +1,79 @@
+// Small reusable worker pool for intra-rank parallelism.
+//
+// The parcomm runtime already runs one thread per rank; this pool adds a
+// second level *inside* a rank so independent units of work — the
+// per-layer local analyses of S-EnKF's multi-stage pipeline and P-EnKF's
+// update phase — run concurrently.  Tasks must write only to
+// caller-provided disjoint slots; the pool imposes no ordering, which is
+// exactly why results stay bitwise deterministic: each task is a pure
+// function of its inputs and the caller consumes the slots in a fixed
+// order afterwards.
+//
+// Error contract: the first exception thrown by any task is captured and
+// rethrown from wait_idle() / parallel_for() on the submitting thread;
+// later exceptions are dropped.  A pool constructed with `threads <= 1`
+// spawns no workers and runs submitted tasks inline, so single-threaded
+// configurations behave exactly like a plain loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace senkf {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the submitting thread is the last
+  /// worker: it helps drain the queue inside wait_idle / parallel_for).
+  /// `threads <= 1` means fully inline execution.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width, including the submitting thread.
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Enqueues a task (runs it inline when the pool has no workers).
+  /// Exceptions are captured; call wait_idle() to observe them.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task finished, helping to drain the
+  /// queue; rethrows the first captured task exception, if any.
+  void wait_idle();
+
+  /// Runs fn(0) .. fn(count-1) across the pool and waits for all of them.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Hardware concurrency clamped to [1, cap] — the default width of the
+  /// analysis phase (`analysis_threads = 0`).  The cap keeps rank-count ×
+  /// pool-width oversubscription bounded when many ranks share a host.
+  static std::size_t default_thread_count(std::size_t cap = 8);
+
+  /// `requested` if non-zero, otherwise default_thread_count().
+  static std::size_t resolve_thread_count(std::size_t requested,
+                                          std::size_t cap = 8);
+
+ private:
+  void worker_loop();
+  void run_task(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace senkf

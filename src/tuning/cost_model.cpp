@@ -24,6 +24,7 @@ CostModelParams params_from(const vcluster::MachineConfig& machine,
   params.a = machine.net.alpha;
   params.b = machine.net.beta;
   params.c = machine.update_cost_per_point_s;
+  params.analysis_speedup = machine.analysis_speedup;
   params.theta = 1.0 / machine.pfs.ost.stream_bandwidth;
   params.h = workload.point_bytes();
   params.xi = workload.halo_xi;
@@ -37,6 +38,8 @@ CostModel::CostModel(const CostModelParams& params) : params_(params) {
   SENKF_REQUIRE(params.a >= 0 && params.b >= 0 && params.c > 0 &&
                     params.theta > 0 && params.h > 0,
                 "CostModel: cost constants must be positive");
+  SENKF_REQUIRE(params.analysis_speedup > 0,
+                "CostModel: analysis_speedup must be positive");
 }
 
 double CostModel::stage_rows(const vcluster::SenkfParams& p) const {
@@ -79,7 +82,7 @@ double CostModel::t_comm(const vcluster::SenkfParams& p) const {
 
 double CostModel::t_comp(const vcluster::SenkfParams& p) const {
   SENKF_REQUIRE(feasible(p), "CostModel::t_comp: infeasible parameters");
-  return params_.c *
+  return params_.c / params_.analysis_speedup *
          (static_cast<double>(params_.ny) /
           (static_cast<double>(p.n_sdy) * static_cast<double>(p.layers))) *
          (static_cast<double>(params_.nx) / static_cast<double>(p.n_sdx));

@@ -98,6 +98,38 @@ TEST(Agreement, SenkfSingleLayerMatchesPenkf) {
   EXPECT_DOUBLE_EQ(max_ensemble_difference(p, s), 0.0);
 }
 
+TEST(Agreement, SenkfThreadedAnalysisMatchesSerialExactly) {
+  // The per-rank analysis pool only reschedules independent layer
+  // analyses; results are packed in layer order, so any pool width must
+  // be bitwise identical (the acceptance gate for intra-rank threading).
+  const World w(7);
+  const auto gold = serial_enkf(w.store, w.observations, w.ys, run_config(3));
+  SenkfConfig threaded = senkf_config(3, 2);
+  threaded.analysis_threads = 3;
+  const auto parallel = senkf(w.store, w.observations, w.ys, threaded);
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(gold, parallel), 0.0);
+}
+
+TEST(Agreement, SenkfInsensitiveToAnalysisThreadCount) {
+  const World w(8);
+  SenkfConfig narrow = senkf_config(6, 2);
+  narrow.analysis_threads = 1;
+  SenkfConfig wide = senkf_config(6, 2);
+  wide.analysis_threads = 4;
+  const auto one = senkf(w.store, w.observations, w.ys, narrow);
+  const auto four = senkf(w.store, w.observations, w.ys, wide);
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(one, four), 0.0);
+}
+
+TEST(Agreement, PenkfThreadedAnalysisMatchesSerialExactly) {
+  const World w(9);
+  const auto gold = serial_enkf(w.store, w.observations, w.ys, run_config(3));
+  EnkfRunConfig threaded = run_config(3);
+  threaded.analysis_threads = 3;
+  const auto parallel = penkf(w.store, w.observations, w.ys, threaded);
+  EXPECT_DOUBLE_EQ(max_ensemble_difference(gold, parallel), 0.0);
+}
+
 TEST(Agreement, SenkfInsensitiveToConcurrentGroupCount) {
   // n_cg only reroutes data; the numbers must not change at all.
   const World w(5);

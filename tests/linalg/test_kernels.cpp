@@ -1,0 +1,240 @@
+// Kernel-equivalence suite: every dispatch target must agree with a naive
+// reference (and with each other) to 1e-12 relative tolerance on random
+// and adversarial shapes — zero dimensions, zero rows, tiny products, and
+// sizes straddling the cache-block boundaries.  The ctest registration
+// additionally reruns the linalg and integration suites under both
+// SENKF_KERNEL values, so the scalar fallback path is exercised even on
+// AVX2 hosts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "linalg/kernels/dispatch.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+#include "support/rng.hpp"
+
+namespace senkf::linalg::kernels {
+namespace {
+
+constexpr double kRelTol = 1e-12;
+
+struct Shape {
+  Index m, n, k;
+};
+
+// Random shapes plus the adversarial corners the blocked kernels must
+// get right: degenerate dims, single elements, vector-width and
+// register-tile remainders, and extents crossing kBlockN / kBlockK.
+const std::vector<Shape> kShapes = {
+    {0, 0, 0},   {0, 5, 3},     {4, 0, 3},    {4, 5, 0},
+    {1, 1, 1},   {2, 3, 1},     {3, 2, 5},    {4, 8, 16},
+    {5, 9, 17},  {7, 13, 11},   {8, 16, 32},  {12, 40, 40},
+    {33, 65, 7}, {40, 120, 40}, {6, 515, 9},  {3, 24, 517},
+    {130, 7, 260},
+};
+
+struct Operands {
+  std::vector<double> a, b, x;
+};
+
+Operands make_operands(const Shape& s, std::uint64_t seed, bool zero_row) {
+  Rng rng(seed);
+  Operands op;
+  op.a.resize(s.m * s.k);
+  op.b.resize(s.k * s.n);
+  op.x.resize(std::max(s.k, std::max(s.m, s.n)));
+  for (auto& v : op.a) v = rng.normal();
+  for (auto& v : op.b) v = rng.normal();
+  for (auto& v : op.x) v = rng.normal();
+  if (zero_row && s.m > 0) {
+    for (Index j = 0; j < s.k; ++j) op.a[j] = 0.0;  // first row of A
+  }
+  if (zero_row && s.k > 0) {
+    for (Index j = 0; j < s.n; ++j) op.b[j] = 0.0;  // first row of B
+  }
+  return op;
+}
+
+void expect_close(const std::vector<double>& got,
+                  const std::vector<double>& want, const char* what,
+                  const Shape& s) {
+  ASSERT_EQ(got.size(), want.size());
+  for (Index i = 0; i < got.size(); ++i) {
+    const double scale =
+        std::max({1.0, std::abs(got[i]), std::abs(want[i])});
+    EXPECT_NEAR(got[i], want[i], kRelTol * scale)
+        << what << " mismatch at flat index " << i << " for shape (" << s.m
+        << ", " << s.n << ", " << s.k << ")";
+  }
+}
+
+// Naive reference products (plain triple loops, no blocking).
+std::vector<double> ref_nn(const Shape& s, const Operands& op) {
+  std::vector<double> c(s.m * s.n, 0.0);
+  for (Index i = 0; i < s.m; ++i)
+    for (Index kk = 0; kk < s.k; ++kk)
+      for (Index j = 0; j < s.n; ++j)
+        c[i * s.n + j] += op.a[i * s.k + kk] * op.b[kk * s.n + j];
+  return c;
+}
+
+std::vector<double> ref_tn(const Shape& s, const Operands& op) {
+  // A stored k×m, reusing op.a with swapped roles: a[kk * m + i].
+  std::vector<double> c(s.m * s.n, 0.0);
+  for (Index kk = 0; kk < s.k; ++kk)
+    for (Index i = 0; i < s.m; ++i)
+      for (Index j = 0; j < s.n; ++j)
+        c[i * s.n + j] += op.a[kk * s.m + i] * op.b[kk * s.n + j];
+  return c;
+}
+
+std::vector<double> ref_nt(const Shape& s, const Operands& op) {
+  // B stored n×k: b[j * k + kk].
+  std::vector<double> c(s.m * s.n, 0.0);
+  for (Index i = 0; i < s.m; ++i)
+    for (Index j = 0; j < s.n; ++j)
+      for (Index kk = 0; kk < s.k; ++kk)
+        c[i * s.n + j] += op.a[i * s.k + kk] * op.b[j * s.k + kk];
+  return c;
+}
+
+/// Runs every kernel of `table` on every shape against the reference.
+void check_table(const KernelTable& table, bool zero_row) {
+  std::uint64_t seed = zero_row ? 1000 : 1;
+  for (const Shape& s : kShapes) {
+    // The tn/nt operands reinterpret the same buffers with swapped
+    // leading dimensions, so size them for the largest interpretation.
+    Shape alloc = s;
+    alloc.m = std::max(s.m, s.n);
+    alloc.n = std::max(s.m, s.n);
+    const Operands op = make_operands(alloc, seed++, zero_row);
+
+    std::vector<double> c(s.m * s.n, -7.0);
+    {
+      Operands nn = op;
+      nn.a.resize(s.m * s.k);
+      nn.b.resize(s.k * s.n);
+      table.gemm_nn(s.m, s.n, s.k, nn.a.data(), s.k, nn.b.data(), s.n,
+                    c.data(), s.n);
+      expect_close(c, ref_nn(s, nn), "gemm_nn", s);
+    }
+    {
+      Operands tn = op;
+      tn.a.resize(s.k * s.m);
+      tn.b.resize(s.k * s.n);
+      c.assign(s.m * s.n, -7.0);
+      table.gemm_tn(s.m, s.n, s.k, tn.a.data(), s.m, tn.b.data(), s.n,
+                    c.data(), s.n);
+      expect_close(c, ref_tn(s, tn), "gemm_tn", s);
+    }
+    {
+      Operands nt = op;
+      nt.a.resize(s.m * s.k);
+      nt.b.resize(s.n * s.k);
+      c.assign(s.m * s.n, -7.0);
+      table.gemm_nt(s.m, s.n, s.k, nt.a.data(), s.k, nt.b.data(), s.k,
+                    c.data(), s.n);
+      expect_close(c, ref_nt(s, nt), "gemm_nt", s);
+    }
+    {
+      // gemv against gemm with n = 1 semantics.
+      std::vector<double> y(s.m, -7.0);
+      table.gemv_n(s.m, s.k, op.a.data(), s.k, op.x.data(), y.data());
+      std::vector<double> want(s.m, 0.0);
+      for (Index i = 0; i < s.m; ++i)
+        for (Index kk = 0; kk < s.k; ++kk)
+          want[i] += op.a[i * s.k + kk] * op.x[kk];
+      expect_close(y, want, "gemv_n", s);
+
+      std::vector<double> yt(s.k, -7.0);
+      table.gemv_t(s.m, s.k, op.a.data(), s.k, op.x.data(), yt.data());
+      std::vector<double> want_t(s.k, 0.0);
+      for (Index i = 0; i < s.m; ++i)
+        for (Index kk = 0; kk < s.k; ++kk)
+          want_t[kk] += op.a[i * s.k + kk] * op.x[i];
+      expect_close(yt, want_t, "gemv_t", s);
+    }
+  }
+}
+
+TEST(Kernels, ScalarMatchesReference) {
+  check_table(scalar_kernels(), /*zero_row=*/false);
+  check_table(scalar_kernels(), /*zero_row=*/true);
+}
+
+TEST(Kernels, Avx2MatchesReference) {
+  const KernelTable* avx2 = avx2_kernels();
+  if (avx2 == nullptr || !cpu_supports_avx2()) {
+    GTEST_SKIP() << "no usable AVX2 kernels on this host";
+  }
+  check_table(*avx2, /*zero_row=*/false);
+  check_table(*avx2, /*zero_row=*/true);
+}
+
+TEST(Kernels, ScalarAndAvx2Agree) {
+  const KernelTable* avx2 = avx2_kernels();
+  if (avx2 == nullptr || !cpu_supports_avx2()) {
+    GTEST_SKIP() << "no usable AVX2 kernels on this host";
+  }
+  const KernelTable& scalar = scalar_kernels();
+  Rng rng(42);
+  for (const Shape& s : kShapes) {
+    std::vector<double> a(s.m * s.k), b(s.k * s.n);
+    for (auto& v : a) v = rng.normal();
+    for (auto& v : b) v = rng.normal();
+    std::vector<double> c_scalar(s.m * s.n), c_avx2(s.m * s.n);
+    scalar.gemm_nn(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                   c_scalar.data(), s.n);
+    avx2->gemm_nn(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n,
+                  c_avx2.data(), s.n);
+    expect_close(c_avx2, c_scalar, "scalar-vs-avx2 gemm_nn", s);
+  }
+}
+
+TEST(Kernels, DispatchHonoursOverride) {
+  EXPECT_STREQ(resolve_kernels("scalar").name, "scalar");
+  const bool avx2_usable = avx2_kernels() != nullptr && cpu_supports_avx2();
+  EXPECT_STREQ(resolve_kernels("avx2").name,
+               avx2_usable ? "avx2" : "scalar");  // graceful fallback
+  EXPECT_STREQ(resolve_kernels(nullptr).name,
+               avx2_usable ? "avx2" : "scalar");
+  EXPECT_STREQ(resolve_kernels("auto").name,
+               avx2_usable ? "avx2" : "scalar");
+  EXPECT_THROW(resolve_kernels("sse9"), InvalidArgument);
+}
+
+TEST(Kernels, ActiveKernelsMatchEnvironment) {
+  // active_kernels() caches the startup decision; whatever SENKF_KERNEL
+  // the harness set, it must match a fresh resolution of the same value
+  // (the CMake side registers this binary under both values).
+  const KernelTable& active = active_kernels();
+  EXPECT_STREQ(active.name,
+               resolve_kernels(std::getenv("SENKF_KERNEL")).name);
+}
+
+TEST(Kernels, OpsLayerRoutesThroughDispatch) {
+  // A product big enough to cross a register-tile boundary, checked
+  // through the public Matrix API against the naive reference.
+  Rng rng(7);
+  Matrix a(13, 21), b(21, 18);
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j) a(i, j) = rng.normal();
+  for (Index i = 0; i < b.rows(); ++i)
+    for (Index j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
+  const Matrix c = multiply(a, b);
+  for (Index i = 0; i < c.rows(); ++i) {
+    for (Index j = 0; j < c.cols(); ++j) {
+      double want = 0.0;
+      for (Index kk = 0; kk < a.cols(); ++kk) want += a(i, kk) * b(kk, j);
+      const double scale = std::max(1.0, std::abs(want));
+      EXPECT_NEAR(c(i, j), want, kRelTol * scale);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace senkf::linalg::kernels

@@ -1,0 +1,88 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace senkf {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsEverything) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  int calls = 0;
+  pool.submit([&] { ++calls; });
+  pool.submit([&] { ++calls; });
+  pool.wait_idle();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, DisjointSlotWritesAreDeterministic) {
+  // The usage pattern of the analysis phase: tasks fill disjoint slots,
+  // the caller reads them in a fixed order afterwards.
+  std::vector<double> once(100), twice(100);
+  const auto fill = [](std::vector<double>& out, std::size_t threads) {
+    ThreadPool pool(threads);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= i; ++k) acc += 0.1 * static_cast<double>(k);
+      out[i] = acc;
+    });
+  };
+  fill(once, 1);
+  fill(twice, 4);
+  EXPECT_EQ(once, twice);  // bitwise: identical per-slot computations
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { total.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, FirstTaskExceptionRethrownOnWait) {
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> survivors{0};
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&, i] {
+        if (i == 3) throw InvalidArgument("task 3 failed");
+        survivors.fetch_add(1);
+      });
+    }
+    EXPECT_THROW(pool.wait_idle(), InvalidArgument);
+    // The error is consumed: the pool is reusable afterwards.
+    pool.submit([&] { survivors.fetch_add(1); });
+    EXPECT_NO_THROW(pool.wait_idle());
+    EXPECT_EQ(survivors.load(), 8);
+  }
+}
+
+TEST(ThreadPool, ThreadCountResolution) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  EXPECT_LE(ThreadPool::default_thread_count(8), 8u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(3), 3u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0),
+            ThreadPool::default_thread_count());
+}
+
+}  // namespace
+}  // namespace senkf

@@ -58,6 +58,20 @@ TEST(CostModel, CompFormulaVerbatim) {
   EXPECT_NEAR(model.t_comp(sp), 1e-4 * 6.0 * 30.0, 1e-15);
 }
 
+TEST(CostModel, AnalysisSpeedupDividesComputeOnly) {
+  CostModelParams p = simple_params();
+  const CostModel baseline(p);
+  p.analysis_speedup = 4.0;  // e.g. blocked SIMD kernels + analysis pool
+  const CostModel faster(p);
+  const auto sp = simple_point();
+  EXPECT_NEAR(faster.t_comp(sp), baseline.t_comp(sp) / 4.0, 1e-15);
+  EXPECT_NEAR(faster.t_read(sp), baseline.t_read(sp), 1e-15);
+  EXPECT_NEAR(faster.t_comm(sp), baseline.t_comm(sp), 1e-15);
+
+  p.analysis_speedup = 0.0;
+  EXPECT_THROW(CostModel{p}, senkf::InvalidArgument);
+}
+
 TEST(CostModel, TotalCombinesPhases) {
   const CostModel model(simple_params());
   const auto sp = simple_point();
@@ -124,6 +138,7 @@ TEST(CostModel, ParamsFromMachineMatchesConfiguration) {
   EXPECT_DOUBLE_EQ(p.a, machine.net.alpha);
   EXPECT_DOUBLE_EQ(p.b, machine.net.beta);
   EXPECT_DOUBLE_EQ(p.c, machine.update_cost_per_point_s);
+  EXPECT_DOUBLE_EQ(p.analysis_speedup, machine.analysis_speedup);
   EXPECT_DOUBLE_EQ(p.theta, 1.0 / machine.pfs.ost.stream_bandwidth);
   EXPECT_EQ(p.xi, workload.halo_xi);
   EXPECT_EQ(p.eta, workload.halo_eta);
