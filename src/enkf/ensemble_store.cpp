@@ -1,5 +1,7 @@
 #include "enkf/ensemble_store.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace senkf::enkf {
 
 void EnsembleStore::reset_counters() const {
@@ -8,8 +10,17 @@ void EnsembleStore::reset_counters() const {
 }
 
 void EnsembleStore::count_access(std::uint64_t segments) const {
+  // Atomic on both paths: per-store counters for the access-pattern tests
+  // and the process-wide registry for snapshots/reports.  Concurrent
+  // readers (S-EnKF's I/O ranks all share one store) stay race-free.
   reads_.fetch_add(1, std::memory_order_relaxed);
   segments_.fetch_add(segments, std::memory_order_relaxed);
+  static telemetry::Counter& reads_metric =
+      telemetry::Registry::global().counter("store.reads");
+  static telemetry::Counter& segments_metric =
+      telemetry::Registry::global().counter("store.segments");
+  reads_metric.add(1);
+  segments_metric.add(segments);
 }
 
 std::uint64_t EnsembleStore::block_segments(grid::Rect rect) const {

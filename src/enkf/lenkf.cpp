@@ -4,6 +4,7 @@
 
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
+#include "telemetry/trace.hpp"
 
 namespace senkf::enkf {
 
@@ -37,10 +38,16 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
     std::vector<grid::Patch> my_members;
     my_members.reserve(n_members);
     if (world.rank() == 0) {
+      telemetry::TraceSpan scatter_span(telemetry::Category::kSend,
+                                        "single_reader_scatter");
       for (Index k = 0; k < n_members; ++k) {
         // One contiguous read of the whole member file.
-        const grid::Patch file =
-            store.read_bar(k, grid::IndexRange{0, store.grid().ny()});
+        grid::Patch file;
+        {
+          telemetry::TraceSpan read_span(telemetry::Category::kRead,
+                                         "file_read");
+          file = store.read_bar(k, grid::IndexRange{0, store.grid().ny()});
+        }
         for (int r = 0; r < world.size(); ++r) {
           const grid::Rect expansion = decomposition.expansion(
               decomposition.subdomain_of_rank(static_cast<Index>(r)));
@@ -66,6 +73,9 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
     parcomm::Packer results;
     results.put<std::uint64_t>(config.layers * n_members);
     for (Index l = 0; l < config.layers; ++l) {
+      telemetry::TraceSpan update_span(telemetry::Category::kUpdate,
+                                       "local_analysis",
+                                       static_cast<std::int32_t>(l));
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       const grid::Rect expansion =
           decomposition.layer_expansion(my_id, l, config.layers);

@@ -5,6 +5,7 @@
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
 #include "support/thread_pool.hpp"
+#include "telemetry/trace.hpp"
 
 namespace senkf::enkf {
 
@@ -35,8 +36,12 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
     // --- phase 1: obtain local data by parallel block reading ------------
     std::vector<grid::Patch> my_members;
     my_members.reserve(n_members);
-    for (Index k = 0; k < n_members; ++k) {
-      my_members.push_back(store.read_block(k, my_expansion));
+    {
+      telemetry::TraceSpan read_span(telemetry::Category::kRead,
+                                     "block_read_phase");
+      for (Index k = 0; k < n_members; ++k) {
+        my_members.push_back(store.read_block(k, my_expansion));
+      }
     }
 
     // --- phase 2: local update (no inter-processor communication) --------
@@ -47,7 +52,12 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
     std::vector<AnalysisResult> locals(config.layers);
     ThreadPool pool(
         ThreadPool::resolve_thread_count(config.analysis_threads));
-    pool.parallel_for(config.layers, [&](std::size_t l) {
+    const int my_rank = world.rank();
+    pool.parallel_for(config.layers, [&, my_rank](std::size_t l) {
+      telemetry::set_thread_rank(my_rank);
+      telemetry::TraceSpan update_span(telemetry::Category::kUpdate,
+                                       "local_analysis",
+                                       static_cast<std::int32_t>(l));
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       const grid::Rect expansion =
           decomposition.layer_expansion(my_id, l, config.layers);

@@ -7,8 +7,8 @@
 
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
-#include "support/stopwatch.hpp"
 #include "support/thread_pool.hpp"
+#include "telemetry/phase.hpp"
 
 namespace senkf::enkf {
 
@@ -16,6 +16,59 @@ namespace {
 
 constexpr int kBlockTag = 1;
 constexpr int kResultTag = 2;
+
+/// The telemetry the SenkfStats facade is derived from.  Counters are
+/// process-wide and cumulative; senkf() reports per-run deltas, which
+/// assumes runs do not overlap in one process (they never do — each run
+/// owns the whole virtual cluster).
+struct PhaseCounters {
+  telemetry::Counter& io_read_ns;
+  telemetry::Counter& io_send_ns;
+  telemetry::Counter& comp_wait_ns;
+  telemetry::Counter& comp_update_ns;
+  telemetry::Counter& messages;
+
+  static PhaseCounters& get() {
+    auto& registry = telemetry::Registry::global();
+    static PhaseCounters counters{
+        registry.counter("senkf.io_read_ns"),
+        registry.counter("senkf.io_send_ns"),
+        registry.counter("senkf.comp_wait_ns"),
+        registry.counter("senkf.comp_update_ns"),
+        registry.counter("senkf.messages"),
+    };
+    return counters;
+  }
+
+  struct Values {
+    std::uint64_t io_read_ns = 0;
+    std::uint64_t io_send_ns = 0;
+    std::uint64_t comp_wait_ns = 0;
+    std::uint64_t comp_update_ns = 0;
+    std::uint64_t messages = 0;
+  };
+
+  Values values() const {
+    return Values{io_read_ns.value(), io_send_ns.value(),
+                  comp_wait_ns.value(), comp_update_ns.value(),
+                  messages.value()};
+  }
+};
+
+SenkfStats stats_between(const PhaseCounters::Values& before,
+                         const PhaseCounters::Values& after) {
+  SenkfStats stats;
+  stats.io_read_seconds =
+      static_cast<double>(after.io_read_ns - before.io_read_ns) / 1e9;
+  stats.io_send_seconds =
+      static_cast<double>(after.io_send_ns - before.io_send_ns) / 1e9;
+  stats.comp_wait_seconds =
+      static_cast<double>(after.comp_wait_ns - before.comp_wait_ns) / 1e9;
+  stats.comp_update_seconds =
+      static_cast<double>(after.comp_update_ns - before.comp_update_ns) / 1e9;
+  stats.messages = after.messages - before.messages;
+  return stats;
+}
 
 /// Stage-indexed buffers filled by the helper thread and drained by the
 /// main thread (the Fig. 8 handshake).
@@ -79,20 +132,13 @@ struct RankLayout {
   const SenkfConfig& config_;
 };
 
-struct SharedStats {
-  std::mutex mutex;
-  SenkfStats totals;
-};
-
 void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
                  const grid::Decomposition& decomposition,
-                 const EnsembleStore& store, const SenkfConfig& config,
-                 SharedStats& stats) {
+                 const EnsembleStore& store, const SenkfConfig& config) {
   const Index group = layout.io_group(world.rank());
   const Index slot = layout.io_slot(world.rank());
   const Index n_members = store.members();
-  double read_seconds = 0.0;
-  double send_seconds = 0.0;
+  PhaseCounters& phases = PhaseCounters::get();
 
   for (Index l = 0; l < config.layers; ++l) {
     // Rows this stage needs for row `slot`: the layer expansion's y-range
@@ -100,12 +146,17 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
     const grid::Rect layer_expansion_any = decomposition.layer_expansion(
         grid::SubdomainId{0, slot}, l, config.layers);
     for (Index member = group; member < n_members; member += config.n_cg) {
-      Stopwatch read_watch;
-      const grid::Patch bar =
-          store.read_bar(member, layer_expansion_any.y);  // one segment
-      read_seconds += read_watch.elapsed_seconds();
+      grid::Patch bar;
+      {
+        telemetry::CountedSpan read_span(telemetry::Category::kRead,
+                                         "bar_read", phases.io_read_ns,
+                                         static_cast<std::int32_t>(l));
+        bar = store.read_bar(member, layer_expansion_any.y);  // one segment
+      }
 
-      Stopwatch send_watch;
+      telemetry::CountedSpan send_span(telemetry::Category::kSend,
+                                       "block_scatter", phases.io_send_ns,
+                                       static_cast<std::int32_t>(l));
       for (Index i = 0; i < config.n_sdx; ++i) {
         const grid::Rect block = decomposition.layer_expansion(
             grid::SubdomainId{i, slot}, l, config.layers);
@@ -115,12 +166,8 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
         pack_patch(packer, bar.extract(block));
         world.send(layout.comp_rank(i, slot), kBlockTag, packer.take());
       }
-      send_seconds += send_watch.elapsed_seconds();
     }
   }
-  std::lock_guard<std::mutex> lock(stats.mutex);
-  stats.totals.io_read_seconds += read_seconds;
-  stats.totals.io_send_seconds += send_seconds;
 }
 
 void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
@@ -128,11 +175,13 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
                    const EnsembleStore& store,
                    const obs::ObservationSet& observations,
                    const linalg::Matrix& perturbed,
-                   const SenkfConfig& config, SharedStats& stats,
+                   const SenkfConfig& config,
                    std::vector<grid::Field>* result_out) {
   const grid::SubdomainId my_id{layout.comp_i(world.rank()),
                                 layout.comp_j(world.rank())};
   const Index n_members = store.members();
+  const int my_rank = world.rank();
+  PhaseCounters& phases = PhaseCounters::get();
   StageBuffers buffers(config.layers, n_members);
 
   // Helper thread (§4.2): drains all L·N block messages for this rank and
@@ -143,14 +192,17 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   // completion or times out via the mailbox deadline).
   const std::uint64_t expected = config.layers * n_members;
   std::exception_ptr helper_error;
-  std::thread helper([&world, &buffers, &helper_error, expected] {
+  std::thread helper([&world, &buffers, &helper_error, expected, my_rank] {
+    telemetry::set_thread_rank(my_rank);
     try {
       for (std::uint64_t i = 0; i < expected; ++i) {
+        telemetry::TraceSpan span(telemetry::Category::kRecv, "drain_block");
         const parcomm::Envelope envelope =
             world.recv(parcomm::kAnySource, kBlockTag);
         parcomm::Unpacker unpacker(envelope.payload);
         const auto stage = unpacker.get<std::uint64_t>();
         const auto member = unpacker.get<std::uint64_t>();
+        span.set_stage(static_cast<std::int32_t>(stage));
         buffers.deposit(stage, member, unpack_patch(unpacker));
       }
     } catch (...) {
@@ -175,22 +227,33 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   std::vector<std::vector<grid::Patch>> stage_data(config.layers);
   std::vector<AnalysisResult> locals(config.layers);
 
-  double wait_seconds = 0.0;
-  double update_seconds = 0.0;
-  Stopwatch analysis_watch;
+  // Phase accounting is measured where each phase happens: comp_wait is
+  // the main thread blocked in take_stage, comp_update the summed
+  // execution time of the analysis tasks (recorded inside each task, on
+  // whichever pool thread ran it).  The previous scheme derived update as
+  // elapsed − wait on the main thread alone, which under-counted update
+  // work running on pool workers and double-charged the wait that
+  // overlapped it whenever analysis_threads > 1.
   for (Index l = 0; l < config.layers; ++l) {
-    Stopwatch wait_watch;
-    stage_data[l] = buffers.take_stage(l);
-    wait_seconds += wait_watch.elapsed_seconds();
+    {
+      telemetry::CountedSpan wait_span(telemetry::Category::kWait,
+                                       "stage_wait", phases.comp_wait_ns,
+                                       static_cast<std::int32_t>(l));
+      stage_data[l] = buffers.take_stage(l);
+    }
 
-    pool.submit([&, l] {
+    pool.submit([&, l, my_rank] {
+      telemetry::set_thread_rank(my_rank);
+      telemetry::CountedSpan update_span(telemetry::Category::kUpdate,
+                                         "local_analysis",
+                                         phases.comp_update_ns,
+                                         static_cast<std::int32_t>(l));
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       locals[l] = local_analysis(stage_data[l], target, observations,
                                  perturbed, config.analysis);
     });
   }
   pool.wait_idle();
-  update_seconds = analysis_watch.elapsed_seconds() - wait_seconds;
 
   parcomm::Packer results;
   results.put<std::uint64_t>(config.layers * n_members);
@@ -203,12 +266,7 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   helper.join();
   if (helper_error) std::rethrow_exception(helper_error);
 
-  {
-    std::lock_guard<std::mutex> lock(stats.mutex);
-    stats.totals.comp_wait_seconds += wait_seconds;
-    stats.totals.comp_update_seconds += update_seconds;
-    stats.totals.messages += expected;
-  }
+  phases.messages.add(expected);
 
   if (world.rank() != 0) {
     world.send(0, kResultTag, results.take());
@@ -255,21 +313,27 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
 
   const RankLayout layout(config);
   std::vector<grid::Field> result;
-  SharedStats shared;
+
+  // The facade is a per-run delta over the process-wide phase counters,
+  // so callers keep the familiar SenkfStats struct while every number now
+  // comes from the same telemetry the trace export shows.
+  const PhaseCounters::Values before = PhaseCounters::get().values();
 
   parcomm::Runtime::run(
       static_cast<int>(config.total_ranks()),
       [&](parcomm::Communicator& world) {
         if (layout.is_io(world.rank())) {
-          run_io_rank(world, layout, decomposition, store, config, shared);
+          run_io_rank(world, layout, decomposition, store, config);
         } else {
           run_comp_rank(world, layout, decomposition, store, observations,
-                        perturbed, config, shared, &result);
+                        perturbed, config, &result);
         }
       });
 
   SENKF_REQUIRE(!result.empty(), "senkf: no result produced");
-  if (stats != nullptr) *stats = shared.totals;
+  if (stats != nullptr) {
+    *stats = stats_between(before, PhaseCounters::get().values());
+  }
   return result;
 }
 

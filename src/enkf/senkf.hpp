@@ -47,11 +47,22 @@ struct SenkfConfig {
 };
 
 /// Per-run instrumentation (numeric-plane analogue of Fig. 9's phases).
+///
+/// A facade over src/telemetry: every field is the per-run delta of the
+/// `senkf.*` phase counters the pipeline's CountedSpans feed, so these
+/// numbers agree with the SENKF_TRACE span export by construction.  Times
+/// are summed across ranks.  `comp_update_seconds` sums the execution
+/// time of each analysis task on whichever pool thread ran it — with
+/// `analysis_threads > 1` it can exceed a rank's wall-clock (work ran
+/// concurrently), and `comp_wait_seconds` is main-thread blocking only,
+/// so the two no longer double-count overlapped intervals.  Derivation
+/// assumes senkf() runs are not concurrent within one process (each run
+/// owns the whole virtual cluster, so they never are).
 struct SenkfStats {
   double io_read_seconds = 0.0;    ///< wall time I/O ranks spent reading
   double io_send_seconds = 0.0;    ///< wall time I/O ranks spent sending
   double comp_wait_seconds = 0.0;  ///< main threads blocked on stage data
-  double comp_update_seconds = 0.0;
+  double comp_update_seconds = 0.0;  ///< summed analysis-task time
   std::uint64_t messages = 0;      ///< block messages delivered
 };
 

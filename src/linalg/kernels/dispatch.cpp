@@ -5,8 +5,21 @@
 
 #include "support/error.hpp"
 #include "support/logging.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace senkf::linalg::kernels {
+
+namespace {
+// Which kernel set resolve picked (kernels.dispatch.scalar / .avx2): the
+// metrics snapshot answers "which code path ran?" without a debug log.
+const KernelTable& count_selection(const KernelTable& table,
+                                   const char* name) {
+  telemetry::Registry::global()
+      .counter(std::string("kernels.dispatch.") + name)
+      .add(1);
+  return table;
+}
+}  // namespace
 
 bool cpu_supports_avx2() {
 #if defined(__x86_64__) || defined(__i386__)
@@ -18,23 +31,24 @@ bool cpu_supports_avx2() {
 
 const KernelTable& resolve_kernels(const char* requested) {
   const std::string want = requested == nullptr ? "" : requested;
-  if (want == "scalar") return scalar_kernels();
+  if (want == "scalar") return count_selection(scalar_kernels(), "scalar");
 
   const KernelTable* avx2 = avx2_kernels();
   const bool avx2_usable = avx2 != nullptr && cpu_supports_avx2();
   if (want == "avx2") {
-    if (avx2_usable) return *avx2;
+    if (avx2_usable) return count_selection(*avx2, "avx2");
     SENKF_LOG_WARN("SENKF_KERNEL=avx2 requested but ",
                    avx2 == nullptr ? "this build has no AVX2 kernels"
                                    : "the CPU lacks AVX2/FMA",
                    "; falling back to scalar kernels");
-    return scalar_kernels();
+    return count_selection(scalar_kernels(), "scalar");
   }
   if (!want.empty() && want != "auto") {
     throw InvalidArgument("SENKF_KERNEL: unknown kernel set '" + want +
                           "' (expected scalar, avx2 or auto)");
   }
-  return avx2_usable ? *avx2 : scalar_kernels();
+  return avx2_usable ? count_selection(*avx2, "avx2")
+                     : count_selection(scalar_kernels(), "scalar");
 }
 
 const KernelTable& active_kernels() {

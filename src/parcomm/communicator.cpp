@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "telemetry/phase.hpp"
+
 namespace senkf::parcomm {
+
+namespace {
+telemetry::Counter& send_ns_counter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::global().counter("parcomm.send_ns");
+  return counter;
+}
+}  // namespace
 
 Envelope Request::wait() {
   if (done_ || box_ == nullptr) return std::move(result_);
@@ -38,6 +48,8 @@ Mailbox& Communicator::mailbox_of(int rank) {
 
 void Communicator::send(int dest, int tag, Payload payload) {
   SENKF_REQUIRE(tag >= 0, "Communicator::send: user tags must be >= 0");
+  telemetry::CountedSpan span(telemetry::Category::kSend, "send",
+                              send_ns_counter());
   mailbox_of(dest).push(Envelope{rank_, tag, std::move(payload)});
 }
 

@@ -2,13 +2,46 @@
 
 #include <string>
 
+#include "telemetry/phase.hpp"
+
 namespace senkf::parcomm {
 
+namespace {
+
+// One registry entry set for every mailbox: per-mailbox metrics would
+// explode the namespace, and the queue-depth histogram is what the
+// flow-control analysis needs (are senders outrunning the helper thread?).
+struct MailboxMetrics {
+  telemetry::Counter& messages;
+  telemetry::Counter& bytes;
+  telemetry::Counter& recv_wait_ns;
+  telemetry::Histogram& queue_depth;
+  static MailboxMetrics& get() {
+    auto& registry = telemetry::Registry::global();
+    static MailboxMetrics m{
+        registry.counter("parcomm.messages"),
+        registry.counter("parcomm.bytes"),
+        registry.counter("parcomm.recv_wait_ns"),
+        registry.histogram("parcomm.queue_depth",
+                           {1, 2, 4, 8, 16, 32, 64, 128, 256}),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 void Mailbox::push(Envelope envelope) {
+  MailboxMetrics& metrics = MailboxMetrics::get();
+  metrics.messages.add(1);
+  metrics.bytes.add(envelope.payload.size());
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(envelope));
+    depth = queue_.size();
   }
+  metrics.queue_depth.observe(static_cast<double>(depth));
   cv_.notify_all();
 }
 
@@ -24,6 +57,8 @@ std::optional<Envelope> Mailbox::take_matching_locked(int source, int tag) {
 }
 
 Envelope Mailbox::pop(int source, int tag, std::chrono::milliseconds timeout) {
+  telemetry::CountedSpan span(telemetry::Category::kWait, "mailbox_wait",
+                              MailboxMetrics::get().recv_wait_ns);
   std::unique_lock<std::mutex> lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {

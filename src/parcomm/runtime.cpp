@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/trace.hpp"
+
 namespace senkf::parcomm {
 
 void Runtime::run(int world_size, const RankMain& rank_main) {
@@ -20,6 +22,9 @@ void Runtime::run(int world_size, const RankMain& rank_main) {
   for (int rank = 0; rank < world_size; ++rank) {
     threads.emplace_back([&, rank] {
       try {
+        // Every span this thread records is attributed to its rank
+        // (helper threads and pool workers re-assert it themselves).
+        telemetry::set_thread_rank(rank);
         Communicator world(bus, /*comm_id=*/0, rank, world_size);
         rank_main(world);
       } catch (...) {

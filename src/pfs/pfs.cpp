@@ -1,6 +1,30 @@
 #include "pfs/pfs.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace senkf::pfs {
+
+namespace {
+
+// The DES plane runs on simulated time, so spans (wall-clock) would be
+// meaningless here; the counters still tell a real story — how many
+// requests, addressing operations and bytes a simulated workflow issued.
+struct PfsMetrics {
+  telemetry::Counter& reads;
+  telemetry::Counter& segments;
+  telemetry::Counter& bytes;
+  static PfsMetrics& get() {
+    auto& registry = telemetry::Registry::global();
+    static PfsMetrics m{
+        registry.counter("pfs.reads"),
+        registry.counter("pfs.segments"),
+        registry.counter("pfs.bytes"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Ost::Ost(sim::Simulation& sim, const OstConfig& config)
     : sim_(sim), config_(config), streams_(sim, config.max_streams) {
@@ -18,6 +42,10 @@ double Ost::service_time(std::uint64_t segments, double bytes) const {
 sim::Task Ost::read(std::uint64_t segments, double bytes) {
   SENKF_REQUIRE(segments > 0, "Ost::read: need at least one segment");
   SENKF_REQUIRE(bytes >= 0.0, "Ost::read: negative byte count");
+  PfsMetrics& metrics = PfsMetrics::get();
+  metrics.reads.add(1);
+  metrics.segments.add(segments);
+  metrics.bytes.add(static_cast<std::uint64_t>(bytes));
   co_await streams_.acquire();
   const double service = service_time(segments, bytes);
   co_await sim_.delay(service);

@@ -1,5 +1,9 @@
 // Leveled, thread-safe logger.  Quiet by default (warnings and errors only)
-// so tests and benches stay clean; examples raise the level for narration.
+// so tests and benches stay clean; examples raise the level for narration,
+// and `SENKF_LOG=debug|info|warn|error` overrides the threshold at process
+// start.  Every line carries a monotonic timestamp (same epoch as the
+// telemetry tracer) and a thread tag matching the trace export's tid:
+//   [senkf INFO     12.345678 t03] message
 #pragma once
 
 #include <sstream>

@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace senkf {
+
+namespace {
+
+// Shared by every pool: queue latency tells whether the analysis phase is
+// starved for workers, execution time sizes the tasks themselves.
+struct PoolMetrics {
+  telemetry::Histogram& queue_us;
+  telemetry::Histogram& exec_us;
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        telemetry::Registry::global().histogram(
+            "threadpool.queue_us", telemetry::exponential_bounds(1, 4, 10)),
+        telemetry::Registry::global().histogram(
+            "threadpool.exec_us", telemetry::exponential_bounds(1, 4, 10)),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t workers = threads <= 1 ? 0 : threads - 1;
@@ -21,25 +44,33 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::run_task(std::function<void()> task) {
+void ThreadPool::run_task(QueuedTask task) {
+  PoolMetrics& metrics = PoolMetrics::get();
+  const std::int64_t start_ns = telemetry::now_ns();
+  metrics.queue_us.observe(static_cast<double>(start_ns - task.enqueue_ns) /
+                           1e3);
   try {
-    task();
+    telemetry::TraceSpan span(telemetry::Category::kTask, "pool_task");
+    task.fn();
   } catch (...) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  metrics.exec_us.observe(
+      static_cast<double>(telemetry::now_ns() - start_ns) / 1e3);
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  QueuedTask queued{std::move(task), telemetry::now_ns()};
   if (workers_.empty()) {
     // Inline mode: same error contract as the threaded path (captured,
     // rethrown at wait_idle) so callers need no special case.
-    run_task(std::move(task));
+    run_task(std::move(queued));
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
   work_cv_.notify_one();
 }
@@ -49,7 +80,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) return;  // stop_ set and nothing left to run
-    std::function<void()> task = std::move(queue_.front());
+    QueuedTask task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
     lock.unlock();
@@ -63,7 +94,7 @@ void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   // Help drain: the submitting thread is the pool's extra worker.
   while (!queue_.empty()) {
-    std::function<void()> task = std::move(queue_.front());
+    QueuedTask task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
     lock.unlock();

@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -63,11 +64,19 @@ class ThreadPool {
                                           std::size_t cap = 8);
 
  private:
+  // Tasks carry their enqueue time so the pool can report queue latency
+  // and execution time into the telemetry registry
+  // (threadpool.queue_us / threadpool.exec_us histograms).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::int64_t enqueue_ns = 0;
+  };
+
   void worker_loop();
-  void run_task(std::function<void()> task);
+  void run_task(QueuedTask task);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

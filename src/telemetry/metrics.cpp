@@ -1,0 +1,164 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/trace.hpp"
+
+namespace senkf::telemetry {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::logic_error(
+        "Histogram: bucket bounds must be non-empty and strictly increasing");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_bounds(double first, double factor,
+                                       std::size_t count) {
+  if (first <= 0.0 || factor <= 1.0) {
+    throw std::logic_error(
+        "exponential_bounds: need first > 0 and factor > 1");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry();  // leaked: outlives atexit users
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.gauge || entry.histogram) {
+    throw std::logic_error("Registry: '" + std::string(name) +
+                           "' already registered as another metric kind");
+  }
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.counter || entry.histogram) {
+    throw std::logic_error("Registry: '" + std::string(name) +
+                           "' already registered as another metric kind");
+  }
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[std::string(name)];
+  if (entry.counter || entry.gauge) {
+    throw std::logic_error("Registry: '" + std::string(name) +
+                           "' already registered as another metric kind");
+  }
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else if (entry.histogram->bounds() != bounds) {
+    throw std::logic_error("Registry: histogram '" + std::string(name) +
+                           "' re-registered with different bounds");
+  }
+  return *entry.histogram;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.counter
+             ? it->second.counter->value()
+             : 0;
+}
+
+std::int64_t Registry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.gauge ? it->second.gauge->value()
+                                                  : 0;
+}
+
+std::string Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter) {
+      out << "counter " << name << " " << entry.counter->value() << "\n";
+    } else if (entry.gauge) {
+      out << "gauge " << name << " " << entry.gauge->value() << "\n";
+    } else if (entry.histogram) {
+      out << "histogram " << name << " count=" << entry.histogram->count()
+          << " sum=" << entry.histogram->sum();
+      const auto counts = entry.histogram->bucket_counts();
+      const auto& bounds = entry.histogram->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        out << " le_" << bounds[i] << "=" << counts[i];
+      }
+      out << " inf=" << counts.back() << "\n";
+    }
+  }
+  return out.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+ScopedTimerNs::ScopedTimerNs(Counter& ns_counter)
+    : counter_(ns_counter), start_ns_(now_ns()) {}
+
+ScopedTimerNs::~ScopedTimerNs() {
+  counter_.add(static_cast<std::uint64_t>(now_ns() - start_ns_));
+}
+
+}  // namespace senkf::telemetry

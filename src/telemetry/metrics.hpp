@@ -1,0 +1,119 @@
+// Process-wide metrics registry (DESIGN.md §7): named counters, gauges
+// and fixed-bucket histograms with a text snapshot for humans and
+// programmatic access for tests.
+//
+// Creation/lookup takes the registry mutex; call sites on hot paths hold
+// a `static` reference so steady-state updates are plain atomics.
+// Metrics always accumulate — they are the cheap always-on layer the
+// SenkfStats facade is derived from — while spans (trace.hpp) are the
+// opt-in detailed layer behind SENKF_TRACE.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace senkf::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed upper-bound buckets with `value <= bound` (Prometheus "le")
+/// semantics plus an implicit overflow bucket; bounds must be strictly
+/// increasing.  observe() is wait-free (one binary search + two atomics).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket ladder for latency-in-microseconds histograms.
+std::vector<double> exponential_bounds(double first, double factor,
+                                       std::size_t count);
+
+class Registry {
+ public:
+  /// The process-wide registry every instrumented plane reports into.
+  static Registry& global();
+
+  /// Creates on first use; later calls with the same name return the same
+  /// object.  A histogram re-registered with different bounds throws
+  /// std::logic_error, as does registering one name as two metric kinds.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Programmatic reads for tests/facades; absent names read as zero.
+  std::uint64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+
+  /// Human-readable dump, one line per metric, sorted by name.
+  std::string snapshot() const;
+
+  /// Zeroes every registered metric (keeps registrations).
+  void reset();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// RAII timer adding elapsed nanoseconds to a counter (and nothing else);
+/// the building block for telemetry-derived phase stats.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Counter& ns_counter);
+  ~ScopedTimerNs();
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Counter& counter_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace senkf::telemetry

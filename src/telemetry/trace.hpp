@@ -1,0 +1,138 @@
+// Low-overhead span tracer (DESIGN.md §7).
+//
+// Every instrumented operation opens a TraceSpan; on destruction the span
+// records `{category, name, rank, stage, t_start, t_end}` into a
+// per-thread chunked buffer.  The hot path is lock-free: a thread appends
+// to its own chunk and publishes the element with one release store; the
+// global registry mutex is taken only when a thread registers its buffer
+// or starts a new chunk (every kChunkCapacity events).  Buffers are kept
+// alive past thread exit, so helper threads and pool workers that die
+// before shutdown still contribute to the merged export.
+//
+// Kill switches:
+//  * env — `SENKF_TRACE=off|on|<path>` (read once at process start).
+//    `off` (the default) disarms every TraceSpan at the cost of a single
+//    relaxed atomic load + branch; `on` records and exports to
+//    `senkf_trace.json` at exit; any other value is the export path.
+//  * compile time — configure with -DSENKF_TELEMETRY=OFF and
+//    tracing_enabled() becomes `constexpr false`, so span bodies fold
+//    away entirely.
+//
+// The merged buffers export as Chrome trace-event JSON ("X" complete
+// events, one process row per rank) loadable in Perfetto or
+// chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace senkf::telemetry {
+
+/// Phase taxonomy shared by all instrumented planes; the Chrome "cat"
+/// field, and what the smoke test asserts coverage of.
+enum class Category : std::uint8_t {
+  kRead = 0,   ///< pfs / store reads (bars, blocks, whole members)
+  kSend,       ///< parcomm sends (block scatter, result gather)
+  kRecv,       ///< helper-thread drains and explicit receives
+  kWait,       ///< blocked on stage data / mailbox / barrier
+  kUpdate,     ///< local analysis compute
+  kTask,       ///< ThreadPool task execution
+  kKernel,     ///< linalg kernel dispatch
+  kOther,
+};
+
+const char* category_name(Category category);
+
+struct TraceEvent {
+  const char* name = "";  ///< must point at storage outliving the tracer
+  std::int64_t t_start_ns = 0;
+  std::int64_t t_end_ns = 0;
+  std::int32_t rank = -1;   ///< -1 = not attributed to a rank
+  std::int32_t stage = -1;  ///< -1 = no stage/layer
+  Category category = Category::kOther;
+};
+
+/// Nanoseconds on the process-wide monotonic clock (steady_clock anchored
+/// at static-init time; shared with the logger's timestamps).
+std::int64_t now_ns();
+
+/// One relaxed atomic load; `constexpr false` when compiled out.
+#ifdef SENKF_TELEMETRY_DISABLED
+constexpr bool tracing_enabled() { return false; }
+#else
+bool tracing_enabled();
+#endif
+
+/// Programmatic override of the SENKF_TRACE arming (tests, examples).
+void set_tracing_enabled(bool enabled);
+
+/// Rank attribution for every span recorded by the calling thread.
+/// parcomm::Runtime sets this on each rank thread; helper threads and
+/// pool tasks re-assert their owner's rank.
+void set_thread_rank(std::int32_t rank);
+std::int32_t thread_rank();
+
+/// Small sequential id of the calling thread (the Chrome "tid"; also the
+/// logger's thread tag).  Assigned on first use, stable for the thread's
+/// lifetime.
+std::int32_t thread_index();
+
+/// RAII span.  Construction is one branch when tracing is off.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Category category, const char* name,
+                     std::int32_t stage = -1)
+      : name_(name), stage_(stage), category_(category),
+        armed_(tracing_enabled()) {
+    if (armed_) start_ns_ = now_ns();
+  }
+  ~TraceSpan() { if (armed_) record(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Stage known only after work started (e.g. once a message header is
+  /// unpacked); call before destruction.
+  void set_stage(std::int32_t stage) { stage_ = stage; }
+
+ private:
+  void record();
+
+  std::int64_t start_ns_ = 0;
+  const char* name_;
+  std::int32_t stage_;
+  Category category_;
+  bool armed_;
+};
+
+/// Direct recording for pre-timed intervals (CountedSpan, tests).
+void record_event(const TraceEvent& event);
+
+/// Merged snapshot of every thread's buffer, ordered by t_start.  Safe to
+/// call while other threads are still recording (they are snapshotted up
+/// to their last published event).
+std::vector<TraceEvent> collect_events();
+
+/// Drops all recorded events.  Requires quiescence: no other thread may
+/// be recording concurrently (tests call it between runs).
+void clear_events();
+
+/// Chrome trace-event JSON (object form, {"traceEvents": [...]}): one
+/// "X" complete event per span, microsecond timestamps, pid = rank + 1
+/// with "M" process_name metadata rows, tid = thread_index().
+void write_chrome_trace(std::ostream& out);
+void write_chrome_trace(const std::string& path);
+
+/// Parsed form of the SENKF_TRACE environment value (exposed for tests).
+struct TraceEnvConfig {
+  bool enabled = false;
+  std::string export_path;  ///< empty = no export at exit
+};
+TraceEnvConfig parse_trace_env(const char* value);
+
+/// Path the process will export to at exit ("" = none).
+const std::string& trace_export_path();
+
+}  // namespace senkf::telemetry

@@ -88,7 +88,7 @@ TEST(Tuning, AutoTuneNotWorseThanSampledFeasiblePoints) {
 }
 
 TEST(Tuning, PipelineEqualsEquation10WhenOverlapFeasible) {
-  // The documented property of the deviation (DESIGN.md §7.3).
+  // The documented property of the deviation (DESIGN.md §8.3).
   const MachineConfig machine;
   const auto w = workload();
   const tuning::CostModel model(tuning::params_from(machine, w));

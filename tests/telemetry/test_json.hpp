@@ -1,0 +1,243 @@
+// Minimal strict JSON parser for validating telemetry exports in tests.
+// Supports the full value grammar (objects, arrays, strings with escapes,
+// numbers, true/false/null); throws std::runtime_error on any syntax
+// error, trailing garbage, or type-mismatched access.  Test-only — the
+// library itself never parses JSON.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace senkf::testjson {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+
+  bool as_bool() const {
+    require(Kind::kBool, "bool");
+    return bool_;
+  }
+  double as_number() const {
+    require(Kind::kNumber, "number");
+    return number_;
+  }
+  const std::string& as_string() const {
+    require(Kind::kString, "string");
+    return string_;
+  }
+  const std::vector<Value>& as_array() const {
+    require(Kind::kArray, "array");
+    return array_;
+  }
+  const std::map<std::string, Value>& as_object() const {
+    require(Kind::kObject, "object");
+    return object_;
+  }
+
+  bool has(const std::string& key) const {
+    return kind_ == Kind::kObject && object_.count(key) != 0;
+  }
+  const Value& at(const std::string& key) const {
+    require(Kind::kObject, "object");
+    const auto it = object_.find(key);
+    if (it == object_.end()) {
+      throw std::runtime_error("json: missing key '" + key + "'");
+    }
+    return it->second;
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+
+ private:
+  void require(Kind kind, const char* what) const {
+    if (kind_ != kind) {
+      throw std::runtime_error(std::string("json: value is not a ") + what);
+    }
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  Value parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.kind_ = Value::Kind::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't': expect_word("true"); return make_bool(true);
+      case 'f': expect_word("false"); return make_bool(false);
+      case 'n': expect_word("null"); return Value{};
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind_ = Value::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return v; }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after key");
+      ++pos_;
+      v.object_.emplace(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') { ++pos_; continue; }
+      if (c == '}') { ++pos_; return v; }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind_ = Value::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return v; }
+    while (true) {
+      v.array_.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') { ++pos_; continue; }
+      if (c == ']') { ++pos_; return v; }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') { out.push_back(c); continue; }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Exports are ASCII; keep it simple and reject the rest.
+          if (code > 0x7F) fail("non-ASCII \\u escape not supported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("unknown escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("malformed number");
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    Value v;
+    v.kind_ = Value::Kind::kNumber;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    v.number_ = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    return v;
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind_ = Value::Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  void expect_word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_++] != *p) fail("bad literal");
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  [[noreturn]] void fail(const char* message) const {
+    throw std::runtime_error("json: " + std::string(message) + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline Value parse(const std::string& text) {
+  return detail::Parser(text).parse_document();
+}
+
+}  // namespace senkf::testjson

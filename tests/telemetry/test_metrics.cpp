@@ -1,0 +1,153 @@
+// Metrics registry: counter/gauge identity, histogram "le" bucket
+// boundary semantics, registration error cases, concurrent updates, and
+// the text snapshot format downstream tools grep.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace senkf::telemetry {
+namespace {
+
+// The global registry persists across tests; use per-test metric names so
+// suites stay independent, and a fresh local Registry where totals matter.
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndNegative) {
+  Gauge g;
+  g.set(10);
+  g.add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(Histogram, BucketBoundariesAreLessOrEqual) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1        -> bucket 0
+  h.observe(1.0);   // == bound 1  -> bucket 0 (le semantics)
+  h.observe(1.5);   // <= 2        -> bucket 1
+  h.observe(4.0);   // == bound 4  -> bucket 2
+  h.observe(4.01);  // > last      -> overflow
+  h.observe(100.0);
+
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 2u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 4.01 + 100.0);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({1.0, 1.0, 2.0}), std::logic_error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::logic_error);
+  EXPECT_THROW(Histogram({}), std::logic_error);
+}
+
+TEST(Histogram, ConcurrentObservesLoseNothing) {
+  Histogram h(exponential_bounds(1.0, 4.0, 10));
+  constexpr int kThreads = 8;
+  constexpr int kObservations = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kObservations; ++i) h.observe(3.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kObservations);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0 * kThreads * kObservations);
+  EXPECT_EQ(h.bucket_counts()[1], h.count());  // 1 < 3 <= 4
+}
+
+TEST(ExponentialBounds, LadderShape) {
+  const auto bounds = exponential_bounds(1.0, 4.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 16.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 64.0);
+}
+
+TEST(Registry, SameNameReturnsSameMetric) {
+  Registry r;
+  Counter& a = r.counter("x.count");
+  Counter& b = r.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(r.counter_value("x.count"), 3u);
+  EXPECT_EQ(r.counter_value("never.registered"), 0u);
+}
+
+TEST(Registry, KindAndBoundsConflictsThrow) {
+  Registry r;
+  r.counter("metric.a");
+  EXPECT_THROW(r.gauge("metric.a"), std::logic_error);
+  EXPECT_THROW(r.histogram("metric.a", {1.0}), std::logic_error);
+
+  r.histogram("metric.h", {1.0, 2.0});
+  EXPECT_NO_THROW(r.histogram("metric.h", {1.0, 2.0}));
+  EXPECT_THROW(r.histogram("metric.h", {1.0, 3.0}), std::logic_error);
+}
+
+TEST(Registry, SnapshotListsSortedMetrics) {
+  Registry r;
+  r.counter("b.counter").add(7);
+  r.gauge("a.gauge").set(-2);
+  Histogram& h = r.histogram("c.hist", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(42.0);
+
+  const std::string snapshot = r.snapshot();
+  const auto pos_a = snapshot.find("a.gauge");
+  const auto pos_b = snapshot.find("b.counter");
+  const auto pos_c = snapshot.find("c.hist");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_c, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_c);
+  EXPECT_NE(snapshot.find("counter b.counter 7"), std::string::npos);
+  EXPECT_NE(snapshot.find("gauge a.gauge -2"), std::string::npos);
+  EXPECT_NE(snapshot.find("count=2"), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  Registry r;
+  Counter& c = r.counter("z.count");
+  c.add(9);
+  r.histogram("z.hist", {1.0}).observe(0.5);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&r.counter("z.count"), &c);
+  EXPECT_EQ(r.histogram("z.hist", {1.0}).count(), 0u);
+}
+
+TEST(Registry, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(ScopedTimer, AddsElapsedNanoseconds) {
+  Counter c;
+  { ScopedTimerNs timer(c); }
+  const auto first = c.value();
+  { ScopedTimerNs timer(c); }
+  EXPECT_GE(c.value(), first);  // monotone accumulation
+}
+
+}  // namespace
+}  // namespace senkf::telemetry
