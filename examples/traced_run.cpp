@@ -5,8 +5,15 @@
 // The same effect without code changes, on any senkf binary:
 //   SENKF_TRACE=my_trace.json ./quickstart     # export at process exit
 //   SENKF_LOG=debug           ./quickstart     # verbose stamped logging
+//
+// Fault injection rides the same zero-code-change rail: set SENKF_FAULTS
+// (e.g. "seed=1,transient=0.05,burst=2" or "dead=3") and the run goes
+// through a fault-injecting store — retries, re-issues and drops show up
+// in the trace and under pfs.fault.* / senkf.read.* in the snapshot.
 #include <iostream>
+#include <optional>
 
+#include "enkf/faulty_store.hpp"
 #include "enkf/senkf.hpp"
 #include "grid/synthetic.hpp"
 #include "obs/perturbed.hpp"
@@ -37,11 +44,23 @@ int main() {
   config.n_cg = 2;
   config.analysis.halo = grid::Halo{2, 1};
 
+  // SENKF_FAULTS (when set) wraps the store in the fault-injecting
+  // decorator; the pipeline's retry/degrade machinery does the rest.
+  const std::optional<pfs::FaultPlan> faults = pfs::fault_plan_from_env();
+  std::optional<enkf::FaultyEnsembleStore> faulty;
+  if (faults.has_value()) {
+    std::cout << "Injecting faults: " << pfs::to_spec(*faults) << "\n";
+    faulty.emplace(store, *faults);
+  }
+  const enkf::EnsembleStore& active =
+      faulty.has_value() ? static_cast<const enkf::EnsembleStore&>(*faulty)
+                         : store;
+
   // Arm tracing programmatically (equivalent to SENKF_TRACE=on).
   telemetry::set_tracing_enabled(true);
 
   enkf::SenkfStats stats;
-  const auto analysis = senkf::enkf::senkf(store, observations, ys, config,
+  const auto analysis = senkf::enkf::senkf(active, observations, ys, config,
                                            &stats);
   telemetry::set_tracing_enabled(false);
 
@@ -60,7 +79,10 @@ int main() {
             << "  io_send     " << stats.io_send_seconds << " s\n"
             << "  comp_wait   " << stats.comp_wait_seconds << " s\n"
             << "  comp_update " << stats.comp_update_seconds << " s\n"
-            << "  messages    " << stats.messages << "\n\n";
+            << "  messages    " << stats.messages << "\n"
+            << "  retries     " << stats.read_retries << "\n"
+            << "  re-issued   " << stats.bars_reissued << "\n"
+            << "  dropped     " << stats.dropped_members.size() << "\n\n";
 
   std::cout << "Metrics registry snapshot:\n"
             << telemetry::Registry::global().snapshot();

@@ -1,0 +1,51 @@
+#include "enkf/faulty_store.hpp"
+
+#include <string>
+
+namespace senkf::enkf {
+
+FaultyEnsembleStore::FaultyEnsembleStore(const EnsembleStore& base,
+                                         pfs::FaultPlan plan)
+    : base_(base), injector_(std::move(plan)) {}
+
+void FaultyEnsembleStore::maybe_fail(Index k, std::uint64_t key,
+                                     const char* op) const {
+  if (injector_.is_dead(k)) {
+    pfs::FaultMetrics& metrics = pfs::FaultMetrics::get();
+    metrics.dead_reads.add(1);
+    metrics.injected.add(1);
+    throw pfs::PermanentReadError(std::string(op) + ": member " +
+                                  std::to_string(k) +
+                                  " is permanently unreadable");
+  }
+  if (injector_.next_read_fails(k, key)) {
+    throw pfs::TransientReadError(std::string(op) + ": injected EIO on member " +
+                                  std::to_string(k));
+  }
+}
+
+// Access accounting stays on the wrapped store (the base methods call
+// count_access themselves); the decorator only adds failures, so
+// successful reads are counted exactly once and failed attempts appear
+// under pfs.fault.* instead.
+
+grid::Field FaultyEnsembleStore::load_member(Index k) const {
+  maybe_fail(k, pfs::op_key(k, ~std::uint64_t{0}), "load_member");
+  return base_.load_member(k);
+}
+
+grid::Patch FaultyEnsembleStore::read_block(Index k, grid::Rect rect) const {
+  maybe_fail(k,
+             pfs::op_key(pfs::op_key(rect.x.begin, rect.x.end),
+                         pfs::op_key(rect.y.begin, rect.y.end)),
+             "read_block");
+  return base_.read_block(k, rect);
+}
+
+grid::Patch FaultyEnsembleStore::read_bar(Index k,
+                                          grid::IndexRange rows) const {
+  maybe_fail(k, pfs::op_key(rows.begin, rows.end), "read_bar");
+  return base_.read_bar(k, rows);
+}
+
+}  // namespace senkf::enkf

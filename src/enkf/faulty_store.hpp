@@ -1,0 +1,39 @@
+// Fault-injecting EnsembleStore decorator (DESIGN.md §9).
+//
+// Wraps any EnsembleStore and turns a pfs::FaultPlan's decisions into the
+// failures a real parallel file system produces: reads of dead members
+// throw PermanentReadError, transiently faulty reads throw
+// TransientReadError for the first `burst` attempts and then succeed —
+// deterministically, because every decision is a pure hash of
+// (seed, member, operation), never of wall-clock or thread order.  The
+// S-EnKF read path retries / degrades around these (senkf.cpp); the
+// decorator itself stays policy-free.
+#pragma once
+
+#include "enkf/ensemble_store.hpp"
+#include "pfs/faults.hpp"
+
+namespace senkf::enkf {
+
+class FaultyEnsembleStore final : public EnsembleStore {
+ public:
+  /// `base` must outlive the decorator.
+  FaultyEnsembleStore(const EnsembleStore& base, pfs::FaultPlan plan);
+
+  const grid::LatLonGrid& grid() const override { return base_.grid(); }
+  Index members() const override { return base_.members(); }
+  grid::Field load_member(Index k) const override;
+  grid::Patch read_block(Index k, grid::Rect rect) const override;
+  grid::Patch read_bar(Index k, grid::IndexRange rows) const override;
+
+  const pfs::FaultInjector& injector() const { return injector_; }
+
+ private:
+  /// Throws Permanent/TransientReadError per the plan; returns otherwise.
+  void maybe_fail(Index k, std::uint64_t key, const char* op) const;
+
+  const EnsembleStore& base_;
+  pfs::FaultInjector injector_;
+};
+
+}  // namespace senkf::enkf

@@ -1,12 +1,19 @@
 #include "enkf/senkf.hpp"
 
+#include <algorithm>
 #include <condition_variable>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
+#include <utility>
 
+#include "enkf/faulty_store.hpp"
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
+#include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 #include "telemetry/phase.hpp"
 
@@ -16,6 +23,21 @@ namespace {
 
 constexpr int kBlockTag = 1;
 constexpr int kResultTag = 2;
+/// I/O-group control channel (straggler re-issue protocol); never touches
+/// computation ranks, so wildcards on it cannot steal result messages.
+constexpr int kIoCtrlTag = 3;
+
+/// Payload discriminators on kBlockTag (first u64 of every message).
+constexpr std::uint64_t kKindBlock = 0;
+constexpr std::uint64_t kKindDead = 1;
+/// The sending rank is unwinding; receivers must stop waiting for stage
+/// data and unwind too (only sent when drop_unreadable_members is off).
+constexpr std::uint64_t kKindAbort = 2;
+
+/// Payload discriminators on kIoCtrlTag.
+constexpr std::uint64_t kCtrlReissue = 0;
+constexpr std::uint64_t kCtrlAck = 1;
+constexpr std::uint64_t kCtrlDone = 2;
 
 /// The telemetry the SenkfStats facade is derived from.  Counters are
 /// process-wide and cumulative; senkf() reports per-run deltas, which
@@ -27,6 +49,10 @@ struct PhaseCounters {
   telemetry::Counter& comp_wait_ns;
   telemetry::Counter& comp_update_ns;
   telemetry::Counter& messages;
+  telemetry::Counter& read_retries;
+  telemetry::Counter& bars_reissued;
+  telemetry::Counter& duplicate_blocks;
+  telemetry::Counter& members_dropped;
 
   static PhaseCounters& get() {
     auto& registry = telemetry::Registry::global();
@@ -36,6 +62,10 @@ struct PhaseCounters {
         registry.counter("senkf.comp_wait_ns"),
         registry.counter("senkf.comp_update_ns"),
         registry.counter("senkf.messages"),
+        registry.counter("senkf.read.retries"),
+        registry.counter("senkf.read.reissued"),
+        registry.counter("senkf.read.duplicate_blocks"),
+        registry.counter("senkf.member.dropped"),
     };
     return counters;
   }
@@ -46,12 +76,15 @@ struct PhaseCounters {
     std::uint64_t comp_wait_ns = 0;
     std::uint64_t comp_update_ns = 0;
     std::uint64_t messages = 0;
+    std::uint64_t read_retries = 0;
+    std::uint64_t bars_reissued = 0;
   };
 
   Values values() const {
-    return Values{io_read_ns.value(), io_send_ns.value(),
+    return Values{io_read_ns.value(),   io_send_ns.value(),
                   comp_wait_ns.value(), comp_update_ns.value(),
-                  messages.value()};
+                  messages.value(),     read_retries.value(),
+                  bars_reissued.value()};
   }
 };
 
@@ -67,45 +100,120 @@ SenkfStats stats_between(const PhaseCounters::Values& before,
   stats.comp_update_seconds =
       static_cast<double>(after.comp_update_ns - before.comp_update_ns) / 1e9;
   stats.messages = after.messages - before.messages;
+  stats.read_retries = after.read_retries - before.read_retries;
+  stats.bars_reissued = after.bars_reissued - before.bars_reissued;
   return stats;
 }
 
 /// Stage-indexed buffers filled by the helper thread and drained by the
-/// main thread (the Fig. 8 handshake).
+/// main thread (the Fig. 8 handshake), extended with degraded-mode
+/// accounting: a member is *accounted* for a stage once its block arrived
+/// or the member was declared dead, and a stage completes when every
+/// member is accounted — so a dead file shrinks the ensemble instead of
+/// deadlocking the pipeline.  Duplicate blocks (a straggler whose bar was
+/// re-issued can race its replacement) are counted and dropped, never an
+/// error.
 class StageBuffers {
  public:
   StageBuffers(Index layers, Index members)
-      : members_(members),
+      : layers_(layers),
+        members_(members),
         patches_(layers * members),
-        received_(layers, 0) {}
+        accounted_(layers, 0),
+        dead_(members, 0) {}
 
   /// Helper thread: deposits member k's block for `stage`.
   void deposit(Index stage, Index member, grid::Patch patch) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& slot = patches_[stage * members_ + member];
-    SENKF_REQUIRE(!slot.has_value(), "StageBuffers: duplicate block");
+    if (slot.has_value() || dead_[member] != 0) {
+      PhaseCounters::get().duplicate_blocks.add(1);
+      return;
+    }
     slot = std::move(patch);
-    if (++received_[stage] == members_) cv_.notify_all();
+    if (++accounted_[stage] == members_) cv_.notify_all();
   }
 
-  /// Main thread: blocks until every member's block for `stage` arrived,
-  /// then hands them over in member order.
-  std::vector<grid::Patch> take_stage(Index stage) {
+  /// Helper thread: member k's file is permanently unreadable — account
+  /// it as missing in every stage.  Idempotent (several I/O readers can
+  /// discover the same dead file).
+  void mark_dead(Index member) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dead_[member] != 0) return;
+    dead_[member] = 1;
+    for (Index stage = 0; stage < layers_; ++stage) {
+      if (!patches_[stage * members_ + member].has_value()) {
+        if (++accounted_[stage] == members_) cv_.notify_all();
+      }
+    }
+  }
+
+  /// True once every stage has every member accounted (or the run was
+  /// aborted) — the helper thread's termination condition.
+  bool complete() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (aborted_) return true;
+    for (Index stage = 0; stage < layers_; ++stage) {
+      if (accounted_[stage] != members_) return false;
+    }
+    return true;
+  }
+
+  /// Wakes everyone and makes take_stage throw: called when the helper
+  /// thread dies or a peer rank announced it is unwinding, so the main
+  /// thread never blocks on stage data that can no longer arrive.
+  void abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+  /// One completed stage: the surviving members' blocks in member order,
+  /// plus which members they are (feeds the Yˢ column selection).
+  struct Stage {
+    std::vector<grid::Patch> patches;
+    std::vector<Index> live;
+  };
+
+  /// Main thread: blocks until every member is accounted for `stage`,
+  /// then hands over the surviving blocks.
+  Stage take_stage(Index stage) {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return received_[stage] == members_; });
-    std::vector<grid::Patch> out;
-    out.reserve(members_);
+    cv_.wait(lock, [&] { return aborted_ || accounted_[stage] == members_; });
+    if (aborted_) {
+      throw ProtocolError("senkf: run aborted before stage data completed");
+    }
+    Stage out;
+    out.patches.reserve(members_);
+    out.live.reserve(members_);
     for (Index k = 0; k < members_; ++k) {
-      out.push_back(std::move(*patches_[stage * members_ + k]));
+      if (dead_[k] != 0) continue;
+      auto& slot = patches_[stage * members_ + k];
+      SENKF_REQUIRE(slot.has_value(), "StageBuffers: live member missing");
+      out.patches.push_back(std::move(*slot));
+      out.live.push_back(k);
+    }
+    return out;
+  }
+
+  /// Sorted dead members (stable once every stage completed).
+  std::vector<Index> dead_members() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Index> out;
+    for (Index k = 0; k < members_; ++k) {
+      if (dead_[k] != 0) out.push_back(k);
     }
     return out;
   }
 
  private:
+  Index layers_;
   Index members_;
   std::vector<std::optional<grid::Patch>> patches_;
-  std::vector<Index> received_;
-  std::mutex mutex_;
+  std::vector<Index> accounted_;
+  std::vector<std::uint8_t> dead_;
+  bool aborted_ = false;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
 };
 
@@ -128,8 +236,155 @@ struct RankLayout {
     return (static_cast<Index>(rank) - config_.computation_ranks()) %
            config_.n_sdy;
   }
+  int io_rank(Index group, Index slot) const {
+    return static_cast<int>(config_.computation_ranks() + group * config_.n_sdy +
+                            slot);
+  }
 
   const SenkfConfig& config_;
+};
+
+/// The injector behind `store`, when reads can actually fail.
+const pfs::FaultInjector* injector_of(const EnsembleStore& store) {
+  const auto* faulty = dynamic_cast<const FaultyEnsembleStore*>(&store);
+  return faulty != nullptr ? &faulty->injector() : nullptr;
+}
+
+/// Cuts `bar` (the stage-l expanded bar of `member` for latitude row
+/// `slot`) into per-sub-domain blocks and sends them to the row's
+/// computation ranks.
+void scatter_bar(parcomm::Communicator& world, const RankLayout& layout,
+                 const grid::Decomposition& decomposition,
+                 const SenkfConfig& config, Index l, Index member, Index slot,
+                 const grid::Patch& bar, PhaseCounters& phases) {
+  telemetry::CountedSpan send_span(telemetry::Category::kSend, "block_scatter",
+                                   phases.io_send_ns,
+                                   static_cast<std::int32_t>(l));
+  for (Index i = 0; i < config.n_sdx; ++i) {
+    const grid::Rect block = decomposition.layer_expansion(
+        grid::SubdomainId{i, slot}, l, config.layers);
+    parcomm::Packer packer;
+    packer.put<std::uint64_t>(kKindBlock);
+    packer.put<std::uint64_t>(l);
+    packer.put<std::uint64_t>(member);
+    pack_patch(packer, bar.extract(block));
+    world.send(layout.comp_rank(i, slot), kBlockTag, packer.take());
+  }
+}
+
+/// Tells every computation rank of latitude row `slot` that `member` is
+/// permanently unreadable (accounted as missing in every stage).
+void announce_dead(parcomm::Communicator& world, const RankLayout& layout,
+                   const SenkfConfig& config, Index member, Index slot) {
+  SENKF_LOG_WARN("senkf: dropping member ", member,
+                 " (permanently unreadable), continuing on N-k members");
+  for (Index i = 0; i < config.n_sdx; ++i) {
+    parcomm::Packer packer;
+    packer.put<std::uint64_t>(kKindDead);
+    packer.put<std::uint64_t>(member);
+    world.send(layout.comp_rank(i, slot), kBlockTag, packer.take());
+  }
+}
+
+/// One bar read executed off the I/O rank's main thread, so the main
+/// thread can give up after the straggler deadline and re-issue the bar
+/// to a group peer while the slow read keeps grinding in the background.
+/// Abandoned results are discarded on completion (the re-issued copy is
+/// the one that reaches the computation ranks), so duplicates can only
+/// arise from protocol races — which StageBuffers tolerates anyway.
+class BarReader {
+ public:
+  enum class Status { kOk, kTimeout, kDead };
+  struct Outcome {
+    Status status = Status::kOk;
+    grid::Patch bar;
+  };
+
+  using ReadFn = std::function<grid::Patch(Index, grid::IndexRange, Index)>;
+
+  BarReader(ReadFn read_fn, int world_rank)
+      : read_fn_(std::move(read_fn)), worker_([this, world_rank] {
+          telemetry::set_thread_rank(world_rank);
+          loop();
+        }) {}
+
+  ~BarReader() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  /// Blocks up to `deadline` for the read; kTimeout abandons the request
+  /// (its eventual result is dropped).
+  Outcome read(Index member, grid::IndexRange rows, Index stage,
+               std::chrono::nanoseconds deadline) {
+    std::uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      id = next_id_++;
+      queue_.push_back(Request{member, rows, stage, id});
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool done = cv_.wait_for(lock, deadline, [&] {
+      return results_.find(id) != results_.end();
+    });
+    if (!done) {
+      abandoned_.insert(id);
+      return Outcome{Status::kTimeout, {}};
+    }
+    Outcome outcome = std::move(results_[id]);
+    results_.erase(id);
+    return outcome;
+  }
+
+ private:
+  struct Request {
+    Index member;
+    grid::IndexRange rows;
+    Index stage;
+    std::uint64_t id;
+  };
+
+  void loop() {
+    for (;;) {
+      Request request;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        request = queue_.front();
+        queue_.pop_front();
+      }
+      Outcome outcome;
+      try {
+        outcome.bar = read_fn_(request.member, request.rows, request.stage);
+        outcome.status = Status::kOk;
+      } catch (const pfs::PermanentReadError&) {
+        outcome.status = Status::kDead;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (abandoned_.erase(request.id) == 0) {
+          results_[request.id] = std::move(outcome);
+        }
+      }
+      cv_.notify_all();
+    }
+  }
+
+  ReadFn read_fn_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  std::map<std::uint64_t, Outcome> results_;
+  std::set<std::uint64_t> abandoned_;
+  std::uint64_t next_id_ = 0;
+  bool stop_ = false;
+  std::thread worker_;
 };
 
 void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
@@ -139,35 +394,206 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
   const Index slot = layout.io_slot(world.rank());
   const Index n_members = store.members();
   PhaseCounters& phases = PhaseCounters::get();
+  const pfs::FaultInjector* injector = injector_of(store);
+  const int io_ordinal =
+      world.rank() - static_cast<int>(config.computation_ranks());
+  const std::chrono::nanoseconds straggle =
+      injector != nullptr ? injector->straggler_delay(io_ordinal)
+                          : std::chrono::nanoseconds::zero();
+  const bool reissue_enabled =
+      config.fault.straggler_deadline_s > 0.0 && config.n_sdy > 1;
+  const auto deadline = std::chrono::nanoseconds(static_cast<std::int64_t>(
+      config.fault.straggler_deadline_s * 1e9));
+  const pfs::Sleeper sleeper = pfs::real_sleeper();
+
+  /// Rows of the stage-l expanded bar for latitude row `for_slot`
+  /// (identical across i; geometry shared with the timing plane).
+  const auto bar_rows = [&](Index for_slot, Index l) {
+    return decomposition
+        .layer_expansion(grid::SubdomainId{0, for_slot}, l, config.layers)
+        .y;
+  };
+
+  // The complete degraded read of one bar: injected straggler delay, then
+  // the store read under the retry policy (TransientReadError → capped
+  // exponential backoff with deterministic jitter → retry; exhaustion →
+  // PermanentReadError).  Runs on the main thread, or on the BarReader
+  // worker when straggler re-issue is armed.
+  const auto perform_read = [&](Index member, grid::IndexRange rows,
+                                Index l) -> grid::Patch {
+    if (straggle > std::chrono::nanoseconds::zero()) {
+      pfs::FaultMetrics& fault_metrics = pfs::FaultMetrics::get();
+      fault_metrics.straggler_ns.add(
+          static_cast<std::uint64_t>(straggle.count()));
+      fault_metrics.injected.add(1);
+      sleeper(straggle);
+    }
+    return pfs::with_retry(
+        config.fault.retry, pfs::op_key(member, rows.begin), sleeper,
+        [&] {
+          telemetry::CountedSpan read_span(telemetry::Category::kRead,
+                                           "bar_read", phases.io_read_ns,
+                                           static_cast<std::int32_t>(l));
+          return store.read_bar(member, rows);
+        },
+        [&](int) { phases.read_retries.add(1); });
+  };
+
+  std::set<Index> dead;
+  const auto handle_permanent = [&](Index member, Index for_slot) {
+    if (!config.fault.drop_unreadable_members) {
+      // Tell every computation rank the run is unwinding before we throw,
+      // so their main threads wake instead of waiting for stage data that
+      // will never arrive.
+      for (Index j = 0; j < config.n_sdy; ++j) {
+        for (Index i = 0; i < config.n_sdx; ++i) {
+          parcomm::Packer abort_msg;
+          abort_msg.put<std::uint64_t>(kKindAbort);
+          world.send(layout.comp_rank(i, j), kBlockTag, abort_msg.take());
+        }
+      }
+      throw pfs::PermanentReadError(
+          "senkf: member " + std::to_string(member) +
+          " unreadable and drop_unreadable_members is off");
+    }
+    dead.insert(member);
+    announce_dead(world, layout, config, member, for_slot);
+  };
+
+  std::optional<BarReader> reader;
+  if (reissue_enabled) reader.emplace(perform_read, world.rank());
+
+  // ---- straggler re-issue protocol (kIoCtrlTag, I/O peers of one group).
+  // reissue{l, member, slot}: "read this bar for me and scatter it to my
+  // row" — served between own reads and while waiting for acks/dones.
+  // ack{l, member}: the re-issued bar reached the requester's row.
+  // done: the sender finished its own schedule.  A rank exits once its
+  // own schedule is resolved (all acks in) and every peer sent done;
+  // per-(source, tag) ordering guarantees no request can trail its
+  // sender's done.
+  std::set<std::pair<Index, Index>> pending_acks;
+  Index peers_done = 0;
+  const Index n_peers = config.n_sdy - 1;
+
+  const auto serve_reissue = [&](Index l, Index member, Index req_slot,
+                                 int requester) {
+    if (dead.count(member) != 0) {
+      announce_dead(world, layout, config, member, req_slot);
+    } else {
+      try {
+        const grid::Patch bar = perform_read(member, bar_rows(req_slot, l), l);
+        scatter_bar(world, layout, decomposition, config, l, member, req_slot,
+                    bar, phases);
+      } catch (const pfs::PermanentReadError&) {
+        handle_permanent(member, req_slot);
+      }
+    }
+    parcomm::Packer ack;
+    ack.put<std::uint64_t>(kCtrlAck);
+    ack.put<std::uint64_t>(l);
+    ack.put<std::uint64_t>(member);
+    world.send(requester, kIoCtrlTag, ack.take());
+  };
+
+  const auto handle_ctrl = [&](const parcomm::Envelope& envelope) {
+    parcomm::Unpacker unpacker(envelope.payload);
+    const auto kind = unpacker.get<std::uint64_t>();
+    if (kind == kCtrlReissue) {
+      const auto l = unpacker.get<std::uint64_t>();
+      const auto member = unpacker.get<std::uint64_t>();
+      const auto req_slot = unpacker.get<std::uint64_t>();
+      serve_reissue(l, member, req_slot, envelope.source);
+    } else if (kind == kCtrlAck) {
+      const auto l = unpacker.get<std::uint64_t>();
+      const auto member = unpacker.get<std::uint64_t>();
+      pending_acks.erase({l, member});
+    } else {
+      SENKF_REQUIRE(kind == kCtrlDone, "senkf: unknown I/O control kind");
+      ++peers_done;
+    }
+  };
+
+  const auto drain_ctrl = [&] {
+    while (world.iprobe(parcomm::kAnySource, kIoCtrlTag)) {
+      handle_ctrl(world.recv(parcomm::kAnySource, kIoCtrlTag));
+    }
+  };
 
   for (Index l = 0; l < config.layers; ++l) {
-    // Rows this stage needs for row `slot`: the layer expansion's y-range
-    // (identical for every i; geometry shared with the timing plane).
-    const grid::Rect layer_expansion_any = decomposition.layer_expansion(
-        grid::SubdomainId{0, slot}, l, config.layers);
+    const grid::IndexRange rows = bar_rows(slot, l);
     for (Index member = group; member < n_members; member += config.n_cg) {
-      grid::Patch bar;
-      {
-        telemetry::CountedSpan read_span(telemetry::Category::kRead,
-                                         "bar_read", phases.io_read_ns,
-                                         static_cast<std::int32_t>(l));
-        bar = store.read_bar(member, layer_expansion_any.y);  // one segment
+      if (dead.count(member) != 0) continue;
+      if (!reissue_enabled) {
+        grid::Patch bar;
+        try {
+          bar = perform_read(member, rows, l);
+        } catch (const pfs::PermanentReadError&) {
+          handle_permanent(member, slot);
+          continue;
+        }
+        scatter_bar(world, layout, decomposition, config, l, member, slot, bar,
+                    phases);
+        continue;
       }
 
-      telemetry::CountedSpan send_span(telemetry::Category::kSend,
-                                       "block_scatter", phases.io_send_ns,
-                                       static_cast<std::int32_t>(l));
-      for (Index i = 0; i < config.n_sdx; ++i) {
-        const grid::Rect block = decomposition.layer_expansion(
-            grid::SubdomainId{i, slot}, l, config.layers);
-        parcomm::Packer packer;
-        packer.put<std::uint64_t>(l);
-        packer.put<std::uint64_t>(member);
-        pack_patch(packer, bar.extract(block));
-        world.send(layout.comp_rank(i, slot), kBlockTag, packer.take());
+      drain_ctrl();  // serve peers between own reads, not just at the end
+      const BarReader::Outcome outcome = reader->read(member, rows, l, deadline);
+      switch (outcome.status) {
+        case BarReader::Status::kOk:
+          scatter_bar(world, layout, decomposition, config, l, member, slot,
+                      outcome.bar, phases);
+          break;
+        case BarReader::Status::kDead:
+          handle_permanent(member, slot);
+          break;
+        case BarReader::Status::kTimeout: {
+          // Deadline blown: hand the bar to the next reader of the group
+          // and move on — the stage pipeline keeps flowing while this
+          // rank's slow read finishes (and is then discarded).
+          const Index peer_slot = (slot + 1) % config.n_sdy;
+          parcomm::Packer request;
+          request.put<std::uint64_t>(kCtrlReissue);
+          request.put<std::uint64_t>(l);
+          request.put<std::uint64_t>(member);
+          request.put<std::uint64_t>(slot);
+          world.send(layout.io_rank(group, peer_slot), kIoCtrlTag,
+                     request.take());
+          pending_acks.insert({l, member});
+          phases.bars_reissued.add(1);
+          SENKF_LOG_WARN("senkf: io rank ", world.rank(),
+                         " re-issued bar (stage ", l, ", member ", member,
+                         ") past the straggler deadline");
+          break;
+        }
       }
     }
   }
+
+  if (reissue_enabled) {
+    for (Index s = 0; s < config.n_sdy; ++s) {
+      if (s == slot) continue;
+      parcomm::Packer done;
+      done.put<std::uint64_t>(kCtrlDone);
+      world.send(layout.io_rank(group, s), kIoCtrlTag, done.take());
+    }
+    while (!pending_acks.empty() || peers_done < n_peers) {
+      handle_ctrl(world.recv(parcomm::kAnySource, kIoCtrlTag));
+    }
+    // ~BarReader waits for any abandoned slow read still in flight.
+  }
+}
+
+/// Yˢ restricted to the surviving members (column k of the input belongs
+/// to member k).
+linalg::Matrix select_columns(const linalg::Matrix& matrix,
+                              const std::vector<Index>& columns) {
+  linalg::Matrix out(matrix.rows(), columns.size());
+  for (linalg::Index i = 0; i < matrix.rows(); ++i) {
+    for (linalg::Index j = 0; j < columns.size(); ++j) {
+      out(i, j) = matrix(i, columns[j]);
+    }
+  }
+  return out;
 }
 
 void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
@@ -176,7 +602,8 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
                    const obs::ObservationSet& observations,
                    const linalg::Matrix& perturbed,
                    const SenkfConfig& config,
-                   std::vector<grid::Field>* result_out) {
+                   std::vector<grid::Field>* result_out,
+                   std::vector<Index>* dropped_out) {
   const grid::SubdomainId my_id{layout.comp_i(world.rank()),
                                 layout.comp_j(world.rank())};
   const Index n_members = store.members();
@@ -184,22 +611,36 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   PhaseCounters& phases = PhaseCounters::get();
   StageBuffers buffers(config.layers, n_members);
 
-  // Helper thread (§4.2): drains all L·N block messages for this rank and
-  // signals the main thread per completed stage.  Its own failures are
-  // captured and rethrown after the join; the join itself is guaranteed
-  // even when the main thread unwinds (the I/O ranks keep sending the
-  // remaining blocks regardless, so the helper always drains to
-  // completion or times out via the mailbox deadline).
-  const std::uint64_t expected = config.layers * n_members;
+  // Helper thread (§4.2): drains block and dead-member messages for this
+  // rank into the stage buffers until every (stage, member) pair is
+  // accounted — block arrived or member declared dead — and signals the
+  // main thread per completed stage.  Its own failures are captured and
+  // rethrown after the join; the join itself is guaranteed even when the
+  // main thread unwinds (the I/O ranks keep resolving the remaining
+  // members regardless, so the helper always drains to completion or
+  // times out via the mailbox deadline).
   std::exception_ptr helper_error;
-  std::thread helper([&world, &buffers, &helper_error, expected, my_rank] {
+  std::uint64_t helper_messages = 0;
+  std::thread helper([&world, &buffers, &helper_error, &helper_messages,
+                      my_rank] {
     telemetry::set_thread_rank(my_rank);
     try {
-      for (std::uint64_t i = 0; i < expected; ++i) {
+      while (!buffers.complete()) {
         telemetry::TraceSpan span(telemetry::Category::kRecv, "drain_block");
         const parcomm::Envelope envelope =
             world.recv(parcomm::kAnySource, kBlockTag);
+        ++helper_messages;
         parcomm::Unpacker unpacker(envelope.payload);
+        const auto kind = unpacker.get<std::uint64_t>();
+        if (kind == kKindDead) {
+          buffers.mark_dead(unpacker.get<std::uint64_t>());
+          continue;
+        }
+        if (kind == kKindAbort) {
+          buffers.abort();  // complete() turns true; the loop exits
+          continue;
+        }
+        SENKF_REQUIRE(kind == kKindBlock, "senkf: unknown block-message kind");
         const auto stage = unpacker.get<std::uint64_t>();
         const auto member = unpacker.get<std::uint64_t>();
         span.set_stage(static_cast<std::int32_t>(stage));
@@ -207,6 +648,7 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
       }
     } catch (...) {
       helper_error = std::current_exception();
+      buffers.abort();  // never leave the main thread blocked on us
     }
   });
   struct JoinGuard {
@@ -224,16 +666,13 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   // below — bit-identical output for any pool width.
   ThreadPool pool(
       ThreadPool::resolve_thread_count(config.analysis_threads));
-  std::vector<std::vector<grid::Patch>> stage_data(config.layers);
+  std::vector<StageBuffers::Stage> stage_data(config.layers);
   std::vector<AnalysisResult> locals(config.layers);
 
   // Phase accounting is measured where each phase happens: comp_wait is
   // the main thread blocked in take_stage, comp_update the summed
   // execution time of the analysis tasks (recorded inside each task, on
-  // whichever pool thread ran it).  The previous scheme derived update as
-  // elapsed − wait on the main thread alone, which under-counted update
-  // work running on pool workers and double-charged the wait that
-  // overlapped it whenever analysis_threads > 1.
+  // whichever pool thread ran it).
   for (Index l = 0; l < config.layers; ++l) {
     {
       telemetry::CountedSpan wait_span(telemetry::Category::kWait,
@@ -249,40 +688,74 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
                                          phases.comp_update_ns,
                                          static_cast<std::int32_t>(l));
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
-      locals[l] = local_analysis(stage_data[l], target, observations,
-                                 perturbed, config.analysis);
+      // N−k degradation: the analysis runs on the surviving members with
+      // the matching Yˢ columns; every ensemble moment is computed over
+      // the live count, so the weights renormalize by construction.
+      if (stage_data[l].live.size() == n_members) {
+        locals[l] = local_analysis(stage_data[l].patches, target, observations,
+                                   perturbed, config.analysis);
+      } else {
+        const linalg::Matrix live_ys =
+            select_columns(perturbed, stage_data[l].live);
+        locals[l] = local_analysis(stage_data[l].patches, target, observations,
+                                   live_ys, config.analysis);
+      }
     });
   }
   pool.wait_idle();
 
+  // A member must be live in every stage or none: its file is dead from
+  // the start or not at all (retry budgets outlast transient bursts).  A
+  // mid-run death would mean stages analysed different ensembles.
+  const std::vector<Index>& live = stage_data[0].live;
+  for (Index l = 1; l < config.layers; ++l) {
+    SENKF_REQUIRE(stage_data[l].live == live,
+                  "senkf: member died mid-run; stages saw different ensembles");
+  }
+
   parcomm::Packer results;
-  results.put<std::uint64_t>(config.layers * n_members);
+  results.put<std::uint64_t>(config.layers * live.size());
   for (Index l = 0; l < config.layers; ++l) {
-    for (Index k = 0; k < n_members; ++k) {
-      results.put<std::uint64_t>(k);
-      pack_patch(results, locals[l].members[k]);
+    for (std::size_t idx = 0; idx < live.size(); ++idx) {
+      results.put<std::uint64_t>(live[idx]);
+      pack_patch(results, locals[l].members[idx]);
     }
   }
   helper.join();
   if (helper_error) std::rethrow_exception(helper_error);
 
-  phases.messages.add(expected);
+  phases.messages.add(helper_messages);
 
   if (world.rank() != 0) {
     world.send(0, kResultTag, results.take());
     return;
   }
 
-  // Rank 0 assembles the analysis fields.
+  // Rank 0 assembles the analysis fields for the surviving members.
+  const std::vector<Index> dropped = buffers.dead_members();
+  phases.members_dropped.add(dropped.size());
+  std::vector<Index> position(n_members, n_members);
   std::vector<grid::Field> fields;
-  fields.reserve(n_members);
-  for (Index k = 0; k < n_members; ++k) fields.push_back(store.load_member(k));
+  fields.reserve(live.size());
+  const pfs::Sleeper sleeper = pfs::real_sleeper();
+  for (std::size_t idx = 0; idx < live.size(); ++idx) {
+    const Index member = live[idx];
+    position[member] = static_cast<Index>(idx);
+    // Background loads go through the same retry policy as bar reads: a
+    // transient fault here must not abort a run the pipeline survived.
+    fields.push_back(pfs::with_retry(
+        config.fault.retry, pfs::op_key(member, ~std::uint64_t{0}), sleeper,
+        [&] { return store.load_member(member); },
+        [&](int) { phases.read_retries.add(1); }));
+  }
   const auto apply = [&](const parcomm::Payload& payload) {
     parcomm::Unpacker unpacker(payload);
     const auto count = unpacker.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < count; ++i) {
       const auto member = unpacker.get<std::uint64_t>();
-      fields[member].insert(unpack_patch(unpacker));
+      SENKF_REQUIRE(member < n_members && position[member] < n_members,
+                    "senkf: result for a dropped or unknown member");
+      fields[position[member]].insert(unpack_patch(unpacker));
     }
   };
   apply(results.take());
@@ -290,6 +763,7 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
     apply(world.recv(static_cast<int>(r), kResultTag).payload);
   }
   *result_out = std::move(fields);
+  *dropped_out = dropped;
 }
 
 }  // namespace
@@ -305,34 +779,65 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
                 "senkf: L must divide the sub-domain row count");
   SENKF_REQUIRE(config.n_cg >= 1 && store.members() % config.n_cg == 0,
                 "senkf: N must be a multiple of n_cg");
-  // Validate analysis options before any rank launches, so configuration
-  // errors surface here rather than inside a running pipeline.
+  // Validate analysis and fault options before any rank launches, so
+  // configuration errors surface here rather than inside a running
+  // pipeline.
   SENKF_REQUIRE(config.analysis.inflation >= 1.0,
                 "senkf: inflation must be >= 1");
   SENKF_REQUIRE(config.analysis.ridge >= 0.0, "senkf: ridge must be >= 0");
+  SENKF_REQUIRE(config.fault.retry.max_attempts >= 1,
+                "senkf: retry.max_attempts must be >= 1");
+  SENKF_REQUIRE(config.fault.retry.backoff_factor >= 1.0,
+                "senkf: retry.backoff_factor must be >= 1");
+  SENKF_REQUIRE(config.fault.retry.jitter >= 0.0 &&
+                    config.fault.retry.jitter < 1.0,
+                "senkf: retry.jitter must be in [0, 1)");
+  SENKF_REQUIRE(config.fault.straggler_deadline_s >= 0.0,
+                "senkf: straggler_deadline_s must be >= 0");
 
   const RankLayout layout(config);
   std::vector<grid::Field> result;
+  std::vector<Index> dropped;
 
   // The facade is a per-run delta over the process-wide phase counters,
   // so callers keep the familiar SenkfStats struct while every number now
   // comes from the same telemetry the trace export shows.
   const PhaseCounters::Values before = PhaseCounters::get().values();
 
-  parcomm::Runtime::run(
-      static_cast<int>(config.total_ranks()),
-      [&](parcomm::Communicator& world) {
-        if (layout.is_io(world.rank())) {
-          run_io_rank(world, layout, decomposition, store, config);
-        } else {
-          run_comp_rank(world, layout, decomposition, store, observations,
-                        perturbed, config, &result);
-        }
-      });
+  // When drop_unreadable_members is off, the failing io rank broadcasts
+  // an abort before throwing PermanentReadError, so computation ranks
+  // wake with a ProtocolError — and whichever thread errors *first* is
+  // what Runtime::run rethrows.  Record the root cause here so the
+  // caller always sees the PermanentReadError, not a racing secondary.
+  std::mutex abort_mutex;
+  std::exception_ptr abort_error;
+
+  try {
+    parcomm::Runtime::run(
+        static_cast<int>(config.total_ranks()),
+        [&](parcomm::Communicator& world) {
+          if (layout.is_io(world.rank())) {
+            try {
+              run_io_rank(world, layout, decomposition, store, config);
+            } catch (const pfs::PermanentReadError&) {
+              const std::lock_guard<std::mutex> lock(abort_mutex);
+              if (!abort_error) abort_error = std::current_exception();
+              throw;
+            }
+          } else {
+            run_comp_rank(world, layout, decomposition, store, observations,
+                          perturbed, config, &result, &dropped);
+          }
+        });
+  } catch (...) {
+    if (abort_error) std::rethrow_exception(abort_error);
+    throw;
+  }
 
   SENKF_REQUIRE(!result.empty(), "senkf: no result produced");
   if (stats != nullptr) {
     *stats = stats_between(before, PhaseCounters::get().values());
+    stats->dropped_members = dropped;
   }
   return result;
 }

@@ -24,8 +24,31 @@
 #pragma once
 
 #include "enkf/serial_enkf.hpp"
+#include "pfs/faults.hpp"
 
 namespace senkf::enkf {
+
+/// How the read path behaves when the file system misbehaves
+/// (DESIGN.md §9).  Defaults survive transient faults out of the box;
+/// straggler re-issue is opt-in because it spawns a reader thread per
+/// I/O rank.
+struct FaultToleranceOptions {
+  /// Bar-read retry schedule: capped exponential backoff with
+  /// deterministic jitter; exhausting it converts the failure into a
+  /// permanent one.
+  pfs::RetryPolicy retry;
+  /// Wall-clock budget (seconds) one bar read may take before the bar is
+  /// re-assigned to an idle I/O processor of the same concurrent group.
+  /// 0 disables re-issue (reads wait indefinitely); requires n_sdy ≥ 2
+  /// to have a peer to re-issue to.
+  double straggler_deadline_s = 0.0;
+  /// Drop an ensemble member whose file is permanently unreadable and
+  /// continue the analysis on the surviving N−k members (ensemble
+  /// weights renormalize automatically: every moment is computed over
+  /// the live members).  When false the failure is rethrown and the run
+  /// aborts.
+  bool drop_unreadable_members = true;
+};
 
 struct SenkfConfig {
   Index n_sdx = 1;
@@ -40,6 +63,7 @@ struct SenkfConfig {
   /// analyses.
   Index analysis_threads = 0;
   AnalysisOptions analysis;
+  FaultToleranceOptions fault;
 
   Index computation_ranks() const { return n_sdx * n_sdy; }
   Index io_ranks() const { return n_cg * n_sdy; }
@@ -64,10 +88,18 @@ struct SenkfStats {
   double comp_wait_seconds = 0.0;  ///< main threads blocked on stage data
   double comp_update_seconds = 0.0;  ///< summed analysis-task time
   std::uint64_t messages = 0;      ///< block messages delivered
+  std::uint64_t read_retries = 0;  ///< bar-read attempts beyond the first
+  std::uint64_t bars_reissued = 0; ///< bars re-assigned past a straggler
+  /// Members dropped because their files were permanently unreadable
+  /// (sorted); the returned ensemble holds the surviving members in
+  /// member order.
+  std::vector<Index> dropped_members;
 };
 
 /// Runs S-EnKF on C₁ + C₂ thread-backed ranks; returns the analysis
-/// ensemble.  `stats`, when non-null, receives the phase instrumentation.
+/// ensemble — one Field per *surviving* member (all N unless
+/// `config.fault.drop_unreadable_members` dropped some).  `stats`, when
+/// non-null, receives the phase instrumentation.
 std::vector<grid::Field> senkf(const EnsembleStore& store,
                                const obs::ObservationSet& observations,
                                const linalg::Matrix& perturbed,

@@ -64,6 +64,11 @@ Envelope Communicator::recv(int source, int tag) {
   return my_mailbox().pop(source, tag);
 }
 
+std::optional<Envelope> Communicator::recv_for(
+    int source, int tag, std::chrono::milliseconds timeout) {
+  return my_mailbox().pop_for(source, tag, timeout);
+}
+
 std::vector<double> Communicator::recv_doubles(int source, int tag) {
   const Envelope envelope = recv(source, tag);
   Unpacker unpacker(envelope.payload);

@@ -65,6 +65,13 @@ class Communicator {
   /// Blocking receive with wildcard support.
   Envelope recv(int source = kAnySource, int tag = kAnyTag);
 
+  /// Deadline-aware receive: blocks at most `timeout` and returns nullopt
+  /// when nothing matched — a status, not an error, so callers can treat
+  /// a silent peer as a straggler instead of hanging forever (the
+  /// building block of S-EnKF's degraded I/O paths).
+  std::optional<Envelope> recv_for(int source, int tag,
+                                   std::chrono::milliseconds timeout);
+
   /// Convenience: unpacks a vector of doubles (payload must be one).
   std::vector<double> recv_doubles(int source = kAnySource,
                                    int tag = kAnyTag);

@@ -57,23 +57,35 @@ std::optional<Envelope> Mailbox::take_matching_locked(int source, int tag) {
 }
 
 Envelope Mailbox::pop(int source, int tag, std::chrono::milliseconds timeout) {
+  if (auto envelope =
+          pop_until(source, tag, std::chrono::steady_clock::now() + timeout)) {
+    return std::move(*envelope);
+  }
+  throw ProtocolError("Mailbox::pop: timed out waiting for source=" +
+                      std::to_string(source) + " tag=" + std::to_string(tag) +
+                      " (likely deadlock)");
+}
+
+std::optional<Envelope> Mailbox::pop_until(
+    int source, int tag, std::chrono::steady_clock::time_point deadline) {
   telemetry::CountedSpan span(telemetry::Category::kWait, "mailbox_wait",
                               MailboxMetrics::get().recv_wait_ns);
   std::unique_lock<std::mutex> lock(mutex_);
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     if (auto envelope = take_matching_locked(source, tag)) {
-      return std::move(*envelope);
+      return envelope;
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      if (auto envelope = take_matching_locked(source, tag)) {
-        return std::move(*envelope);
-      }
-      throw ProtocolError("Mailbox::pop: timed out waiting for source=" +
-                          std::to_string(source) + " tag=" +
-                          std::to_string(tag) + " (likely deadlock)");
+      // One last sweep: a push may have landed between the final wake-up
+      // and the deadline check.
+      return take_matching_locked(source, tag);
     }
   }
+}
+
+std::optional<Envelope> Mailbox::pop_for(int source, int tag,
+                                         std::chrono::milliseconds timeout) {
+  return pop_until(source, tag, std::chrono::steady_clock::now() + timeout);
 }
 
 std::optional<Envelope> Mailbox::try_pop(int source, int tag) {

@@ -38,6 +38,17 @@ class Mailbox {
   Envelope pop(int source, int tag,
                std::chrono::milliseconds timeout = kDefaultTimeout);
 
+  /// Deadline overload returning a status instead of throwing: nullopt
+  /// means the deadline passed with nothing matching — the caller decides
+  /// whether that is a straggler, a dead peer or business as usual.  A
+  /// deadline already in the past degrades to try_pop.
+  std::optional<Envelope> pop_until(
+      int source, int tag, std::chrono::steady_clock::time_point deadline);
+
+  /// Relative-timeout convenience over pop_until.
+  std::optional<Envelope> pop_for(int source, int tag,
+                                  std::chrono::milliseconds timeout);
+
   /// Non-blocking variant: returns nullopt when nothing matches now.
   std::optional<Envelope> try_pop(int source, int tag);
 

@@ -24,6 +24,8 @@ struct MachineConfig {
       pfs::OstConfig{/*segment_overhead_s=*/220e-9,
                      /*stream_bandwidth=*/400e6,
                      /*max_streams=*/10},
+      /*stripe_count=*/1,
+      /*faults=*/{},
   };
   net::NetConfig net{/*alpha=*/2e-6, /*beta=*/1e-10};
   /// "c" in Table 1: local-analysis cost per grid point (seconds).

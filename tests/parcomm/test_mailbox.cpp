@@ -88,5 +88,47 @@ TEST(Mailbox, TimeoutDoesNotLoseQueuedMismatch) {
   EXPECT_NO_THROW(box.pop(0, 1, std::chrono::milliseconds(10)));
 }
 
+// ---- status-returning deadline waits (the overload the straggler
+// re-issue path is built on: a blown deadline is a *decision point*, not
+// a protocol failure, so it must not throw).
+
+TEST(Mailbox, PopForReturnsMessageWithinDeadline) {
+  Mailbox box;
+  box.push(make(0, 4, 2.5));
+  const auto envelope = box.pop_for(0, 4, std::chrono::milliseconds(10));
+  ASSERT_TRUE(envelope.has_value());
+  EXPECT_DOUBLE_EQ(Unpacker(envelope->payload).get<double>(), 2.5);
+}
+
+TEST(Mailbox, PopForReturnsNulloptOnDeadline) {
+  Mailbox box;
+  EXPECT_FALSE(box.pop_for(0, 4, std::chrono::milliseconds(20)).has_value());
+  box.push(make(0, 9));
+  // The miss consumed nothing; unrelated messages stay queued.
+  EXPECT_FALSE(box.pop_for(0, 4, std::chrono::milliseconds(10)).has_value());
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(Mailbox, PopForWakesOnConcurrentPush) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.push(make(1, 6, 8.0));
+  });
+  const auto envelope = box.pop_for(1, 6, std::chrono::seconds(5));
+  producer.join();
+  ASSERT_TRUE(envelope.has_value());
+  EXPECT_DOUBLE_EQ(Unpacker(envelope->payload).get<double>(), 8.0);
+}
+
+TEST(Mailbox, PopUntilPastDeadlineStillSweepsQueuedMatch) {
+  Mailbox box;
+  box.push(make(2, 3, 1.0));
+  // A deadline already in the past must not miss an already-queued match.
+  const auto envelope =
+      box.pop_until(2, 3, std::chrono::steady_clock::now());
+  ASSERT_TRUE(envelope.has_value());
+}
+
 }  // namespace
 }  // namespace senkf::parcomm

@@ -1,0 +1,321 @@
+#include "pfs/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "pfs/pfs.hpp"
+
+namespace senkf::pfs {
+namespace {
+
+FaultPlan rich_plan() {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.transient_p = 0.125;
+  plan.max_burst = 2;
+  plan.dead_members = {3, 7};
+  plan.slow_osts = {{1, 2.5}, {4, 3.0}};
+  plan.latency_factor = 1.5;
+  plan.stragglers = {{0, 0.25}};
+  return plan;
+}
+
+TEST(FaultPlanSpec, RoundTrips) {
+  const FaultPlan plan = rich_plan();
+  EXPECT_EQ(parse_fault_plan(to_spec(plan)), plan);
+}
+
+TEST(FaultPlanSpec, DefaultPlanRoundTripsAndIsDisabled) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(parse_fault_plan(to_spec(plan)), plan);
+  EXPECT_TRUE(rich_plan().enabled());
+}
+
+TEST(FaultPlanSpec, ParsesEntriesInAnyOrder) {
+  const FaultPlan plan = parse_fault_plan(
+      "dead=7,transient=0.125,slow_ost=4:3,seed=42,burst=2,dead=3,"
+      "latency=1.5,straggler=0:0.25,slow_ost=1:2.5");
+  EXPECT_EQ(plan, rich_plan());
+}
+
+TEST(FaultPlanSpec, DeduplicatesAndSortsRepeatables) {
+  const FaultPlan plan = parse_fault_plan("dead=9,dead=2,dead=9,dead=5");
+  EXPECT_EQ(plan.dead_members, (std::vector<std::uint64_t>{2, 5, 9}));
+}
+
+TEST(FaultPlanSpec, MalformedSpecsNameTheOffendingEntry) {
+  const auto expect_bad = [](std::string_view spec, std::string_view entry) {
+    try {
+      parse_fault_plan(spec);
+      FAIL() << "expected InvalidArgument for: " << spec;
+    } catch (const InvalidArgument& error) {
+      EXPECT_NE(std::string_view(error.what()).find(entry),
+                std::string_view::npos)
+          << "message '" << error.what() << "' should name '" << entry << "'";
+    }
+  };
+  expect_bad("transient=1.5", "transient=1.5");        // out of range
+  expect_bad("transient=abc", "transient=abc");        // not a number
+  expect_bad("burst=0", "burst=0");                    // below 1
+  expect_bad("slow_ost=2", "slow_ost=2");              // missing :factor
+  expect_bad("slow_ost=2:0.5", "slow_ost=2:0.5");      // factor <= 1
+  expect_bad("straggler=1:0", "straggler=1:0");        // zero delay
+  expect_bad("latency=0.9", "latency=0.9");            // below 1
+  expect_bad("bogus=1", "bogus=1");                    // unknown key
+  expect_bad("seed", "seed");                          // no '='
+  expect_bad("dead=1:2", "dead=1:2");                  // not an integer
+}
+
+TEST(FaultPlanSpec, EnvUnsetEmptyOrOffDisable) {
+  ::unsetenv("SENKF_FAULTS");
+  EXPECT_FALSE(fault_plan_from_env().has_value());
+  ::setenv("SENKF_FAULTS", "", 1);
+  EXPECT_FALSE(fault_plan_from_env().has_value());
+  ::setenv("SENKF_FAULTS", "off", 1);
+  EXPECT_FALSE(fault_plan_from_env().has_value());
+  ::setenv("SENKF_FAULTS", "seed=9,transient=0.05", 1);
+  const auto plan = fault_plan_from_env();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed, 9u);
+  EXPECT_DOUBLE_EQ(plan->transient_p, 0.05);
+  ::unsetenv("SENKF_FAULTS");
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicAcrossInstances) {
+  const FaultPlan plan = parse_fault_plan("seed=17,transient=0.3,burst=3");
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  int faulty = 0;
+  for (std::uint64_t member = 0; member < 32; ++member) {
+    for (std::uint64_t op = 0; op < 16; ++op) {
+      const std::uint64_t key = op_key(member, op);
+      const int burst = a.transient_burst(member, key);
+      EXPECT_EQ(burst, b.transient_burst(member, key));
+      EXPECT_GE(burst, 0);
+      EXPECT_LE(burst, plan.max_burst);
+      if (burst > 0) ++faulty;
+    }
+  }
+  // ~30% of 512 ops should be faulty; the exact count is seed-determined.
+  EXPECT_GT(faulty, 0);
+  EXPECT_LT(faulty, 512);
+}
+
+TEST(FaultInjector, CleanPlanNeverFails) {
+  const FaultInjector injector(FaultPlan{});
+  for (std::uint64_t op = 0; op < 64; ++op) {
+    EXPECT_EQ(injector.transient_burst(5, op_key(5, op)), 0);
+    EXPECT_FALSE(injector.next_read_fails(5, op_key(5, op)));
+  }
+  EXPECT_FALSE(injector.is_dead(0));
+}
+
+TEST(FaultInjector, NextReadFailsConsumesTheBurstThenSucceedsForever) {
+  const FaultPlan plan = parse_fault_plan("seed=3,transient=0.4,burst=3");
+  const FaultInjector injector(plan);
+  // Find a faulty op, then check the ledger semantics.
+  for (std::uint64_t op = 0; op < 256; ++op) {
+    const std::uint64_t key = op_key(11, op);
+    const int burst = injector.transient_burst(11, key);
+    if (burst == 0) continue;
+    for (int i = 0; i < burst; ++i) {
+      EXPECT_TRUE(injector.next_read_fails(11, key)) << "failure " << i;
+    }
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_FALSE(injector.next_read_fails(11, key));
+    }
+    return;
+  }
+  FAIL() << "no faulty op in 256 draws at p=0.4";
+}
+
+TEST(FaultInjector, DeadMembersAndLatencyFactors) {
+  const FaultInjector injector(
+      parse_fault_plan("dead=2,slow_ost=1:2,latency=1.5"));
+  EXPECT_TRUE(injector.is_dead(2));
+  EXPECT_FALSE(injector.is_dead(1));
+  EXPECT_DOUBLE_EQ(injector.latency_factor(0), 1.5);
+  EXPECT_DOUBLE_EQ(injector.latency_factor(1), 3.0);  // global × per-OST
+  EXPECT_EQ(injector.straggler_delay(0), std::chrono::nanoseconds::zero());
+  const FaultInjector straggly(parse_fault_plan("straggler=1:0.5"));
+  EXPECT_EQ(straggly.straggler_delay(1), std::chrono::nanoseconds(500'000'000));
+}
+
+TEST(Backoff, DelaysAreExponentialCappedAndJitterBounded) {
+  RetryPolicy policy;  // 1 ms base, ×2, 64 ms cap, 25% jitter
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const auto delay = backoff_delay(policy, /*salt=*/99, attempt);
+    double nominal = 1e6;
+    for (int i = 1; i < attempt; ++i) nominal = std::min(nominal * 2.0, 64e6);
+    EXPECT_GE(static_cast<double>(delay.count()), nominal * 0.75 - 1.0)
+        << "attempt " << attempt;
+    EXPECT_LT(static_cast<double>(delay.count()), nominal * 1.25 + 1.0)
+        << "attempt " << attempt;
+    // Deterministic: same (salt, attempt) → same pause.
+    EXPECT_EQ(delay, backoff_delay(policy, 99, attempt));
+  }
+}
+
+TEST(Backoff, ZeroJitterIsExact) {
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+  EXPECT_EQ(backoff_delay(policy, 1, 1), std::chrono::nanoseconds(1'000'000));
+  EXPECT_EQ(backoff_delay(policy, 1, 2), std::chrono::nanoseconds(2'000'000));
+  EXPECT_EQ(backoff_delay(policy, 1, 8), std::chrono::nanoseconds(64'000'000));
+  EXPECT_EQ(backoff_delay(policy, 1, 20), std::chrono::nanoseconds(64'000'000));
+}
+
+TEST(WithRetry, RetriesTransientFailuresOnAVirtualClock) {
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+  std::vector<std::chrono::nanoseconds> pauses;
+  const Sleeper virtual_clock = [&](std::chrono::nanoseconds pause) {
+    pauses.push_back(pause);  // no real sleeping in tests
+  };
+  int calls = 0;
+  std::vector<int> retries_seen;
+  const int result = with_retry(
+      policy, /*salt=*/7, virtual_clock,
+      [&] {
+        if (++calls <= 2) throw TransientReadError("flaky");
+        return 123;
+      },
+      [&](int attempt) { retries_seen.push_back(attempt); });
+  EXPECT_EQ(result, 123);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries_seen, (std::vector<int>{1, 2}));
+  ASSERT_EQ(pauses.size(), 2u);
+  EXPECT_EQ(pauses[0], std::chrono::nanoseconds(1'000'000));
+  EXPECT_EQ(pauses[1], std::chrono::nanoseconds(2'000'000));
+}
+
+TEST(WithRetry, ExhaustionBecomesPermanent) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  std::size_t sleeps = 0;
+  const Sleeper virtual_clock = [&](std::chrono::nanoseconds) { ++sleeps; };
+  int calls = 0;
+  EXPECT_THROW(with_retry(policy, 1, virtual_clock,
+                          [&]() -> int {
+                            ++calls;
+                            throw TransientReadError("always");
+                          }),
+               PermanentReadError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps, 2u);  // no pause after the final failure
+}
+
+TEST(WithRetry, PermanentErrorsPassThroughUntouched) {
+  const Sleeper no_sleep = [](std::chrono::nanoseconds) {};
+  EXPECT_THROW(with_retry(RetryPolicy{}, 1, no_sleep,
+                          [&]() -> int {
+                            throw PermanentReadError("dead");
+                          }),
+               PermanentReadError);
+}
+
+// ---- DES plane: the same plan changes *simulated* time.
+
+OstConfig simple_ost() {
+  OstConfig c;
+  c.segment_overhead_s = 0.001;
+  c.stream_bandwidth = 1000.0;
+  c.max_streams = 2;
+  return c;
+}
+
+TEST(PfsFaults, LatencyInflationSlowsReads) {
+  PfsConfig clean;
+  clean.ost_count = 2;
+  clean.ost = simple_ost();
+  sim::Simulation sim_clean;
+  Pfs fs_clean(sim_clean, clean);
+  sim_clean.spawn(fs_clean.read(0, 1, 999.0));
+  sim_clean.run();
+
+  PfsConfig slow = clean;
+  slow.faults = parse_fault_plan("latency=2");
+  sim::Simulation sim_slow;
+  Pfs fs_slow(sim_slow, slow);
+  sim_slow.spawn(fs_slow.read(0, 1, 999.0));
+  sim_slow.run();
+
+  EXPECT_DOUBLE_EQ(sim_clean.now(), 1.0);
+  EXPECT_DOUBLE_EQ(sim_slow.now(), 2.0);
+}
+
+TEST(PfsFaults, SlowOstOnlyAffectsItsFiles) {
+  PfsConfig config;
+  config.ost_count = 2;
+  config.ost = simple_ost();
+  config.faults = parse_fault_plan("slow_ost=0:4");
+  sim::Simulation sim;
+  Pfs fs(sim, config);
+  sim.spawn(fs.read(1, 1, 999.0));  // file 1 → OST 1, unaffected
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+
+  sim::Simulation sim2;
+  Pfs fs2(sim2, config);
+  sim2.spawn(fs2.read(0, 1, 999.0));  // file 0 → OST 0, 4× slower
+  sim2.run();
+  EXPECT_DOUBLE_EQ(sim2.now(), 4.0);
+}
+
+TEST(PfsFaults, TransientFaultsChargeReissuedReads) {
+  PfsConfig config;
+  config.ost_count = 1;
+  config.ost = simple_ost();
+  config.faults = parse_fault_plan("seed=5,transient=0.9,burst=2");
+  sim::Simulation sim;
+  Pfs fs(sim, config);
+  for (int i = 0; i < 8; ++i) sim.spawn(fs.read(0, 1, 0.0));
+  sim.run();
+
+  PfsConfig clean = config;
+  clean.faults = FaultPlan{};
+  sim::Simulation sim_clean;
+  Pfs fs_clean(sim_clean, clean);
+  for (int i = 0; i < 8; ++i) sim_clean.spawn(fs_clean.read(0, 1, 0.0));
+  sim_clean.run();
+
+  // At p=0.9 some of the 8 ops re-issue, so the faulty run takes longer.
+  EXPECT_GT(fs.total_bytes_read() + sim.now(),
+            fs_clean.total_bytes_read() + sim_clean.now());
+}
+
+TEST(PfsFaults, DeadFileChargesBurstAndCounts) {
+  PfsConfig config;
+  config.ost_count = 1;
+  config.ost = simple_ost();
+  config.faults = parse_fault_plan("dead=0,burst=3");
+  const std::uint64_t dead_before = FaultMetrics::get().dead_reads.value();
+  sim::Simulation sim;
+  Pfs fs(sim, config);
+  sim.spawn(fs.read(0, 1, 999.0));
+  sim.run();
+  // Three wasted 1-second rounds, then the reader gives up.
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(FaultMetrics::get().dead_reads.value(), dead_before + 1);
+}
+
+TEST(PfsFaults, IdenticalPlansGiveIdenticalSimulatedTime) {
+  const auto run_once = [] {
+    PfsConfig config;
+    config.ost_count = 3;
+    config.ost = simple_ost();
+    config.faults = parse_fault_plan("seed=21,transient=0.5,burst=3,latency=1.25");
+    sim::Simulation sim;
+    Pfs fs(sim, config);
+    for (std::uint64_t f = 0; f < 6; ++f) sim.spawn(fs.read(f, 2, 500.0));
+    sim.run();
+    return sim.now();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace senkf::pfs

@@ -129,6 +129,26 @@ TEST(CostModel, MoreLayersCostMoreHaloRead) {
   EXPECT_GT(total_read_15, total_read_1);
 }
 
+TEST(CostModel, TransientFaultsInflateReadsByExpectedAttempts) {
+  // Geometric retries: each read costs 1/(1−p) expected attempts, read
+  // time only — communication and compute are untouched.
+  const CostModel clean(simple_params());
+  CostModelParams faulty_params = simple_params();
+  faulty_params.transient_read_p = 0.2;
+  const CostModel faulty(faulty_params);
+  const auto sp = simple_point();
+  EXPECT_NEAR(faulty.t_read(sp), clean.t_read(sp) / 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(faulty.t_comm(sp), clean.t_comm(sp));
+  EXPECT_DOUBLE_EQ(faulty.t_comp(sp), clean.t_comp(sp));
+}
+
+TEST(CostModel, ParamsFromMachineReadsFaultPlan) {
+  vcluster::MachineConfig machine;
+  machine.pfs.faults = pfs::parse_fault_plan("seed=1,transient=0.1");
+  const CostModelParams p = params_from(machine, vcluster::SimWorkload{});
+  EXPECT_DOUBLE_EQ(p.transient_read_p, 0.1);
+}
+
 TEST(CostModel, ParamsFromMachineMatchesConfiguration) {
   const vcluster::MachineConfig machine;
   const vcluster::SimWorkload workload;
@@ -150,6 +170,9 @@ TEST(CostModel, InvalidParamsThrow) {
   EXPECT_THROW(CostModel{p}, senkf::InvalidArgument);
   p = simple_params();
   p.members = 0;
+  EXPECT_THROW(CostModel{p}, senkf::InvalidArgument);
+  p = simple_params();
+  p.transient_read_p = 1.0;  // expected attempts would diverge
   EXPECT_THROW(CostModel{p}, senkf::InvalidArgument);
 }
 
