@@ -1,12 +1,51 @@
 // Micro-benchmarks of the thread-backed message-passing runtime
 // (google-benchmark).
+//
+// The fan-out benches (BM_Broadcast*, BM_Scatter*, BM_SendBlock) report
+// bytes/sec plus two per-message counters derived from the telemetry
+// registry: `copies_per_msg` (parcomm.payload_copies — how many times a
+// body was memcpy'd) and `allocs_per_msg` (parcomm.pool.miss — how many
+// payload buffers were freshly allocated rather than recycled).  The
+// DeepCopy/Shared broadcast pair measures the zero-copy plane's win
+// directly: same traffic, per-destination deep copies vs one shared
+// sealed payload.  `ctest`-style smoke runs and the nightly baseline use
+// --benchmark_filter to select these and --benchmark_out for the JSON.
 #include <benchmark/benchmark.h>
 
+#include <span>
+
+#include "parcomm/payload_pool.hpp"
 #include "parcomm/runtime.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
 using namespace senkf::parcomm;
+
+/// Receivers in every fan-out bench (the paper's n_sdx-scale block
+/// scatter plus a rank for the root).
+constexpr int kReceivers = 15;
+
+/// Snapshot of the message-plane counters, for per-bench deltas.
+struct PlaneCounters {
+  std::uint64_t copies;
+  std::uint64_t pool_misses;
+
+  static PlaneCounters now() {
+    auto& registry = senkf::telemetry::Registry::global();
+    return PlaneCounters{registry.counter_value("parcomm.payload_copies"),
+                         registry.counter_value("parcomm.pool.miss")};
+  }
+
+  void report(benchmark::State& state, std::uint64_t messages) const {
+    if (messages == 0) return;
+    const PlaneCounters after = now();
+    state.counters["copies_per_msg"] = static_cast<double>(
+        after.copies - copies) / static_cast<double>(messages);
+    state.counters["allocs_per_msg"] = static_cast<double>(
+        after.pool_misses - pool_misses) / static_cast<double>(messages);
+  }
+};
 
 void BM_PingPong(benchmark::State& state) {
   const std::size_t bytes = static_cast<std::size_t>(state.range(0));
@@ -27,6 +66,128 @@ void BM_PingPong(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(262144);
+
+/// Point-to-point block stream at block-message sizes: exact-size packed
+/// sends, view-based receives.
+void BM_SendBlock(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> data(bytes / sizeof(double), 1.0);
+  const PlaneCounters before = PlaneCounters::now();
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    Runtime::run(2, [&](Communicator& world) {
+      constexpr int kRounds = 8;
+      if (world.rank() == 0) {
+        for (int i = 0; i < kRounds; ++i) {
+          Packer packer;
+          packer.reserve(sizeof(std::uint64_t) + data.size() * sizeof(double));
+          packer.put_vector(data);
+          world.send(1, 1, packer.take());
+        }
+      } else {
+        for (int i = 0; i < kRounds; ++i) {
+          const Envelope envelope = world.recv(0, 1);
+          Unpacker unpacker(envelope.payload);
+          benchmark::DoNotOptimize(unpacker.view<double>());
+        }
+      }
+    });
+    messages += 8;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(messages * bytes));
+  before.report(state, messages);
+}
+BENCHMARK(BM_SendBlock)->Arg(262144)->Arg(1 << 20)->UseRealTime();
+
+/// The pre-zero-copy fan-out: the root packs the body once per
+/// destination and every receiver copies it out again.
+void BM_BroadcastDeepCopy(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> data(bytes / sizeof(double), 1.0);
+  const PlaneCounters before = PlaneCounters::now();
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    Runtime::run(kReceivers + 1, [&](Communicator& world) {
+      if (world.rank() == 0) {
+        for (int r = 1; r < world.size(); ++r) {
+          Packer packer;
+          packer.reserve(sizeof(std::uint64_t) + data.size() * sizeof(double));
+          packer.put_vector(data);
+          world.send(r, 1, packer.take());
+        }
+      } else {
+        const Envelope envelope = world.recv(0, 1);
+        Unpacker unpacker(envelope.payload);
+        benchmark::DoNotOptimize(unpacker.get_vector<double>());
+      }
+    });
+    messages += kReceivers;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(messages * bytes));
+  before.report(state, messages);
+}
+BENCHMARK(BM_BroadcastDeepCopy)->Arg(1 << 20)->UseRealTime();
+
+/// The zero-copy fan-out: pack once, seal once, push the handle to every
+/// destination; receivers read the one buffer in place.
+void BM_BroadcastShared(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> data(bytes / sizeof(double), 1.0);
+  const PlaneCounters before = PlaneCounters::now();
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    Runtime::run(kReceivers + 1, [&](Communicator& world) {
+      if (world.rank() == 0) {
+        Packer packer;
+        packer.reserve(sizeof(std::uint64_t) + data.size() * sizeof(double));
+        packer.put_vector(data);
+        const SharedPayload payload = packer.take_shared();
+        for (int r = 1; r < world.size(); ++r) {
+          world.send_shared(r, 1, payload);
+        }
+      } else {
+        const Envelope envelope = world.recv(0, 1);
+        Unpacker unpacker(envelope.payload);
+        benchmark::DoNotOptimize(unpacker.view<double>());
+      }
+    });
+    messages += kReceivers;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(messages * bytes));
+  before.report(state, messages);
+}
+BENCHMARK(BM_BroadcastShared)->Arg(1 << 20)->UseRealTime();
+
+/// Block scatter shaped like scatter_bar: the root cuts one big bar into
+/// per-destination chunks packed straight from the source rows.
+void BM_ScatterBlocks(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::size_t chunk = bytes / sizeof(double);
+  const std::vector<double> bar(chunk * kReceivers, 1.0);
+  const PlaneCounters before = PlaneCounters::now();
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    Runtime::run(kReceivers + 1, [&](Communicator& world) {
+      if (world.rank() == 0) {
+        for (int r = 1; r < world.size(); ++r) {
+          Packer packer;
+          packer.reserve(sizeof(std::uint64_t) + chunk * sizeof(double));
+          packer.put_span(std::span<const double>(
+              bar.data() + static_cast<std::size_t>(r - 1) * chunk, chunk));
+          world.send(r, 1, packer.take());
+        }
+      } else {
+        const Envelope envelope = world.recv(0, 1);
+        Unpacker unpacker(envelope.payload);
+        benchmark::DoNotOptimize(unpacker.view<double>());
+      }
+    });
+    messages += kReceivers;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(messages * bytes));
+  before.report(state, messages);
+}
+BENCHMARK(BM_ScatterBlocks)->Arg(65536)->Arg(1 << 20)->UseRealTime();
 
 void BM_Barrier(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));

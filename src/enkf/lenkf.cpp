@@ -35,9 +35,15 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
     const grid::Rect my_expansion = decomposition.expansion(my_id);
 
     // --- obtain local data: single reader, serial scatter ----------------
-    std::vector<grid::Patch> my_members;
+    // Members are held as views: rank 0 views its own extracted pieces
+    // (owned below), receivers view the message payloads in place and
+    // keep the handles alive for the analysis loop.
+    std::vector<grid::PatchView> my_members;
     my_members.reserve(n_members);
+    std::vector<grid::Patch> owned;
+    std::vector<parcomm::SharedPayload> keepalive;
     if (world.rank() == 0) {
+      owned.reserve(n_members);
       telemetry::TraceSpan scatter_span(telemetry::Category::kSend,
                                         "single_reader_scatter");
       for (Index k = 0; k < n_members; ++k) {
@@ -51,21 +57,26 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
         for (int r = 0; r < world.size(); ++r) {
           const grid::Rect expansion = decomposition.expansion(
               decomposition.subdomain_of_rank(static_cast<Index>(r)));
-          grid::Patch piece = file.extract(expansion);
           if (r == 0) {
-            my_members.push_back(std::move(piece));
+            owned.push_back(file.extract(expansion));
+            my_members.push_back(owned.back());
           } else {
+            // Pack the piece straight from the file's rows — no
+            // intermediate extract Patch, one body copy.
             parcomm::Packer packer;
-            pack_patch(packer, piece);
+            packer.reserve(packed_patch_size(expansion));
+            pack_patch_block(packer, file, expansion);
             world.send(r, kDataTag, packer.take());
           }
         }
       }
     } else {
+      keepalive.reserve(n_members);
       for (Index k = 0; k < n_members; ++k) {
         const parcomm::Envelope envelope = world.recv(0, kDataTag);
         parcomm::Unpacker unpacker(envelope.payload);
-        my_members.push_back(unpack_patch(unpacker));
+        my_members.push_back(unpack_patch_view(unpacker));
+        keepalive.push_back(envelope.payload);
       }
     }
 
@@ -102,15 +113,17 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
     fields.reserve(n_members);
     for (Index k = 0; k < n_members; ++k) fields.push_back(store.load_member(k));
 
-    const auto apply = [&](const parcomm::Payload& payload) {
+    // Consume result payloads in place: each patch is inserted into the
+    // member's field as a view, no intermediate Patch.
+    const auto apply = [&](const parcomm::SharedPayload& payload) {
       parcomm::Unpacker unpacker(payload);
       const auto count = unpacker.get<std::uint64_t>();
       for (std::uint64_t i = 0; i < count; ++i) {
         const auto member = unpacker.get<std::uint64_t>();
-        fields[member].insert(unpack_patch(unpacker));
+        fields[member].insert(unpack_patch_view(unpacker));
       }
     };
-    apply(results.take());
+    apply(results.take_shared());
     for (int r = 1; r < world.size(); ++r) {
       apply(world.recv(r, kResultTag).payload);
     }

@@ -62,11 +62,9 @@ AnalysisResult project_to_target(const linalg::Matrix& xa, grid::Rect target,
 ///   P̃ = [(N−1)I + ỸᵀR⁻¹Ỹ]⁻¹,   w̄ = P̃ ỸᵀR⁻¹ (y − H x̄),
 ///   W = √(N−1) · P̃^{1/2},       Xᵃ = x̄1ᵀ + U (w̄1ᵀ + W).
 AnalysisResult detail_deterministic_transform(
-    const linalg::Matrix& xb, const std::vector<grid::Patch>& background,
-    grid::Rect target, grid::Rect expansion,
+    const linalg::Matrix& xb, grid::Rect target, grid::Rect expansion,
     const obs::LocalObservations& local,
     const obs::ObservationSet& observations) {
-  (void)background;
   const Index n_members = xb.cols();
   const double scale = static_cast<double>(n_members - 1);
 
@@ -133,7 +131,7 @@ AnalysisResult detail_deterministic_transform(
 
 }  // namespace
 
-AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
+AnalysisResult local_analysis(std::span<const grid::PatchView> background,
                               grid::Rect target,
                               const obs::ObservationSet& observations,
                               const linalg::Matrix& perturbed,
@@ -191,8 +189,8 @@ AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
   }
 
   if (options.kind == AnalysisKind::kDeterministicTransform) {
-    return detail_deterministic_transform(xb, background, target, expansion,
-                                          local, observations);
+    return detail_deterministic_transform(xb, target, expansion, local,
+                                          observations);
   }
 
   // B̂⁻¹ from the localized modified Cholesky decomposition.
@@ -233,6 +231,17 @@ AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
   linalg::axpy(1.0, delta, xb);
 
   return project_to_target(xb, target, expansion, local.size());
+}
+
+AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
+                              grid::Rect target,
+                              const obs::ObservationSet& observations,
+                              const linalg::Matrix& perturbed,
+                              const AnalysisOptions& options) {
+  const std::vector<grid::PatchView> views(background.begin(),
+                                           background.end());
+  return local_analysis(std::span<const grid::PatchView>(views), target,
+                        observations, perturbed, options);
 }
 
 }  // namespace senkf::enkf

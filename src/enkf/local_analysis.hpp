@@ -17,6 +17,7 @@
 // performance work).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "grid/decomposition.hpp"
@@ -69,6 +70,15 @@ struct AnalysisResult {
 /// to project onto (must lie inside the expansion); `observations` /
 /// `perturbed` — the *global* observation set and Yˢ matrix (localization
 /// happens here, so every caller localizes identically).
+AnalysisResult local_analysis(std::span<const grid::PatchView> background,
+                              grid::Rect target,
+                              const obs::ObservationSet& observations,
+                              const linalg::Matrix& perturbed,
+                              const AnalysisOptions& options);
+
+/// Adapter for callers holding owning Patches; the kernel itself only
+/// reads, so it runs on views — S-EnKF feeds it spans aliasing message
+/// payloads directly (no per-member materialization).
 AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
                               grid::Rect target,
                               const obs::ObservationSet& observations,

@@ -2,23 +2,75 @@
 
 namespace senkf::enkf {
 
-void pack_patch(parcomm::Packer& packer, const grid::Patch& patch) {
-  const grid::Rect rect = patch.rect();
+namespace {
+
+void pack_rect(parcomm::Packer& packer, grid::Rect rect) {
   packer.put<std::uint64_t>(rect.x.begin);
   packer.put<std::uint64_t>(rect.x.end);
   packer.put<std::uint64_t>(rect.y.begin);
   packer.put<std::uint64_t>(rect.y.end);
-  packer.put_vector(patch.values());
 }
 
-grid::Patch unpack_patch(parcomm::Unpacker& unpacker) {
+grid::Rect unpack_rect(parcomm::Unpacker& unpacker) {
   grid::Rect rect;
   rect.x.begin = unpacker.get<std::uint64_t>();
   rect.x.end = unpacker.get<std::uint64_t>();
   rect.y.begin = unpacker.get<std::uint64_t>();
   rect.y.end = unpacker.get<std::uint64_t>();
+  return rect;
+}
+
+}  // namespace
+
+void pack_patch(parcomm::Packer& packer, const PatchView& patch) {
+  pack_rect(packer, patch.rect());
+  packer.put_span(patch.values());
+}
+
+void pack_field_block(parcomm::Packer& packer, const grid::Field& field,
+                      grid::Rect rect) {
+  const grid::LatLonGrid& g = field.grid();
+  SENKF_REQUIRE(rect.x.end <= g.nx() && rect.y.end <= g.ny(),
+                "pack_field_block: rect outside grid");
+  pack_rect(packer, rect);
+  packer.put<std::uint64_t>(rect.count());
+  for (grid::Index y = rect.y.begin; y < rect.y.end; ++y) {
+    const double* row = field.data().data() + g.flat_index(rect.x.begin, y);
+    packer.put_raw(row, rect.x.size());
+  }
+  if (rect.count() > 0) parcomm::detail::payload_copies_counter().add(1);
+}
+
+void pack_patch_block(parcomm::Packer& packer, const PatchView& bar,
+                      grid::Rect block) {
+  SENKF_REQUIRE(grid::rect_contains(bar.rect(), block),
+                "pack_patch_block: block must lie inside the bar");
+  pack_rect(packer, block);
+  packer.put<std::uint64_t>(block.count());
+  const double* values = bar.values().data();
+  for (grid::Index y = block.y.begin; y < block.y.end; ++y) {
+    packer.put_raw(values + bar.local_index(block.x.begin, y),
+                   block.x.size());
+  }
+  if (block.count() > 0) parcomm::detail::payload_copies_counter().add(1);
+}
+
+std::size_t packed_patch_size(grid::Rect rect) {
+  return 5 * sizeof(std::uint64_t) + rect.count() * sizeof(double);
+}
+
+grid::Patch unpack_patch(parcomm::Unpacker& unpacker) {
+  const grid::Rect rect = unpack_rect(unpacker);
   auto values = unpacker.get_vector<double>();
   return grid::Patch(rect, std::move(values));
+}
+
+PatchView unpack_patch_view(parcomm::Unpacker& unpacker) {
+  const grid::Rect rect = unpack_rect(unpacker);
+  const std::span<const double> values = unpacker.view<double>();
+  SENKF_REQUIRE(values.size() == rect.count(),
+                "unpack_patch_view: body length disagrees with rect");
+  return PatchView(rect, values);
 }
 
 }  // namespace senkf::enkf

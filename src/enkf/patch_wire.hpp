@@ -1,4 +1,12 @@
-// Wire codec for grid::Patch used by every parcomm-based implementation.
+// Wire codec for grid patches used by every parcomm-based implementation.
+//
+// The wire format of one block is: 4 u64 rect bounds, then a u64 count,
+// then `count` doubles (the same framing as Packer::put_span, so the body
+// can be read back either as an owning vector or, zero-copy, as a
+// grid::PatchView aliasing the payload bytes).  Every field is 8 bytes,
+// so block bodies are always 8-byte aligned however blocks are
+// concatenated — the alignment contract Unpacker::view<double>() relies
+// on.
 #pragma once
 
 #include "grid/field.hpp"
@@ -6,10 +14,37 @@
 
 namespace senkf::enkf {
 
-/// Appends rect + values to the packer.
-void pack_patch(parcomm::Packer& packer, const grid::Patch& patch);
+/// The view type the message plane trades in (see grid/field.hpp).
+using PatchView = grid::PatchView;
 
-/// Reads back a patch written by pack_patch.
+/// Appends rect + values to the packer.  Accepts a view, so owning
+/// Patches flow in via the implicit conversion and payload-backed views
+/// are re-packed without materializing.
+void pack_patch(parcomm::Packer& packer, const PatchView& patch);
+
+/// Packs the block `rect` straight from the field's row storage — the
+/// zero-intermediate path for scattering bar slices: no `extract` Patch
+/// is ever built, and the body is copied exactly once (field rows →
+/// payload).
+void pack_field_block(parcomm::Packer& packer, const grid::Field& field,
+                      grid::Rect rect);
+
+/// Same, packing the sub-rectangle `block` of `bar` straight from the
+/// bar's row storage (`block` must lie inside the bar's rect).
+void pack_patch_block(parcomm::Packer& packer, const PatchView& bar,
+                      grid::Rect block);
+
+/// Exact wire size in bytes of a packed block over `rect` — for
+/// Packer::reserve so a message is built with zero reallocation.
+std::size_t packed_patch_size(grid::Rect rect);
+
+/// Reads back an owning Patch written by pack_patch/pack_field_block
+/// (one copy-out).
 grid::Patch unpack_patch(parcomm::Unpacker& unpacker);
+
+/// Zero-copy read: returns a view aliasing the payload bytes in place.
+/// Valid only while the payload lives — callers keep the SharedPayload
+/// handle alongside the view (DESIGN.md §10).
+PatchView unpack_patch_view(parcomm::Unpacker& unpacker);
 
 }  // namespace senkf::enkf

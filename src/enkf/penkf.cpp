@@ -86,15 +86,17 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
     std::vector<grid::Field> fields;
     fields.reserve(n_members);
     for (Index k = 0; k < n_members; ++k) fields.push_back(store.load_member(k));
-    const auto apply = [&](const parcomm::Payload& payload) {
+    // Consume result payloads in place: each patch is inserted into the
+    // member's field as a view, no intermediate Patch.
+    const auto apply = [&](const parcomm::SharedPayload& payload) {
       parcomm::Unpacker unpacker(payload);
       const auto count = unpacker.get<std::uint64_t>();
       for (std::uint64_t i = 0; i < count; ++i) {
         const auto member = unpacker.get<std::uint64_t>();
-        fields[member].insert(unpack_patch(unpacker));
+        fields[member].insert(unpack_patch_view(unpacker));
       }
     };
-    apply(results.take());
+    apply(results.take_shared());
     for (int r = 1; r < world.size(); ++r) {
       apply(world.recv(r, kResultTag).payload);
     }

@@ -28,6 +28,11 @@ constexpr int kResultTag = 2;
 constexpr int kIoCtrlTag = 3;
 
 /// Payload discriminators on kBlockTag (first u64 of every message).
+/// A kKindBlock message is a framed multi-block batch:
+///   {kKindBlock, layer, block…} where block = {member, rect, count,
+///   doubles} — the pack_patch framing per block, read until the payload
+///   is exhausted.  Every field is 8 bytes, so each block body stays
+///   8-byte aligned and receivers consume it as a PatchView in place.
 constexpr std::uint64_t kKindBlock = 0;
 constexpr std::uint64_t kKindDead = 1;
 /// The sending rank is unwinding; receivers must stop waiting for stage
@@ -122,16 +127,25 @@ class StageBuffers {
         accounted_(layers, 0),
         dead_(members, 0) {}
 
-  /// Helper thread: deposits member k's block for `stage`.
-  void deposit(Index stage, Index member, grid::Patch patch) {
+  /// Helper thread: deposits member k's block for `stage`.  The view
+  /// aliases an incoming payload; pair every batch of deposits with one
+  /// retain() of the payload handle so the bytes outlive the views.
+  void deposit(Index stage, Index member, grid::PatchView patch) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& slot = patches_[stage * members_ + member];
     if (slot.has_value() || dead_[member] != 0) {
       PhaseCounters::get().duplicate_blocks.add(1);
       return;
     }
-    slot = std::move(patch);
+    slot = patch;
     if (++accounted_[stage] == members_) cv_.notify_all();
+  }
+
+  /// Keeps a message payload alive for as long as the buffers (and hence
+  /// every deposited view into it) live.
+  void retain(parcomm::SharedPayload payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    owners_.push_back(std::move(payload));
   }
 
   /// Helper thread: member k's file is permanently unreadable — account
@@ -168,10 +182,11 @@ class StageBuffers {
     cv_.notify_all();
   }
 
-  /// One completed stage: the surviving members' blocks in member order,
+  /// One completed stage: the surviving members' blocks in member order
+  /// (views into retained payloads, valid while the StageBuffers live),
   /// plus which members they are (feeds the Yˢ column selection).
   struct Stage {
-    std::vector<grid::Patch> patches;
+    std::vector<grid::PatchView> patches;
     std::vector<Index> live;
   };
 
@@ -188,9 +203,9 @@ class StageBuffers {
     out.live.reserve(members_);
     for (Index k = 0; k < members_; ++k) {
       if (dead_[k] != 0) continue;
-      auto& slot = patches_[stage * members_ + k];
+      const auto& slot = patches_[stage * members_ + k];
       SENKF_REQUIRE(slot.has_value(), "StageBuffers: live member missing");
-      out.patches.push_back(std::move(*slot));
+      out.patches.push_back(*slot);
       out.live.push_back(k);
     }
     return out;
@@ -209,7 +224,8 @@ class StageBuffers {
  private:
   Index layers_;
   Index members_;
-  std::vector<std::optional<grid::Patch>> patches_;
+  std::vector<std::optional<grid::PatchView>> patches_;
+  std::vector<parcomm::SharedPayload> owners_;
   std::vector<Index> accounted_;
   std::vector<std::uint8_t> dead_;
   bool aborted_ = false;
@@ -250,26 +266,77 @@ const pfs::FaultInjector* injector_of(const EnsembleStore& store) {
   return faulty != nullptr ? &faulty->injector() : nullptr;
 }
 
+/// Accumulates one layer's blocks per destination computation rank and
+/// sends each destination a single coalesced message (the kKindBlock
+/// batch framing).  Blocks are packed straight from the bar's rows —
+/// no intermediate `bar.extract(block)` Patch — so each block's body is
+/// copied exactly once between the file read and the analysis.
+/// Coalescing the member loop this way cuts an io rank's per-layer
+/// message count from members_per_group × n_sdx to n_sdx without
+/// delaying any stage: take_stage waits for every member anyway.
+class BlockBatch {
+ public:
+  BlockBatch(const RankLayout& layout,
+             const grid::Decomposition& decomposition,
+             const SenkfConfig& config, Index l, Index slot,
+             Index expected_members)
+      : layout_(layout), config_(config), l_(l), slot_(slot) {
+    blocks_.reserve(config.n_sdx);
+    packers_.resize(config.n_sdx);
+    for (Index i = 0; i < config.n_sdx; ++i) {
+      blocks_.push_back(decomposition.layer_expansion(
+          grid::SubdomainId{i, slot}, l, config.layers));
+      packers_[i].reserve(2 * sizeof(std::uint64_t) +
+                          expected_members * (sizeof(std::uint64_t) +
+                                              packed_patch_size(blocks_[i])));
+      packers_[i].put<std::uint64_t>(kKindBlock);
+      packers_[i].put<std::uint64_t>(l);
+    }
+  }
+
+  /// Appends member's blocks (cut from its bar) to every destination.
+  void add(Index member, const grid::PatchView& bar) {
+    for (Index i = 0; i < config_.n_sdx; ++i) {
+      packers_[i].put<std::uint64_t>(member);
+      pack_patch_block(packers_[i], bar, blocks_[i]);
+    }
+    ++members_added_;
+  }
+
+  /// Sends the accumulated batches (one message per destination) and
+  /// resets.  A batch with no members sends nothing.
+  void flush(parcomm::Communicator& world, PhaseCounters& phases) {
+    if (members_added_ == 0) return;
+    telemetry::CountedSpan send_span(telemetry::Category::kSend,
+                                     "block_scatter", phases.io_send_ns,
+                                     static_cast<std::int32_t>(l_));
+    for (Index i = 0; i < config_.n_sdx; ++i) {
+      world.send(layout_.comp_rank(i, slot_), kBlockTag, packers_[i].take());
+    }
+    members_added_ = 0;
+  }
+
+ private:
+  const RankLayout& layout_;
+  const SenkfConfig& config_;
+  Index l_;
+  Index slot_;
+  std::vector<grid::Rect> blocks_;
+  std::vector<parcomm::Packer> packers_;
+  Index members_added_ = 0;
+};
+
 /// Cuts `bar` (the stage-l expanded bar of `member` for latitude row
 /// `slot`) into per-sub-domain blocks and sends them to the row's
-/// computation ranks.
+/// computation ranks — a single-member batch (the straggler re-issue
+/// path; the main schedule coalesces whole layers).
 void scatter_bar(parcomm::Communicator& world, const RankLayout& layout,
                  const grid::Decomposition& decomposition,
                  const SenkfConfig& config, Index l, Index member, Index slot,
                  const grid::Patch& bar, PhaseCounters& phases) {
-  telemetry::CountedSpan send_span(telemetry::Category::kSend, "block_scatter",
-                                   phases.io_send_ns,
-                                   static_cast<std::int32_t>(l));
-  for (Index i = 0; i < config.n_sdx; ++i) {
-    const grid::Rect block = decomposition.layer_expansion(
-        grid::SubdomainId{i, slot}, l, config.layers);
-    parcomm::Packer packer;
-    packer.put<std::uint64_t>(kKindBlock);
-    packer.put<std::uint64_t>(l);
-    packer.put<std::uint64_t>(member);
-    pack_patch(packer, bar.extract(block));
-    world.send(layout.comp_rank(i, slot), kBlockTag, packer.take());
-  }
+  BlockBatch batch(layout, decomposition, config, l, slot, 1);
+  batch.add(member, bar);
+  batch.flush(world, phases);
 }
 
 /// Tells every computation rank of latitude row `slot` that `member` is
@@ -519,8 +586,15 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
     }
   };
 
+  const Index members_per_group =
+      (n_members + config.n_cg - 1) / config.n_cg;
   for (Index l = 0; l < config.layers; ++l) {
     const grid::IndexRange rows = bar_rows(slot, l);
+    // One coalesced batch per (destination, layer): every member's block
+    // rides in the same message (re-issued stragglers arrive separately
+    // from the serving peer).
+    BlockBatch batch(layout, decomposition, config, l, slot,
+                     members_per_group);
     for (Index member = group; member < n_members; member += config.n_cg) {
       if (dead.count(member) != 0) continue;
       if (!reissue_enabled) {
@@ -531,8 +605,7 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
           handle_permanent(member, slot);
           continue;
         }
-        scatter_bar(world, layout, decomposition, config, l, member, slot, bar,
-                    phases);
+        batch.add(member, bar);
         continue;
       }
 
@@ -540,8 +613,7 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
       const BarReader::Outcome outcome = reader->read(member, rows, l, deadline);
       switch (outcome.status) {
         case BarReader::Status::kOk:
-          scatter_bar(world, layout, decomposition, config, l, member, slot,
-                      outcome.bar, phases);
+          batch.add(member, outcome.bar);
           break;
         case BarReader::Status::kDead:
           handle_permanent(member, slot);
@@ -567,6 +639,7 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
         }
       }
     }
+    batch.flush(world, phases);
   }
 
   if (reissue_enabled) {
@@ -642,9 +715,14 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
         }
         SENKF_REQUIRE(kind == kKindBlock, "senkf: unknown block-message kind");
         const auto stage = unpacker.get<std::uint64_t>();
-        const auto member = unpacker.get<std::uint64_t>();
         span.set_stage(static_cast<std::int32_t>(stage));
-        buffers.deposit(stage, member, unpack_patch(unpacker));
+        // Zero-copy deposit: every block in the batch becomes a view
+        // into the payload, which the buffers retain until the run ends.
+        buffers.retain(envelope.payload);
+        while (!unpacker.exhausted()) {
+          const auto member = unpacker.get<std::uint64_t>();
+          buffers.deposit(stage, member, unpack_patch_view(unpacker));
+        }
       }
     } catch (...) {
       helper_error = std::current_exception();
@@ -714,6 +792,17 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   }
 
   parcomm::Packer results;
+  {
+    // Exact-size packing: one reserve (pool-recycled when a buffer
+    // fits), zero reallocation while the layers stream in.
+    std::size_t bytes = sizeof(std::uint64_t);
+    for (Index l = 0; l < config.layers; ++l) {
+      bytes += live.size() *
+               (sizeof(std::uint64_t) +
+                packed_patch_size(decomposition.layer(my_id, l, config.layers)));
+    }
+    results.reserve(bytes);
+  }
   results.put<std::uint64_t>(config.layers * live.size());
   for (Index l = 0; l < config.layers; ++l) {
     for (std::size_t idx = 0; idx < live.size(); ++idx) {
@@ -748,17 +837,19 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
         [&] { return store.load_member(member); },
         [&](int) { phases.read_retries.add(1); }));
   }
-  const auto apply = [&](const parcomm::Payload& payload) {
+  // Result payloads are consumed in place: each patch becomes a view
+  // inserted straight into the member's field, no intermediate Patch.
+  const auto apply = [&](const parcomm::SharedPayload& payload) {
     parcomm::Unpacker unpacker(payload);
     const auto count = unpacker.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < count; ++i) {
       const auto member = unpacker.get<std::uint64_t>();
       SENKF_REQUIRE(member < n_members && position[member] < n_members,
                     "senkf: result for a dropped or unknown member");
-      fields[position[member]].insert(unpack_patch(unpacker));
+      fields[position[member]].insert(unpack_patch_view(unpacker));
     }
   };
-  apply(results.take());
+  apply(results.take_shared());
   for (Index r = 1; r < config.computation_ranks(); ++r) {
     apply(world.recv(static_cast<int>(r), kResultTag).payload);
   }

@@ -27,15 +27,18 @@ Patch Field::extract(Rect rect) const {
   return patch;
 }
 
-void Field::insert(const Patch& patch) {
-  const Rect rect = patch.rect();
+void Field::insert(const Patch& patch) { insert(patch.view()); }
+
+void Field::insert(const PatchView& view) {
+  const Rect rect = view.rect();
   SENKF_REQUIRE(rect.x.end <= grid_.nx() && rect.y.end <= grid_.ny(),
                 "Field::insert: patch outside grid");
   Index in = 0;
+  const std::span<const double> values = view.values();
   for (Index y = rect.y.begin; y < rect.y.end; ++y) {
     double* row = data_.data() + grid_.flat_index(rect.x.begin, y);
     for (Index k = 0; k < rect.x.size(); ++k) {
-      row[k] = patch.values()[in++];
+      row[k] = values[in++];
     }
   }
 }
@@ -78,6 +81,24 @@ void Patch::insert(const Patch& other) {
       at(x, y) = other.at(x, y);
     }
   }
+}
+
+PatchView Patch::view() const { return PatchView(*this); }
+
+Patch PatchView::extract(Rect rect) const {
+  SENKF_REQUIRE(rect_contains(rect_, rect),
+                "PatchView::extract: rect must lie inside the view");
+  Patch out(rect);
+  for (Index y = rect.y.begin; y < rect.y.end; ++y) {
+    for (Index x = rect.x.begin; x < rect.x.end; ++x) {
+      out.at(x, y) = at(x, y);
+    }
+  }
+  return out;
+}
+
+Patch PatchView::materialize() const {
+  return Patch(rect_, std::vector<double>(values_.begin(), values_.end()));
 }
 
 }  // namespace senkf::grid

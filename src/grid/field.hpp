@@ -6,6 +6,7 @@
 // message carries, and a local analysis consumes/produces.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "grid/local_box.hpp"
@@ -13,6 +14,7 @@
 namespace senkf::grid {
 
 class Patch;
+class PatchView;
 
 class Field {
  public:
@@ -42,8 +44,12 @@ class Field {
   /// Copies out the values of `rect` (row-major within the rect).
   Patch extract(Rect rect) const;
 
-  /// Writes a patch's values back into this field.
+  /// Writes a patch's values back into this field.  The view overload is
+  /// the zero-copy sink of the message plane: blocks arriving off the
+  /// wire are inserted straight from the payload bytes, with no
+  /// intermediate Patch materialization.
   void insert(const Patch& patch);
+  void insert(const PatchView& view);
 
   /// Root-mean-square difference against another field on the same grid.
   double rmse_against(const Field& other) const;
@@ -82,9 +88,54 @@ class Patch {
   /// Copies values from `other` wherever the rectangles overlap.
   void insert(const Patch& other);
 
+  /// Non-owning view of this patch (valid while the patch lives).
+  PatchView view() const;
+
  private:
   Rect rect_;
   std::vector<double> values_;
+};
+
+/// Non-owning, read-only Patch: a rect plus a span of row-major values
+/// aliasing storage owned elsewhere — a Patch, a Field, or (the case the
+/// message plane is built around) the byte payload of an in-flight
+/// envelope.  Whoever hands out a PatchView is responsible for keeping
+/// the underlying storage alive for the view's lifetime; views of a
+/// message payload die with the payload handle (DESIGN.md §10).
+class PatchView {
+ public:
+  PatchView() = default;
+  PatchView(Rect rect, std::span<const double> values)
+      : rect_(rect), values_(values) {
+    SENKF_ASSERT(values_.size() == rect_.count());
+  }
+  /// Implicit: lets owning Patches flow into view-consuming kernels.
+  PatchView(const Patch& patch)  // NOLINT(google-explicit-constructor)
+      : rect_(patch.rect()),
+        values_(patch.values().data(), patch.values().size()) {}
+
+  Rect rect() const { return rect_; }
+  Index size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  std::span<const double> values() const { return values_; }
+
+  double at(Index x, Index y) const { return values_[local_index(x, y)]; }
+
+  /// Row-major index within the view of global point (x, y).
+  Index local_index(Index x, Index y) const {
+    SENKF_ASSERT(rect_.contains(x, y));
+    return (y - rect_.y.begin) * rect_.x.size() + (x - rect_.x.begin);
+  }
+
+  /// Copies the sub-rectangle `rect` into an owning Patch.
+  Patch extract(Rect rect) const;
+
+  /// Copies the whole view into an owning Patch.
+  Patch materialize() const;
+
+ private:
+  Rect rect_;
+  std::span<const double> values_;
 };
 
 }  // namespace senkf::grid

@@ -12,6 +12,11 @@ telemetry::Counter& send_ns_counter() {
       telemetry::Registry::global().counter("parcomm.send_ns");
   return counter;
 }
+telemetry::Counter& bytes_sent_counter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::global().counter("parcomm.bytes_sent");
+  return counter;
+}
 }  // namespace
 
 Envelope Request::wait() {
@@ -47,9 +52,14 @@ Mailbox& Communicator::mailbox_of(int rank) {
 }
 
 void Communicator::send(int dest, int tag, Payload payload) {
+  send_shared(dest, tag, SharedPayload(std::move(payload)));
+}
+
+void Communicator::send_shared(int dest, int tag, SharedPayload payload) {
   SENKF_REQUIRE(tag >= 0, "Communicator::send: user tags must be >= 0");
   telemetry::CountedSpan span(telemetry::Category::kSend, "send",
                               send_ns_counter());
+  bytes_sent_counter().add(payload.size());
   mailbox_of(dest).push(Envelope{rank_, tag, std::move(payload)});
 }
 
@@ -104,11 +114,16 @@ void Communicator::broadcast(int root, std::vector<double>& values) {
                 "Communicator::broadcast: bad root");
   if (size_ == 1) return;
   if (rank_ == root) {
+    // Pack once, seal once: every destination receives a handle to the
+    // same immutable buffer — fan-out is O(P) pointer pushes, not O(P)
+    // payload copies.
     Packer packer;
+    packer.reserve(sizeof(std::uint64_t) + values.size() * sizeof(double));
     packer.put_vector(values);
-    Payload payload = packer.take();
+    const SharedPayload payload = packer.take_shared();
     for (int r = 0; r < size_; ++r) {
       if (r == root) continue;
+      bytes_sent_counter().add(payload.size());
       mailbox_of(r).push(Envelope{rank_, kCollectiveTag, payload});
     }
   } else {
@@ -127,8 +142,11 @@ std::vector<double> Communicator::scatter(
     for (int r = 0; r < size_; ++r) {
       if (r == root) continue;
       Packer packer;
+      packer.reserve(sizeof(std::uint64_t) + chunks[r].size() * sizeof(double));
       packer.put_vector(chunks[r]);
-      mailbox_of(r).push(Envelope{rank_, kCollectiveTag, packer.take()});
+      const SharedPayload payload = packer.take_shared();
+      bytes_sent_counter().add(payload.size());
+      mailbox_of(r).push(Envelope{rank_, kCollectiveTag, payload});
     }
     return chunks[root];
   }
@@ -159,34 +177,72 @@ std::vector<std::vector<double>> Communicator::gather(
 
 std::vector<double> Communicator::allreduce(const std::vector<double>& mine,
                                             ReduceOp op) {
-  // Gather-to-0 + broadcast: O(P) but correct; parcomm is a correctness
-  // plane, the DES models collective costs (net/collectives.hpp).
-  std::vector<std::vector<double>> all = gather(0, mine);
-  std::vector<double> result;
-  if (rank_ == 0) {
-    result = all[0];
-    for (int r = 1; r < size_; ++r) {
-      SENKF_REQUIRE(all[r].size() == result.size(),
-                    "Communicator::allreduce: length mismatch across ranks");
-      for (std::size_t i = 0; i < result.size(); ++i) {
-        switch (op) {
-          case ReduceOp::kSum:
-            result[i] += all[r][i];
-            break;
-          case ReduceOp::kMin:
-            result[i] = std::min(result[i], all[r][i]);
-            break;
-          case ReduceOp::kMax:
-            result[i] = std::max(result[i], all[r][i]);
-            break;
-        }
+  // Binomial-tree reduce to rank 0, then binomial-tree broadcast back:
+  // O(log P) rounds on both legs instead of rank 0 touching all P
+  // contributions serially.  Same kCollectiveTag framing as before;
+  // parcomm stays the correctness plane — the DES models collective
+  // costs separately (net/collectives.hpp).
+  const auto combine = [op](std::vector<double>& acc,
+                            std::span<const double> other) {
+    SENKF_REQUIRE(other.size() == acc.size(),
+                  "Communicator::allreduce: length mismatch across ranks");
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      switch (op) {
+        case ReduceOp::kSum:
+          acc[i] += other[i];
+          break;
+        case ReduceOp::kMin:
+          acc[i] = std::min(acc[i], other[i]);
+          break;
+        case ReduceOp::kMax:
+          acc[i] = std::max(acc[i], other[i]);
+          break;
       }
     }
-  } else {
-    result = mine;  // placeholder, overwritten by broadcast
+  };
+  const auto send_doubles_collective = [&](int dest,
+                                           const std::vector<double>& values) {
+    Packer packer;
+    packer.reserve(sizeof(std::uint64_t) + values.size() * sizeof(double));
+    packer.put_vector(values);
+    const SharedPayload payload = packer.take_shared();
+    bytes_sent_counter().add(payload.size());
+    mailbox_of(dest).push(Envelope{rank_, kCollectiveTag, payload});
+  };
+
+  std::vector<double> acc = mine;
+  // Reduce leg: in round `mask` the ranks with that bit set fold their
+  // partial into the partner below and go passive.
+  for (int mask = 1; mask < size_; mask <<= 1) {
+    if ((rank_ & mask) != 0) {
+      send_doubles_collective(rank_ - mask, acc);
+      break;
+    }
+    if (rank_ + mask < size_) {
+      const Envelope envelope =
+          my_mailbox().pop(rank_ + mask, kCollectiveTag);
+      Unpacker unpacker(envelope.payload);
+      combine(acc, unpacker.view<double>());
+    }
   }
-  broadcast(0, result);
-  return result;
+
+  // Broadcast leg: the reverse tree — each rank receives once from the
+  // partner that owns its subtree (the rank below its lowest set bit),
+  // then fans out to the subtree below that bit.  For rank 0 the loop
+  // leaves up_mask at the first power of two >= size, so its children
+  // sweep every bit position.
+  int up_mask = 1;
+  while (up_mask < size_ && (rank_ & up_mask) == 0) up_mask <<= 1;
+  if (rank_ != 0) {
+    const Envelope envelope =
+        my_mailbox().pop(rank_ - up_mask, kCollectiveTag);
+    Unpacker unpacker(envelope.payload);
+    acc = unpacker.get_vector<double>();
+  }
+  for (int mask = up_mask >> 1; mask > 0; mask >>= 1) {
+    if (rank_ + mask < size_) send_doubles_collective(rank_ + mask, acc);
+  }
+  return acc;
 }
 
 double Communicator::allreduce(double mine, ReduceOp op) {
@@ -209,13 +265,14 @@ std::unique_ptr<Communicator> Communicator::split(int color, int key) {
   if (color != kUndefinedColor) {
     if (outcome.new_rank == 0) {
       const int new_id = bus_->create_communicator(outcome.new_size);
+      Packer packer;
+      packer.put<int>(new_id);
+      packer.put<int>(color);
+      const SharedPayload announcement = packer.take_shared();
       for (int r = 0; r < size_; ++r) {
         if (r == rank_) continue;
-        Packer packer;
-        packer.put<int>(new_id);
-        packer.put<int>(color);
         bus_->mailbox(comm_id_, r).push(
-            Envelope{rank_, kSplitTag, packer.take()});
+            Envelope{rank_, kSplitTag, announcement});
       }
       result = std::make_unique<Communicator>(bus_, new_id, 0,
                                               outcome.new_size);

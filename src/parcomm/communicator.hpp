@@ -56,8 +56,13 @@ class Communicator {
 
   // ---- point-to-point ----------------------------------------------------
 
-  /// Buffered send: copies the payload and returns immediately.
+  /// Buffered send: seals the payload (no copy) and returns immediately.
   void send(int dest, int tag, Payload payload);
+
+  /// Buffered send of an already-sealed payload handle — the fan-out
+  /// primitive: sending the same handle to many destinations moves
+  /// pointers, never bytes.
+  void send_shared(int dest, int tag, SharedPayload payload);
 
   /// Convenience: packs a vector of doubles.
   void send_doubles(int dest, int tag, const std::vector<double>& values);
@@ -105,7 +110,10 @@ class Communicator {
 
   enum class ReduceOp { kSum, kMin, kMax };
 
-  /// Element-wise allreduce over equal-length vectors.
+  /// Element-wise allreduce over equal-length vectors: binomial-tree
+  /// reduce to rank 0 followed by a binomial-tree broadcast (O(log P)
+  /// rounds each way).  Note the summation order differs from a serial
+  /// rank-0..P-1 fold, as in any tree reduction.
   std::vector<double> allreduce(const std::vector<double>& mine, ReduceOp op);
 
   /// Scalar convenience allreduce.

@@ -21,10 +21,16 @@ namespace senkf::parcomm {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// One queued message.  The payload is a refcounted handle, so an
+/// envelope never owns a private copy of the bytes: fan-out pushes the
+/// same sealed buffer to every destination, and moving an envelope out
+/// of the queue moves a pointer.  Receivers that unpack by view must
+/// keep the handle (or an Unpacker built from it) alive while the views
+/// are in use.
 struct Envelope {
   int source = 0;
   int tag = 0;
-  Payload payload;
+  SharedPayload payload;
 };
 
 class Mailbox {

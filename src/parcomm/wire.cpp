@@ -2,7 +2,42 @@
 
 #include <string>
 
+#include "parcomm/payload_pool.hpp"
+
 namespace senkf::parcomm {
+
+namespace detail {
+telemetry::Counter& payload_copies_counter() {
+  static telemetry::Counter& counter =
+      telemetry::Registry::global().counter("parcomm.payload_copies");
+  return counter;
+}
+}  // namespace detail
+
+namespace {
+const Payload& empty_payload() {
+  static const Payload empty;
+  return empty;
+}
+}  // namespace
+
+SharedPayload::SharedPayload(Payload&& bytes)
+    : ptr_(new Payload(std::move(bytes)), [](Payload* p) {
+        PayloadPool::global().release(std::move(*p));
+        delete p;
+      }) {}
+
+const Payload& SharedPayload::bytes() const {
+  return ptr_ == nullptr ? empty_payload() : *ptr_;
+}
+
+void Packer::reserve(std::size_t bytes) {
+  if (bytes_.capacity() >= bytes) return;
+  Payload grown = PayloadPool::global().acquire(bytes);
+  grown.insert(grown.end(), bytes_.begin(), bytes_.end());
+  PayloadPool::global().release(std::move(bytes_));
+  bytes_ = std::move(grown);
+}
 
 void Unpacker::require_remaining(std::size_t needed, const char* what) const {
   if (remaining() < needed) {
@@ -11,6 +46,32 @@ void Unpacker::require_remaining(std::size_t needed, const char* what) const {
                         std::to_string(needed) + " bytes, have " +
                         std::to_string(remaining()) + ")");
   }
+}
+
+void Unpacker::require_aligned(const std::byte* at,
+                               std::size_t alignment) const {
+  if (reinterpret_cast<std::uintptr_t>(at) % alignment != 0) {
+    throw ProtocolError(
+        "Unpacker::view: body is not aligned for the element type "
+        "(alignment " +
+        std::to_string(alignment) + ", offset " + std::to_string(cursor_) +
+        ")");
+  }
+}
+
+std::uint64_t Unpacker::checked_count(std::size_t elem_size,
+                                      const char* what) {
+  const auto count = get<std::uint64_t>();
+  // Divide, never multiply: `count * elem_size` can wrap for a corrupt
+  // prefix and slip a huge body past the bounds check.
+  if (count > remaining() / elem_size) {
+    throw ProtocolError("Unpacker: count prefix claims " +
+                        std::to_string(count) + " elements of " +
+                        std::to_string(elem_size) + " bytes while reading " +
+                        std::string(what) + ", but only " +
+                        std::to_string(remaining()) + " bytes remain");
+  }
+  return count;
 }
 
 }  // namespace senkf::parcomm

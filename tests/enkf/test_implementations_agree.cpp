@@ -250,8 +250,9 @@ TEST(AccessPatterns, SenkfStatsAreReported) {
   const World w(8);
   SenkfStats stats;
   (void)senkf(w.store, w.observations, w.ys, senkf_config(3, 2), &stats);
-  // 8 comp ranks × 3 stages × 6 members.
-  EXPECT_EQ(stats.messages, 8u * 3u * 6u);
+  // 8 comp ranks × 3 stages × 2 I/O groups: every group coalesces its
+  // members' blocks into one message per (destination, stage).
+  EXPECT_EQ(stats.messages, 8u * 3u * 2u);
   EXPECT_GT(stats.comp_update_seconds, 0.0);
   EXPECT_GE(stats.io_read_seconds, 0.0);
 }

@@ -102,5 +102,44 @@ TEST(Patch, BufferSizeValidated) {
                senkf::InvalidArgument);
 }
 
+TEST(PatchView, AliasesPatchStorage) {
+  const Rect r{{0, 3}, {0, 2}};
+  Patch p(r);
+  for (Index i = 0; i < p.size(); ++i) p.values()[i] = static_cast<double>(i);
+  const PatchView view = p.view();
+  EXPECT_EQ(view.rect(), r);
+  EXPECT_EQ(view.values().data(), p.values().data());  // no copy
+  EXPECT_DOUBLE_EQ(view.at(2, 1), p.at(2, 1));
+}
+
+TEST(PatchView, ExtractAndMaterializeMatchPatch) {
+  const Rect r{{0, 6}, {0, 4}};
+  Patch p(r);
+  for (Index i = 0; i < p.size(); ++i) p.values()[i] = static_cast<double>(i);
+  const PatchView view = p.view();
+  const Rect sub{{2, 4}, {1, 3}};
+  const Patch from_view = view.extract(sub);
+  const Patch from_patch = p.extract(sub);
+  EXPECT_EQ(from_view.rect(), from_patch.rect());
+  EXPECT_EQ(from_view.values(), from_patch.values());
+  const Patch copy = view.materialize();
+  EXPECT_EQ(copy.rect(), r);
+  EXPECT_EQ(copy.values(), p.values());
+}
+
+TEST(Field, InsertFromViewMatchesInsertFromPatch) {
+  const LatLonGrid g(8, 6);
+  Patch patch(Rect{{2, 5}, {1, 4}});
+  for (Index i = 0; i < patch.size(); ++i) {
+    patch.values()[i] = static_cast<double>(i) + 0.5;
+  }
+  Field via_patch(g, 0.0);
+  via_patch.insert(patch);
+  Field via_view(g, 0.0);
+  via_view.insert(patch.view());
+  EXPECT_EQ(via_patch.data(), via_view.data());
+  EXPECT_DOUBLE_EQ(via_view.at(2, 1), 0.5);
+}
+
 }  // namespace
 }  // namespace senkf::grid

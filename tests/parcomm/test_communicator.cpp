@@ -192,6 +192,22 @@ TEST(Communicator, AllreduceVector) {
   });
 }
 
+TEST(Communicator, AllreduceTreeCorrectAtEverySize) {
+  // The binomial tree's partner arithmetic must hold at powers of two,
+  // one above, one below, and size 1 (sums of small integers are exact
+  // in floating point, so EXPECT_DOUBLE_EQ is a strict check).
+  for (const int size : {1, 2, 3, 4, 5, 7, 8, 9, 13, 16}) {
+    Runtime::run(size, [size](Communicator& world) {
+      const double mine = static_cast<double>(world.rank() + 1);
+      const double expected = static_cast<double>(size * (size + 1)) / 2.0;
+      EXPECT_DOUBLE_EQ(world.allreduce(mine, Communicator::ReduceOp::kSum),
+                       expected);
+      EXPECT_DOUBLE_EQ(world.allreduce(mine, Communicator::ReduceOp::kMax),
+                       static_cast<double>(size));
+    });
+  }
+}
+
 TEST(Communicator, SplitByParity) {
   Runtime::run(6, [](Communicator& world) {
     auto sub = world.split(world.rank() % 2, world.rank());

@@ -65,6 +65,99 @@ TEST(Wire, ReadPastEndThrows) {
   EXPECT_THROW(unpacker.get<char>(), ProtocolError);
 }
 
+TEST(Wire, AdversarialCountPrefixRejectedBeforeOverflow) {
+  // Regression: a count prefix chosen so `count * sizeof(double)` wraps
+  // to a small number in 64-bit must be rejected by the bounds check,
+  // not slip past it into a bogus read or a huge allocation.
+  Packer packer;
+  packer.put<std::uint64_t>(std::uint64_t{1} << 61);  // count*8 wraps to 0
+  packer.put<double>(1.0);                            // non-empty body
+  const Payload payload = packer.take();
+  {
+    Unpacker unpacker(payload);
+    EXPECT_THROW(unpacker.get_vector<double>(), ProtocolError);
+  }
+  {
+    Unpacker unpacker(payload);
+    EXPECT_THROW(unpacker.view<double>(), ProtocolError);
+  }
+
+  Packer worst;
+  worst.put<std::uint64_t>(~std::uint64_t{0});
+  const Payload worst_payload = worst.take();
+  Unpacker unpacker(worst_payload);
+  EXPECT_THROW(unpacker.get_vector<double>(), ProtocolError);
+}
+
+TEST(Wire, ViewAliasesPayloadInPlace) {
+  Packer packer;
+  packer.put<std::uint64_t>(7);
+  packer.put_vector(std::vector<double>{1.0, 2.0, 3.0});
+  const Payload payload = packer.take();
+  Unpacker unpacker(payload);
+  EXPECT_EQ(unpacker.get<std::uint64_t>(), 7u);
+  const std::span<const double> view = unpacker.view<double>();
+  ASSERT_EQ(view.size(), 3u);
+  // Zero-copy: the span points into the payload bytes themselves.
+  EXPECT_EQ(reinterpret_cast<const std::byte*>(view.data()),
+            payload.data() + 2 * sizeof(std::uint64_t));
+  EXPECT_DOUBLE_EQ(view[1], 2.0);
+  EXPECT_TRUE(unpacker.exhausted());
+}
+
+TEST(Wire, EmptyViewRoundTrip) {
+  Packer packer;
+  packer.put_vector(std::vector<double>{});
+  const Payload payload = packer.take();
+  Unpacker unpacker(payload);
+  EXPECT_TRUE(unpacker.view<double>().empty());
+  EXPECT_TRUE(unpacker.exhausted());
+}
+
+TEST(Wire, OwningUnpackerKeepsViewAliveAfterHandleDrop) {
+  Packer packer;
+  packer.put_vector(std::vector<double>{4.0, 5.0});
+  SharedPayload payload = packer.take_shared();
+  Unpacker unpacker(payload);
+  payload = SharedPayload();  // drop the caller's handle
+  const std::span<const double> view = unpacker.view<double>();
+  EXPECT_DOUBLE_EQ(view[0] + view[1], 9.0);
+}
+
+TEST(Wire, SharedPayloadCopiesHandlesNotBytes) {
+  Packer packer;
+  packer.put_vector(std::vector<double>(64, 1.0));
+  const SharedPayload a = packer.take_shared();
+  const SharedPayload b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Wire, ViewReadsDoNotCountPayloadCopies) {
+  auto& counter = detail::payload_copies_counter();
+  Packer packer;
+  packer.put_vector(std::vector<double>{1.0, 2.0});
+  const Payload payload = packer.take();
+  const auto before = counter.value();
+  Unpacker viewer(payload);
+  (void)viewer.view<double>();
+  EXPECT_EQ(counter.value(), before);  // views are free
+  Unpacker copier(payload);
+  (void)copier.get_vector<double>();
+  EXPECT_EQ(counter.value(), before + 1);  // copy-out counts once
+}
+
+TEST(Wire, ReserveMakesExactSizePackingAllocationFree) {
+  const std::vector<double> values(100, 2.5);
+  Packer packer;
+  packer.reserve(sizeof(std::uint64_t) + values.size() * sizeof(double));
+  const std::size_t capacity = packer.capacity();
+  packer.put_vector(values);
+  EXPECT_EQ(packer.capacity(), capacity);  // no growth while packing
+  EXPECT_EQ(packer.size(), sizeof(std::uint64_t) + 100 * sizeof(double));
+}
+
 TEST(Wire, MixedSequenceOrderPreserved) {
   Packer packer;
   packer.put<int>(1).put_vector(std::vector<double>{9.0}).put<int>(2);

@@ -103,9 +103,11 @@ TEST(TelemetrySmoke, SpansCoverEveryStageAndEveryRank) {
 
 TEST(TelemetrySmoke, StatsFacadeAgreesWithSpans) {
   const auto& run = traced_run();
-  // messages = comp_ranks × layers × members, and the update phase did
-  // real work; both derive from the same counters the spans mirror.
-  EXPECT_EQ(run.stats.messages, 8u * 3u * 6u);
+  // messages = comp_ranks × layers × n_cg (each I/O group coalesces its
+  // members' blocks into one message per destination and stage), and the
+  // update phase did real work; both derive from the same counters the
+  // spans mirror.
+  EXPECT_EQ(run.stats.messages, 8u * 3u * 2u);
   EXPECT_GT(run.stats.comp_update_seconds, 0.0);
   double update_span_seconds = 0.0;
   for (const auto& event : run.events) {
