@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Schema checker for senkf-run-report JSON (schema v1, DESIGN.md §11).
+
+Usage: check_report.py REPORT.json [--kind senkf] [--require-warns]
+
+Validates structure and types, cross-checks the acceptance invariant
+(aggregated phase totals equal the sum of the per-rank samples), and
+exits nonzero on any violation.  Stdlib only — runs anywhere CI has a
+python3.
+"""
+import argparse
+import json
+import sys
+
+RANK_FIELDS = {
+    "rank": (int,),
+    "is_io": (bool,),
+    "group": (int,),
+    "read_s": (int, float),
+    "obtain_s": (int, float),
+    "send_s": (int, float),
+    "wait_s": (int, float),
+    "update_s": (int, float),
+    "messages": (int,),
+    "retries": (int,),
+    "reissued": (int,),
+    "backlog_peak": (int,),
+}
+
+errors = []
+
+
+def check(ok, message):
+    if not ok:
+        errors.append(message)
+    return ok
+
+
+def require(obj, key, types, where):
+    if not check(isinstance(obj, dict) and key in obj,
+                 f"{where}: missing key '{key}'"):
+        return None
+    value = obj[key]
+    # bool is an int subclass; keep the kinds distinct.
+    if bool not in types and isinstance(value, bool):
+        check(False, f"{where}.{key}: expected {types}, got bool")
+        return None
+    check(isinstance(value, tuple(types)),
+          f"{where}.{key}: expected {types}, got {type(value).__name__}")
+    return value
+
+
+def check_gauge_stat(stat, where):
+    for key in ("min", "max", "mean", "sum", "sumsq"):
+        require(stat, key, (int, float), where)
+    require(stat, "count", (int,), where)
+
+
+def check_snapshot(snapshot, where):
+    counters = require(snapshot, "counters", (dict,), where) or {}
+    for name, value in counters.items():
+        check(isinstance(value, int) and not isinstance(value, bool),
+              f"{where}.counters.{name}: not an integer")
+    gauges = require(snapshot, "gauges", (dict,), where) or {}
+    for name, stat in gauges.items():
+        check_gauge_stat(stat, f"{where}.gauges.{name}")
+    histograms = require(snapshot, "histograms", (dict,), where) or {}
+    for name, hist in histograms.items():
+        bounds = require(hist, "bounds", (list,), f"{where}.histograms.{name}")
+        buckets = require(hist, "buckets", (list,),
+                          f"{where}.histograms.{name}")
+        require(hist, "count", (int,), f"{where}.histograms.{name}")
+        require(hist, "sum", (int, float), f"{where}.histograms.{name}")
+        if bounds is not None and buckets is not None:
+            check(len(buckets) == len(bounds) + 1,
+                  f"{where}.histograms.{name}: {len(buckets)} buckets for "
+                  f"{len(bounds)} bounds (want bounds+1)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument("--kind", default=None,
+                        help="require run.kind to equal this")
+    parser.add_argument("--require-warns", action="store_true",
+                        help="require at least one straggler WARN")
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    check(doc.get("schema") == "senkf-run-report",
+          f"schema: got {doc.get('schema')!r}")
+    check(doc.get("version") == 1, f"version: got {doc.get('version')!r}")
+    require(doc, "partial", (bool,), "$")
+
+    run = require(doc, "run", (dict,), "$") or {}
+    require(run, "kind", (str,), "run")
+    valid = require(run, "valid", (bool,), "run")
+    check(valid is True, "run.valid: no run populated this report")
+    if args.kind is not None:
+        check(run.get("kind") == args.kind,
+              f"run.kind: got {run.get('kind')!r}, want {args.kind!r}")
+    config = require(run, "config", (dict,), "run") or {}
+    for key, value in config.items():
+        check(isinstance(value, str), f"run.config.{key}: not a string")
+    phases = require(run, "phases", (dict,), "run") or {}
+    drift = require(run, "drift", (dict,), "run") or {}
+    for section, name in ((phases, "phases"), (drift, "drift"),
+                          (require(run, "skew", (dict,), "run") or {}, "skew")):
+        for key, value in section.items():
+            check(isinstance(value, (int, float)) and
+                  not isinstance(value, bool),
+                  f"run.{name}.{key}: not a number")
+    warns = require(run, "straggler_warns", (int,), "run")
+    if args.require_warns:
+        check(warns is not None and warns >= 1,
+              f"run.straggler_warns: got {warns}, want >= 1")
+    dropped = require(run, "dropped_members", (list,), "run") or []
+    for i, member in enumerate(dropped):
+        check(isinstance(member, int), f"run.dropped_members[{i}]: not an int")
+
+    ranks = require(run, "ranks", (list,), "run") or []
+    for i, sample in enumerate(ranks):
+        for key, types in RANK_FIELDS.items():
+            require(sample, key, types, f"run.ranks[{i}]")
+
+    aggregate = require(run, "aggregate", (dict,), "run")
+    if aggregate is not None:
+        check_snapshot(aggregate, "run.aggregate")
+    metrics = require(doc, "metrics", (dict,), "$")
+    if metrics is not None:
+        check_snapshot(metrics, "$.metrics")
+    require(doc, "faults", (dict,), "$")
+
+    # Acceptance invariant: aggregated phase totals equal the sum of the
+    # per-rank samples (both derive from the same rank-local counters).
+    if ranks and phases:
+        sums = {
+            "io_read_s": sum(r.get("read_s", 0) for r in ranks),
+            "io_send_s": sum(r.get("send_s", 0) for r in ranks),
+            "comp_wait_s": sum(r.get("wait_s", 0) for r in ranks),
+            "comp_update_s": sum(r.get("update_s", 0) for r in ranks),
+        }
+        for name, total in sums.items():
+            reported = phases.get(name)
+            if reported is None:
+                check(False, f"run.phases.{name}: missing")
+                continue
+            tolerance = 1e-9 + 1e-9 * abs(total)
+            check(abs(reported - total) <= tolerance,
+                  f"run.phases.{name}: {reported} != per-rank sum {total}")
+
+    # Drift gauges must be populated for a completed run (model vs an
+    # in-memory measurement always disagrees).
+    if not doc.get("partial", False):
+        for phase in ("read", "comm", "comp"):
+            check(drift.get(phase, 0.0) != 0.0,
+                  f"run.drift.{phase}: expected a nonzero drift")
+
+    if errors:
+        print(f"check_report: {args.report} FAILED "
+              f"({len(errors)} violation(s)):")
+        for message in errors:
+            print(f"  - {message}")
+        return 1
+    print(f"check_report: {args.report} OK "
+          f"(kind={run.get('kind')}, ranks={len(ranks)}, "
+          f"warns={run.get('straggler_warns')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Soft benchmark gate: diff two google-benchmark JSON outputs.
+
+Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
+                        [--hard]
+
+Matches benchmarks by name, compares real_time (normalized to ns), and
+prints a delta table.  Regressions beyond --threshold emit warnings
+(GitHub-annotation format under CI) but exit 0 unless --hard — the gate
+is advisory while the bench trajectory seeds.  Stdlib only.
+"""
+import argparse
+import json
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        time = bench.get("real_time")
+        if name is None or time is None:
+            continue
+        out[name] = time * UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression that triggers a warning "
+                             "(default 0.15 = +15%%)")
+    parser.add_argument("--hard", action="store_true",
+                        help="exit 1 when a regression exceeds the threshold")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    if not baseline:
+        print(f"compare_bench: no benchmarks in {args.baseline}; "
+              "nothing to compare")
+        return 0
+
+    regressions = []
+    width = max(len("benchmark"),
+                *(len(name) for name in set(baseline) | set(current)))
+    print(f"{'benchmark':<{width}}  {'base_ns':>12}  {'cur_ns':>12}  delta")
+    for name in sorted(baseline):
+        base_ns = baseline[name]
+        cur_ns = current.get(name)
+        if cur_ns is None:
+            print(f"{name:<{width}}  {base_ns:>12.1f}  {'missing':>12}  -")
+            regressions.append((name, None))
+            continue
+        delta = (cur_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+        flag = " <-- regression" if delta > args.threshold else ""
+        print(f"{name:<{width}}  {base_ns:>12.1f}  {cur_ns:>12.1f}  "
+              f"{delta:+7.1%}{flag}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  {'new':>12}  {current[name]:>12.1f}  -")
+
+    if regressions:
+        for name, delta in regressions:
+            detail = "missing from current run" if delta is None else \
+                f"+{delta:.1%} real_time (threshold +{args.threshold:.0%})"
+            # ::warning renders as an annotation on GitHub Actions and is
+            # harmless noise everywhere else.
+            print(f"::warning title=bench regression::{name}: {detail}")
+        print(f"compare_bench: {len(regressions)} regression(s) beyond "
+              f"+{args.threshold:.0%}")
+        return 1 if args.hard else 0
+    print("compare_bench: no regressions beyond "
+          f"+{args.threshold:.0%} ({len(baseline)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

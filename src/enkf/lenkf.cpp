@@ -4,6 +4,7 @@
 
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
+#include "telemetry/phase.hpp"
 #include "telemetry/trace.hpp"
 
 namespace senkf::enkf {
@@ -11,6 +12,25 @@ namespace senkf::enkf {
 namespace {
 constexpr int kDataTag = 1;
 constexpr int kResultTag = 2;
+
+/// Phase totals in the registry, so an LEnKF run shows up in the metrics
+/// dump of the SENKF_REPORT export alongside the senkf.* counters.
+struct LenkfCounters {
+  telemetry::Counter& read_ns;
+  telemetry::Counter& send_ns;
+  telemetry::Counter& update_ns;
+
+  static LenkfCounters& get() {
+    auto& registry = telemetry::Registry::global();
+    static LenkfCounters counters{
+        registry.counter("lenkf.read_ns"),
+        registry.counter("lenkf.send_ns"),
+        registry.counter("lenkf.update_ns"),
+    };
+    return counters;
+  }
+};
+
 }  // namespace
 
 std::vector<grid::Field> lenkf(const EnsembleStore& store,
@@ -44,14 +64,16 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
     std::vector<parcomm::SharedPayload> keepalive;
     if (world.rank() == 0) {
       owned.reserve(n_members);
-      telemetry::TraceSpan scatter_span(telemetry::Category::kSend,
-                                        "single_reader_scatter");
+      telemetry::CountedSpan scatter_span(telemetry::Category::kSend,
+                                          "single_reader_scatter",
+                                          LenkfCounters::get().send_ns);
       for (Index k = 0; k < n_members; ++k) {
         // One contiguous read of the whole member file.
         grid::Patch file;
         {
-          telemetry::TraceSpan read_span(telemetry::Category::kRead,
-                                         "file_read");
+          telemetry::CountedSpan read_span(telemetry::Category::kRead,
+                                           "file_read",
+                                           LenkfCounters::get().read_ns);
           file = store.read_bar(k, grid::IndexRange{0, store.grid().ny()});
         }
         for (int r = 0; r < world.size(); ++r) {
@@ -84,9 +106,10 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
     parcomm::Packer results;
     results.put<std::uint64_t>(config.layers * n_members);
     for (Index l = 0; l < config.layers; ++l) {
-      telemetry::TraceSpan update_span(telemetry::Category::kUpdate,
-                                       "local_analysis",
-                                       static_cast<std::int32_t>(l));
+      telemetry::CountedSpan update_span(telemetry::Category::kUpdate,
+                                         "local_analysis",
+                                         LenkfCounters::get().update_ns,
+                                         static_cast<std::int32_t>(l));
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       const grid::Rect expansion =
           decomposition.layer_expansion(my_id, l, config.layers);

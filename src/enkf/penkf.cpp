@@ -5,12 +5,30 @@
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
 #include "support/thread_pool.hpp"
+#include "telemetry/phase.hpp"
 #include "telemetry/trace.hpp"
 
 namespace senkf::enkf {
 
 namespace {
 constexpr int kResultTag = 2;
+
+/// Phase totals in the registry, so a PEnKF run shows up in the metrics
+/// dump of the SENKF_REPORT export alongside the senkf.* counters.
+struct PenkfCounters {
+  telemetry::Counter& read_ns;
+  telemetry::Counter& update_ns;
+
+  static PenkfCounters& get() {
+    auto& registry = telemetry::Registry::global();
+    static PenkfCounters counters{
+        registry.counter("penkf.read_ns"),
+        registry.counter("penkf.update_ns"),
+    };
+    return counters;
+  }
+};
+
 }  // namespace
 
 std::vector<grid::Field> penkf(const EnsembleStore& store,
@@ -37,8 +55,9 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
     std::vector<grid::Patch> my_members;
     my_members.reserve(n_members);
     {
-      telemetry::TraceSpan read_span(telemetry::Category::kRead,
-                                     "block_read_phase");
+      telemetry::CountedSpan read_span(telemetry::Category::kRead,
+                                       "block_read_phase",
+                                       PenkfCounters::get().read_ns);
       for (Index k = 0; k < n_members; ++k) {
         my_members.push_back(store.read_block(k, my_expansion));
       }
@@ -55,9 +74,10 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
     const int my_rank = world.rank();
     pool.parallel_for(config.layers, [&, my_rank](std::size_t l) {
       telemetry::set_thread_rank(my_rank);
-      telemetry::TraceSpan update_span(telemetry::Category::kUpdate,
-                                       "local_analysis",
-                                       static_cast<std::int32_t>(l));
+      telemetry::CountedSpan update_span(telemetry::Category::kUpdate,
+                                         "local_analysis",
+                                         PenkfCounters::get().update_ns,
+                                         static_cast<std::int32_t>(l));
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       const grid::Rect expansion =
           decomposition.layer_expansion(my_id, l, config.layers);

@@ -1,21 +1,29 @@
 #include "enkf/senkf.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
+#include <exception>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "enkf/faulty_store.hpp"
 #include "enkf/patch_wire.hpp"
+#include "parcomm/metrics_channel.hpp"
 #include "parcomm/runtime.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 #include "telemetry/phase.hpp"
+#include "telemetry/report.hpp"
+#include "tuning/drift.hpp"
 
 namespace senkf::enkf {
 
@@ -26,6 +34,12 @@ constexpr int kResultTag = 2;
 /// I/O-group control channel (straggler re-issue protocol); never touches
 /// computation ranks, so wildcards on it cannot steal result messages.
 constexpr int kIoCtrlTag = 3;
+/// Live observability samples to rank 0's in-band monitor (per-stage
+/// phase deltas + per-rank done markers); only used when
+/// MonitorOptions::enabled.
+constexpr int kTelemetryTag = 4;
+/// Run-end binomial-tree reduce of per-rank metric snapshots.
+constexpr int kTelemetryReduceTag = 5;
 
 /// Payload discriminators on kBlockTag (first u64 of every message).
 /// A kKindBlock message is a framed multi-block batch:
@@ -44,10 +58,15 @@ constexpr std::uint64_t kCtrlReissue = 0;
 constexpr std::uint64_t kCtrlAck = 1;
 constexpr std::uint64_t kCtrlDone = 2;
 
-/// The telemetry the SenkfStats facade is derived from.  Counters are
-/// process-wide and cumulative; senkf() reports per-run deltas, which
-/// assumes runs do not overlap in one process (they never do — each run
-/// owns the whole virtual cluster).
+/// Payload discriminators on kTelemetryTag.
+constexpr std::uint64_t kSampleStage = 0;
+constexpr std::uint64_t kSampleDone = 1;
+
+/// Process-wide cumulative phase counters (what SENKF_TRACE-era tooling
+/// and the registry snapshot expose).  SenkfStats no longer diffs these:
+/// per-run numbers come from the rank-local counters below, aggregated
+/// over the telemetry reduce tree, so back-to-back runs and registry
+/// resets cannot contaminate a run's stats.
 struct PhaseCounters {
   telemetry::Counter& io_read_ns;
   telemetry::Counter& io_send_ns;
@@ -75,39 +94,130 @@ struct PhaseCounters {
     return counters;
   }
 
-  struct Values {
-    std::uint64_t io_read_ns = 0;
-    std::uint64_t io_send_ns = 0;
-    std::uint64_t comp_wait_ns = 0;
-    std::uint64_t comp_update_ns = 0;
-    std::uint64_t messages = 0;
-    std::uint64_t read_retries = 0;
-    std::uint64_t bars_reissued = 0;
-  };
-
-  Values values() const {
-    return Values{io_read_ns.value(),   io_send_ns.value(),
-                  comp_wait_ns.value(), comp_update_ns.value(),
-                  messages.value(),     read_retries.value(),
-                  bars_reissued.value()};
-  }
 };
 
-SenkfStats stats_between(const PhaseCounters::Values& before,
-                         const PhaseCounters::Values& after) {
-  SenkfStats stats;
-  stats.io_read_seconds =
-      static_cast<double>(after.io_read_ns - before.io_read_ns) / 1e9;
-  stats.io_send_seconds =
-      static_cast<double>(after.io_send_ns - before.io_send_ns) / 1e9;
-  stats.comp_wait_seconds =
-      static_cast<double>(after.comp_wait_ns - before.comp_wait_ns) / 1e9;
-  stats.comp_update_seconds =
-      static_cast<double>(after.comp_update_ns - before.comp_update_ns) / 1e9;
-  stats.messages = after.messages - before.messages;
-  stats.read_retries = after.read_retries - before.read_retries;
-  stats.bars_reissued = after.bars_reissued - before.bars_reissued;
-  return stats;
+/// Rank-local phase accumulators, zeroed per run per rank.  Atomic
+/// counters because helper / pool / reader threads of the same rank feed
+/// them; the dual-counter CountedSpan adds the same interval here and to
+/// the global PhaseCounters from one clock pair.
+struct RankLocal {
+  telemetry::Counter read_ns;    ///< bar-read spans (mirrors senkf.io_read_ns)
+  telemetry::Counter obtain_ns;  ///< full acquisition incl. injected delays
+  telemetry::Counter send_ns;
+  telemetry::Counter wait_ns;
+  telemetry::Counter update_ns;
+  telemetry::Counter messages;
+  telemetry::Counter retries;
+  telemetry::Counter reissued;
+};
+
+/// What rank 0's in-band monitor learned, read by senkf() after the run.
+struct MonitorTotals {
+  std::uint64_t warns = 0;
+  double worst_stage_ratio = 0.0;
+  double worst_group_ratio = 0.0;
+  std::int32_t worst_rank = -1;
+};
+
+/// Run-scoped observability state shared by every rank thread.
+struct ObservabilityContext {
+  MonitorOptions monitor;
+  /// Set by any unwinding rank before its exception propagates, so
+  /// blocking observability receives (monitor loop, reduce tree) degrade
+  /// within one poll interval instead of hitting the mailbox deadline.
+  std::atomic<bool> run_failed{false};
+  /// Rank 0 only, written after its reduce completes.
+  telemetry::MetricsSnapshot aggregate;
+  MonitorTotals totals;
+};
+
+/// Bucket ladder for the per-stage acquisition histogram every I/O rank
+/// contributes to the aggregate (μs, 10 → ~41 s).
+const std::vector<double>& stage_obtain_bounds() {
+  static const std::vector<double> bounds =
+      telemetry::exponential_bounds(10.0, 4.0, 12);
+  return bounds;
+}
+
+std::int64_t ratio_milli(double ratio) {
+  return static_cast<std::int64_t>(ratio * 1e3);
+}
+
+/// Rank 0's in-band health monitor: drains kTelemetryTag until every
+/// rank's done marker arrived (or the run failed), evaluating each stage
+/// once all I/O ranks reported it — per-stage critical path and read
+/// skew across ranks and concurrent groups, `senkf.skew.*` /
+/// `senkf.straggler.*` gauges, and a WARN naming the straggler when the
+/// stage's slowest acquisition exceeds the configured ratio.
+void run_monitor(parcomm::Communicator& world, const SenkfConfig& config,
+                 ObservabilityContext& ctx) {
+  telemetry::set_thread_rank(0);
+  auto& registry = telemetry::Registry::global();
+  telemetry::Counter& warns = registry.counter("senkf.straggler.warns");
+  telemetry::Gauge& last_straggler = registry.gauge("senkf.straggler.last_rank");
+  telemetry::Gauge& stage_skew_gauge = registry.gauge("senkf.skew.stage_read");
+  telemetry::Gauge& group_skew_gauge = registry.gauge("senkf.skew.group_read");
+
+  const Index total = config.total_ranks();
+  const Index io_ranks = config.io_ranks();
+  Index done = 0;
+  std::map<std::uint64_t, std::vector<telemetry::RankSample>> stages;
+  while (done < total) {
+    std::optional<parcomm::Envelope> envelope = world.recv_for(
+        parcomm::kAnySource, kTelemetryTag, std::chrono::milliseconds(100));
+    if (!envelope.has_value()) {
+      if (ctx.run_failed.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    parcomm::Unpacker unpacker(envelope->payload);
+    const auto kind = unpacker.get<std::uint64_t>();
+    if (kind == kSampleDone) {
+      ++done;
+      continue;
+    }
+    SENKF_REQUIRE(kind == kSampleStage, "senkf: unknown telemetry sample kind");
+    telemetry::RankSample sample;
+    sample.rank = static_cast<std::int32_t>(unpacker.get<std::uint64_t>());
+    const auto stage = unpacker.get<std::uint64_t>();
+    sample.is_io = 1;
+    sample.group = static_cast<std::int32_t>(unpacker.get<std::uint64_t>());
+    sample.read_s =
+        static_cast<double>(unpacker.get<std::uint64_t>()) / 1e9;
+    sample.obtain_s =
+        static_cast<double>(unpacker.get<std::uint64_t>()) / 1e9;
+    sample.send_s =
+        static_cast<double>(unpacker.get<std::uint64_t>()) / 1e9;
+
+    auto& samples = stages[stage];
+    samples.push_back(sample);
+    if (samples.size() < io_ranks) continue;
+
+    // Stage complete: evaluate its read balance.
+    const telemetry::SkewStats skew = telemetry::read_skew(samples);
+    const telemetry::SkewStats group_skew =
+        telemetry::group_read_skew(samples);
+    if (skew.ratio > ctx.totals.worst_stage_ratio) {
+      ctx.totals.worst_stage_ratio = skew.ratio;
+      ctx.totals.worst_rank = skew.max_rank;
+      stage_skew_gauge.set(ratio_milli(skew.ratio));
+    }
+    if (group_skew.ratio > ctx.totals.worst_group_ratio) {
+      ctx.totals.worst_group_ratio = group_skew.ratio;
+      group_skew_gauge.set(ratio_milli(group_skew.ratio));
+    }
+    if (skew.ratio >= ctx.monitor.skew_warn_ratio &&
+        skew.max_s >= ctx.monitor.min_warn_seconds) {
+      warns.add(1);
+      ctx.totals.warns += 1;
+      last_straggler.set(skew.max_rank);
+      SENKF_LOG_WARN("senkf: stage ", stage, " read straggler: rank ",
+                     skew.max_rank, " took ", skew.max_s,
+                     " s vs stage mean ", skew.mean_s, " s (x",
+                     skew.mean_s > 0.0 ? skew.max_s / skew.mean_s : 0.0,
+                     ", threshold x", ctx.monitor.skew_warn_ratio, ")");
+    }
+    stages.erase(stage);
+  }
 }
 
 /// Stage-indexed buffers filled by the helper thread and drained by the
@@ -211,6 +321,18 @@ class StageBuffers {
     return out;
   }
 
+  /// How many stages are fully accounted right now — minus the consumer's
+  /// position this is the helper thread's drain backlog, the "how far
+  /// ahead is I/O running" signal the observability plane samples.
+  Index completed_stages() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Index complete = 0;
+    for (Index stage = 0; stage < layers_; ++stage) {
+      if (accounted_[stage] == members_) ++complete;
+    }
+    return complete;
+  }
+
   /// Sorted dead members (stable once every stage completed).
   std::vector<Index> dead_members() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -305,10 +427,12 @@ class BlockBatch {
 
   /// Sends the accumulated batches (one message per destination) and
   /// resets.  A batch with no members sends nothing.
-  void flush(parcomm::Communicator& world, PhaseCounters& phases) {
+  void flush(parcomm::Communicator& world, PhaseCounters& phases,
+             telemetry::Counter* local_send_ns = nullptr) {
     if (members_added_ == 0) return;
     telemetry::CountedSpan send_span(telemetry::Category::kSend,
                                      "block_scatter", phases.io_send_ns,
+                                     local_send_ns,
                                      static_cast<std::int32_t>(l_));
     for (Index i = 0; i < config_.n_sdx; ++i) {
       world.send(layout_.comp_rank(i, slot_), kBlockTag, packers_[i].take());
@@ -333,10 +457,11 @@ class BlockBatch {
 void scatter_bar(parcomm::Communicator& world, const RankLayout& layout,
                  const grid::Decomposition& decomposition,
                  const SenkfConfig& config, Index l, Index member, Index slot,
-                 const grid::Patch& bar, PhaseCounters& phases) {
+                 const grid::Patch& bar, PhaseCounters& phases,
+                 telemetry::Counter* local_send_ns = nullptr) {
   BlockBatch batch(layout, decomposition, config, l, slot, 1);
   batch.add(member, bar);
-  batch.flush(world, phases);
+  batch.flush(world, phases, local_send_ns);
 }
 
 /// Tells every computation rank of latitude row `slot` that `member` is
@@ -456,11 +581,13 @@ class BarReader {
 
 void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
                  const grid::Decomposition& decomposition,
-                 const EnsembleStore& store, const SenkfConfig& config) {
+                 const EnsembleStore& store, const SenkfConfig& config,
+                 ObservabilityContext& ctx) {
   const Index group = layout.io_group(world.rank());
   const Index slot = layout.io_slot(world.rank());
   const Index n_members = store.members();
   PhaseCounters& phases = PhaseCounters::get();
+  RankLocal local;
   const pfs::FaultInjector* injector = injector_of(store);
   const int io_ordinal =
       world.rank() - static_cast<int>(config.computation_ranks());
@@ -488,6 +615,11 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
   // worker when straggler re-issue is armed.
   const auto perform_read = [&](Index member, grid::IndexRange rows,
                                 Index l) -> grid::Patch {
+    // obtain_ns covers the whole degraded acquisition — injected delay,
+    // backoff sleeps, retries — which is what the straggler monitor must
+    // see; read_ns mirrors the global bar-read span (successful read
+    // time only).
+    telemetry::ScopedTimerNs obtain_timer(local.obtain_ns);
     if (straggle > std::chrono::nanoseconds::zero()) {
       pfs::FaultMetrics& fault_metrics = pfs::FaultMetrics::get();
       fault_metrics.straggler_ns.add(
@@ -500,10 +632,14 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
         [&] {
           telemetry::CountedSpan read_span(telemetry::Category::kRead,
                                            "bar_read", phases.io_read_ns,
+                                           &local.read_ns,
                                            static_cast<std::int32_t>(l));
           return store.read_bar(member, rows);
         },
-        [&](int) { phases.read_retries.add(1); });
+        [&](int) {
+          phases.read_retries.add(1);
+          local.retries.add(1);
+        });
   };
 
   std::set<Index> dead;
@@ -550,7 +686,7 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
       try {
         const grid::Patch bar = perform_read(member, bar_rows(req_slot, l), l);
         scatter_bar(world, layout, decomposition, config, l, member, req_slot,
-                    bar, phases);
+                    bar, phases, &local.send_ns);
       } catch (const pfs::PermanentReadError&) {
         handle_permanent(member, req_slot);
       }
@@ -588,7 +724,12 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
 
   const Index members_per_group =
       (n_members + config.n_cg - 1) / config.n_cg;
+  telemetry::MetricsSnapshot mine;
   for (Index l = 0; l < config.layers; ++l) {
+    // Stage baseline for the per-stage sample shipped to the monitor.
+    const std::uint64_t stage_read0 = local.read_ns.value();
+    const std::uint64_t stage_obtain0 = local.obtain_ns.value();
+    const std::uint64_t stage_send0 = local.send_ns.value();
     const grid::IndexRange rows = bar_rows(slot, l);
     // One coalesced batch per (destination, layer): every member's block
     // rides in the same message (re-issued stragglers arrive separately
@@ -632,6 +773,7 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
                      request.take());
           pending_acks.insert({l, member});
           phases.bars_reissued.add(1);
+          local.reissued.add(1);
           SENKF_LOG_WARN("senkf: io rank ", world.rank(),
                          " re-issued bar (stage ", l, ", member ", member,
                          ") past the straggler deadline");
@@ -639,7 +781,27 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
         }
       }
     }
-    batch.flush(world, phases);
+    batch.flush(world, phases, &local.send_ns);
+
+    // Per-stage boundary: ship this stage's phase deltas to rank 0's
+    // monitor and fold the acquisition time into the aggregate
+    // histogram.  Note the re-issue path can attribute a served peer's
+    // read to the server's current stage — stage attribution is
+    // best-effort under degradation, totals stay exact.
+    const std::uint64_t stage_obtain_ns = local.obtain_ns.value() - stage_obtain0;
+    mine.observe_histogram("senkf.rank.stage_obtain_us", stage_obtain_bounds(),
+                           static_cast<double>(stage_obtain_ns) / 1e3);
+    if (ctx.monitor.enabled) {
+      parcomm::Packer sample;
+      sample.put<std::uint64_t>(kSampleStage);
+      sample.put<std::uint64_t>(static_cast<std::uint64_t>(world.rank()));
+      sample.put<std::uint64_t>(l);
+      sample.put<std::uint64_t>(group);
+      sample.put<std::uint64_t>(local.read_ns.value() - stage_read0);
+      sample.put<std::uint64_t>(stage_obtain_ns);
+      sample.put<std::uint64_t>(local.send_ns.value() - stage_send0);
+      world.send(0, kTelemetryTag, sample.take());
+    }
   }
 
   if (reissue_enabled) {
@@ -654,6 +816,36 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
     }
     // ~BarReader waits for any abandoned slow read still in flight.
   }
+
+  if (ctx.monitor.enabled) {
+    parcomm::Packer done;
+    done.put<std::uint64_t>(kSampleDone);
+    done.put<std::uint64_t>(static_cast<std::uint64_t>(world.rank()));
+    world.send(0, kTelemetryTag, done.take());
+  }
+
+  // Run-end aggregation: this rank's sample + counters join the binomial
+  // reduce toward rank 0 (result only meaningful there).
+  telemetry::RankSample sample;
+  sample.rank = world.rank();
+  sample.is_io = 1;
+  sample.group = static_cast<std::int32_t>(group);
+  sample.read_s = static_cast<double>(local.read_ns.value()) / 1e9;
+  sample.obtain_s = static_cast<double>(local.obtain_ns.value()) / 1e9;
+  sample.send_s = static_cast<double>(local.send_ns.value()) / 1e9;
+  sample.retries = local.retries.value();
+  sample.reissued = local.reissued.value();
+  mine.ranks.push_back(sample);
+  mine.add_counter("senkf.rank.read_ns", local.read_ns.value());
+  mine.add_counter("senkf.rank.obtain_ns", local.obtain_ns.value());
+  mine.add_counter("senkf.rank.send_ns", local.send_ns.value());
+  mine.add_counter("senkf.rank.retries", local.retries.value());
+  mine.add_counter("senkf.rank.reissued", local.reissued.value());
+  mine.observe_gauge("senkf.rank.obtain_ns",
+                     static_cast<std::int64_t>(local.obtain_ns.value()));
+  (void)parcomm::reduce_snapshots(
+      world, kTelemetryReduceTag, std::move(mine),
+      [&ctx] { return ctx.run_failed.load(std::memory_order_relaxed); });
 }
 
 /// Yˢ restricted to the surviving members (column k of the input belongs
@@ -674,7 +866,7 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
                    const EnsembleStore& store,
                    const obs::ObservationSet& observations,
                    const linalg::Matrix& perturbed,
-                   const SenkfConfig& config,
+                   const SenkfConfig& config, ObservabilityContext& ctx,
                    std::vector<grid::Field>* result_out,
                    std::vector<Index>* dropped_out) {
   const grid::SubdomainId my_id{layout.comp_i(world.rank()),
@@ -682,7 +874,43 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   const Index n_members = store.members();
   const int my_rank = world.rank();
   PhaseCounters& phases = PhaseCounters::get();
+  RankLocal local;
   StageBuffers buffers(config.layers, n_members);
+
+  // Rank 0 hosts the in-band health monitor on its own thread (live
+  // per-stage skew while the pipeline runs).  A monitor failure is
+  // logged, never propagated — observability must not kill a healthy
+  // run.  The join guard runs on every exit path; the fail guard
+  // (declared after it, so destroyed first during unwinding) flips
+  // run_failed before the join, which is what lets the monitor loop —
+  // and every peer's reduce — give up within one poll interval when
+  // this rank unwinds.
+  std::exception_ptr monitor_error;
+  std::thread monitor;
+  struct MonitorJoinGuard {
+    std::thread& thread;
+    ~MonitorJoinGuard() {
+      if (thread.joinable()) thread.join();
+    }
+  } monitor_join{monitor};
+  struct FailGuard {
+    ObservabilityContext& ctx;
+    int entry_exceptions = std::uncaught_exceptions();
+    ~FailGuard() {
+      if (std::uncaught_exceptions() > entry_exceptions) {
+        ctx.run_failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  } fail_guard{ctx};
+  if (my_rank == 0 && ctx.monitor.enabled) {
+    monitor = std::thread([&world, &config, &ctx, &monitor_error] {
+      try {
+        run_monitor(world, config, ctx);
+      } catch (...) {
+        monitor_error = std::current_exception();
+      }
+    });
+  }
 
   // Helper thread (§4.2): drains block and dead-member messages for this
   // rank into the stage buffers until every (stage, member) pair is
@@ -751,10 +979,19 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   // the main thread blocked in take_stage, comp_update the summed
   // execution time of the analysis tasks (recorded inside each task, on
   // whichever pool thread ran it).
+  std::uint64_t backlog_peak = 0;
   for (Index l = 0; l < config.layers; ++l) {
+    // Helper-thread drain backlog: stages already complete but not yet
+    // consumed by the analysis loop.  Its peak is the depth of the
+    // read-ahead the overlap achieved (0 = the main thread always waits).
+    const Index completed = buffers.completed_stages();
+    if (completed > l) {
+      backlog_peak = std::max<std::uint64_t>(backlog_peak, completed - l);
+    }
     {
       telemetry::CountedSpan wait_span(telemetry::Category::kWait,
                                        "stage_wait", phases.comp_wait_ns,
+                                       &local.wait_ns,
                                        static_cast<std::int32_t>(l));
       stage_data[l] = buffers.take_stage(l);
     }
@@ -764,6 +1001,7 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
       telemetry::CountedSpan update_span(telemetry::Category::kUpdate,
                                          "local_analysis",
                                          phases.comp_update_ns,
+                                         &local.update_ns,
                                          static_cast<std::int32_t>(l));
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       // N−k degradation: the analysis runs on the surviving members with
@@ -814,9 +1052,42 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   if (helper_error) std::rethrow_exception(helper_error);
 
   phases.messages.add(helper_messages);
+  local.messages.add(helper_messages);
+  if (ctx.monitor.enabled) {
+    parcomm::Packer done_marker;
+    done_marker.put<std::uint64_t>(kSampleDone);
+    done_marker.put<std::uint64_t>(static_cast<std::uint64_t>(my_rank));
+    world.send(0, kTelemetryTag, done_marker.take());
+  }
+
+  // Run-end aggregation leg: this rank's per-run numbers join the
+  // binomial reduce toward rank 0.  The cancellation predicate keeps the
+  // receive legs from stalling on a peer that unwound instead of sending.
+  const auto finish_telemetry = [&] {
+    telemetry::MetricsSnapshot mine;
+    telemetry::RankSample sample;
+    sample.rank = my_rank;
+    sample.is_io = 0;
+    sample.wait_s = static_cast<double>(local.wait_ns.value()) / 1e9;
+    sample.update_s = static_cast<double>(local.update_ns.value()) / 1e9;
+    sample.messages = local.messages.value();
+    sample.retries = local.retries.value();
+    sample.backlog_peak = backlog_peak;
+    mine.ranks.push_back(sample);
+    mine.add_counter("senkf.rank.wait_ns", local.wait_ns.value());
+    mine.add_counter("senkf.rank.update_ns", local.update_ns.value());
+    mine.add_counter("senkf.rank.messages", local.messages.value());
+    mine.add_counter("senkf.rank.retries", local.retries.value());
+    mine.observe_gauge("senkf.rank.backlog_peak",
+                       static_cast<std::int64_t>(backlog_peak));
+    return parcomm::reduce_snapshots(
+        world, kTelemetryReduceTag, std::move(mine),
+        [&ctx] { return ctx.run_failed.load(std::memory_order_relaxed); });
+  };
 
   if (world.rank() != 0) {
     world.send(0, kResultTag, results.take());
+    (void)finish_telemetry();
     return;
   }
 
@@ -835,7 +1106,10 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
     fields.push_back(pfs::with_retry(
         config.fault.retry, pfs::op_key(member, ~std::uint64_t{0}), sleeper,
         [&] { return store.load_member(member); },
-        [&](int) { phases.read_retries.add(1); }));
+        [&](int) {
+          phases.read_retries.add(1);
+          local.retries.add(1);
+        }));
   }
   // Result payloads are consumed in place: each patch becomes a view
   // inserted straight into the member's field, no intermediate Patch.
@@ -855,6 +1129,21 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   }
   *result_out = std::move(fields);
   *dropped_out = dropped;
+
+  // Every rank's done marker is in flight before its result payload, so
+  // the monitor drains promptly; join it before the reduce so
+  // ctx.totals is complete when senkf() reads it.
+  if (monitor.joinable()) monitor.join();
+  if (monitor_error) {
+    try {
+      std::rethrow_exception(monitor_error);
+    } catch (const std::exception& error) {
+      SENKF_LOG_WARN("senkf: in-band monitor failed: ", error.what());
+    } catch (...) {
+      SENKF_LOG_WARN("senkf: in-band monitor failed");
+    }
+  }
+  ctx.aggregate = finish_telemetry();
 }
 
 }  // namespace
@@ -890,10 +1179,23 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
   std::vector<grid::Field> result;
   std::vector<Index> dropped;
 
-  // The facade is a per-run delta over the process-wide phase counters,
-  // so callers keep the familiar SenkfStats struct while every number now
-  // comes from the same telemetry the trace export shows.
-  const PhaseCounters::Values before = PhaseCounters::get().values();
+  // Observability plane state shared by every rank thread of this run.
+  // SENKF_SKEW_WARN overrides the configured straggler threshold
+  // (a positive ratio, or "off"/"0"/"false" to disable the monitor).
+  ObservabilityContext ctx;
+  ctx.monitor = config.monitor;
+  if (const char* env = std::getenv("SENKF_SKEW_WARN")) {
+    const std::string value(env);
+    if (value == "off" || value == "0" || value == "false") {
+      ctx.monitor.enabled = false;
+    } else if (!value.empty()) {
+      char* end = nullptr;
+      const double ratio = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() && ratio > 0.0) {
+        ctx.monitor.skew_warn_ratio = ratio;
+      }
+    }
+  }
 
   // When drop_unreadable_members is off, the failing io rank broadcasts
   // an abort before throwing PermanentReadError, so computation ranks
@@ -907,29 +1209,122 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
     parcomm::Runtime::run(
         static_cast<int>(config.total_ranks()),
         [&](parcomm::Communicator& world) {
-          if (layout.is_io(world.rank())) {
-            try {
-              run_io_rank(world, layout, decomposition, store, config);
-            } catch (const pfs::PermanentReadError&) {
-              const std::lock_guard<std::mutex> lock(abort_mutex);
-              if (!abort_error) abort_error = std::current_exception();
-              throw;
+          // Any unwinding rank flips run_failed first, so peers blocked
+          // in observability receives (monitor loop, reduce tree) give up
+          // within one poll interval instead of the mailbox deadline.
+          try {
+            if (layout.is_io(world.rank())) {
+              try {
+                run_io_rank(world, layout, decomposition, store, config, ctx);
+              } catch (const pfs::PermanentReadError&) {
+                const std::lock_guard<std::mutex> lock(abort_mutex);
+                if (!abort_error) abort_error = std::current_exception();
+                throw;
+              }
+            } else {
+              run_comp_rank(world, layout, decomposition, store, observations,
+                            perturbed, config, ctx, &result, &dropped);
             }
-          } else {
-            run_comp_rank(world, layout, decomposition, store, observations,
-                          perturbed, config, &result, &dropped);
+          } catch (...) {
+            ctx.run_failed.store(true, std::memory_order_relaxed);
+            throw;
           }
         });
   } catch (...) {
+    // Flush-on-fault: a failed run still writes its (partial) trace and
+    // report — often the only evidence of what went wrong.
+    telemetry::flush_exports(/*partial=*/true);
     if (abort_error) std::rethrow_exception(abort_error);
     throw;
   }
 
   SENKF_REQUIRE(!result.empty(), "senkf: no result produced");
+
+  // Everything below derives from the run's own aggregate, never from
+  // process-cumulative counters.
+  telemetry::MetricsSnapshot& agg = ctx.aggregate;
+  agg.sort_ranks();
+  const auto seconds = [&agg](const char* name) {
+    return static_cast<double>(agg.counter(name)) / 1e9;
+  };
+  const double io_read_s = seconds("senkf.rank.read_ns");
+  const double io_send_s = seconds("senkf.rank.send_ns");
+  const double comp_wait_s = seconds("senkf.rank.wait_ns");
+  const double comp_update_s = seconds("senkf.rank.update_ns");
+
+  const telemetry::SkewStats run_skew = telemetry::read_skew(agg.ranks);
+  const std::uint64_t backlog_peak = telemetry::drain_backlog_peak(agg.ranks);
+  auto& registry = telemetry::Registry::global();
+  registry.gauge("senkf.skew.read").set(ratio_milli(run_skew.ratio));
+  registry.gauge("senkf.backlog.peak")
+      .set(static_cast<std::int64_t>(backlog_peak));
+
+  // Measured vs model (eqs. (7)–(9)) in the model's native
+  // normalization: read/comm per I/O rank per stage, comp per
+  // computation rank per stage (the fig09 convention).
+  const double io_norm =
+      static_cast<double>(config.io_ranks() * config.layers);
+  const double comp_norm =
+      static_cast<double>(config.computation_ranks() * config.layers);
+  tuning::CostModelParams mp;
+  mp.members = static_cast<std::uint64_t>(store.members());
+  mp.nx = static_cast<std::uint64_t>(store.grid().nx());
+  mp.ny = static_cast<std::uint64_t>(store.grid().ny());
+  vcluster::SenkfParams params;
+  params.n_sdx = static_cast<std::uint64_t>(config.n_sdx);
+  params.n_sdy = static_cast<std::uint64_t>(config.n_sdy);
+  params.layers = static_cast<std::uint64_t>(config.layers);
+  params.n_cg = static_cast<std::uint64_t>(config.n_cg);
+  const tuning::PhaseDrift drift = tuning::record_model_drift(
+      tuning::CostModel(mp), params, io_read_s / io_norm,
+      io_send_s / io_norm, comp_update_s / comp_norm);
+
   if (stats != nullptr) {
-    *stats = stats_between(before, PhaseCounters::get().values());
+    stats->io_read_seconds = io_read_s;
+    stats->io_send_seconds = io_send_s;
+    stats->comp_wait_seconds = comp_wait_s;
+    stats->comp_update_seconds = comp_update_s;
+    stats->messages = agg.counter("senkf.rank.messages");
+    stats->read_retries = agg.counter("senkf.rank.retries");
+    stats->bars_reissued = agg.counter("senkf.rank.reissued");
     stats->dropped_members = dropped;
+    stats->straggler_warns = ctx.totals.warns;
+    stats->read_skew = run_skew.ratio;
+    stats->ranks = agg.ranks;
   }
+
+  // Machine-readable run report (SENKF_REPORT=<path> arms the export).
+  telemetry::RunReport report;
+  report.kind = "senkf";
+  const auto config_entry = [&report](const char* key, auto value) {
+    report.config.emplace_back(key, std::to_string(value));
+  };
+  config_entry("n_sdx", config.n_sdx);
+  config_entry("n_sdy", config.n_sdy);
+  config_entry("layers", config.layers);
+  config_entry("n_cg", config.n_cg);
+  config_entry("analysis_threads", config.analysis_threads);
+  config_entry("members", store.members());
+  config_entry("monitor_enabled",
+               static_cast<int>(ctx.monitor.enabled));
+  config_entry("skew_warn_ratio", ctx.monitor.skew_warn_ratio);
+  report.phases = {{"io_read_s", io_read_s},
+                   {"io_send_s", io_send_s},
+                   {"comp_wait_s", comp_wait_s},
+                   {"comp_update_s", comp_update_s}};
+  report.drift = {{"read", drift.read},
+                  {"comm", drift.comm},
+                  {"comp", drift.comp}};
+  report.skew = {{"read.ratio", run_skew.ratio},
+                 {"read.max_s", run_skew.max_s},
+                 {"read.mean_s", run_skew.mean_s},
+                 {"stage.worst_ratio", ctx.totals.worst_stage_ratio},
+                 {"group.worst_ratio", ctx.totals.worst_group_ratio}};
+  report.straggler_warns = ctx.totals.warns;
+  report.dropped_members.assign(dropped.begin(), dropped.end());
+  report.aggregate = std::move(ctx.aggregate);
+  telemetry::set_run_report(std::move(report));
+
   return result;
 }
 

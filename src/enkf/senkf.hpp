@@ -25,6 +25,7 @@
 
 #include "enkf/serial_enkf.hpp"
 #include "pfs/faults.hpp"
+#include "telemetry/aggregate.hpp"
 
 namespace senkf::enkf {
 
@@ -50,6 +51,24 @@ struct FaultToleranceOptions {
   bool drop_unreadable_members = true;
 };
 
+/// Cross-rank observability plane (DESIGN.md §11).  When enabled, every
+/// rank ships per-stage phase samples to rank 0 over a dedicated tag;
+/// rank 0's in-band monitor computes per-stage read skew across I/O
+/// ranks and concurrent groups, publishing `senkf.skew.*` /
+/// `senkf.straggler.*` gauges and WARN-logging stragglers while the run
+/// executes.  At run end all ranks' snapshots reduce to rank 0 along a
+/// binomial tree; SenkfStats and the SENKF_REPORT run report are derived
+/// from that aggregate.
+struct MonitorOptions {
+  bool enabled = true;
+  /// WARN when a stage's slowest bar acquisition exceeds this multiple
+  /// of the stage mean (env override: SENKF_SKEW_WARN=<ratio>|off).
+  double skew_warn_ratio = 2.0;
+  /// Ignore stages whose slowest acquisition is below this absolute
+  /// time — μs-scale in-memory reads always jitter past any ratio.
+  double min_warn_seconds = 1e-3;
+};
+
 struct SenkfConfig {
   Index n_sdx = 1;
   Index n_sdy = 1;
@@ -64,6 +83,7 @@ struct SenkfConfig {
   Index analysis_threads = 0;
   AnalysisOptions analysis;
   FaultToleranceOptions fault;
+  MonitorOptions monitor;
 
   Index computation_ranks() const { return n_sdx * n_sdy; }
   Index io_ranks() const { return n_cg * n_sdy; }
@@ -72,16 +92,18 @@ struct SenkfConfig {
 
 /// Per-run instrumentation (numeric-plane analogue of Fig. 9's phases).
 ///
-/// A facade over src/telemetry: every field is the per-run delta of the
-/// `senkf.*` phase counters the pipeline's CountedSpans feed, so these
-/// numbers agree with the SENKF_TRACE span export by construction.  Times
-/// are summed across ranks.  `comp_update_seconds` sums the execution
-/// time of each analysis task on whichever pool thread ran it — with
-/// `analysis_threads > 1` it can exceed a rank's wall-clock (work ran
-/// concurrently), and `comp_wait_seconds` is main-thread blocking only,
-/// so the two no longer double-count overlapped intervals.  Derivation
-/// assumes senkf() runs are not concurrent within one process (each run
-/// owns the whole virtual cluster, so they never are).
+/// Every field is derived from the run's own cross-rank aggregation:
+/// each rank accumulates its phase times into rank-local counters
+/// (clock-identical to the global `senkf.*` counters — CountedSpan feeds
+/// both from one clock pair) and the per-rank samples reduce to rank 0
+/// at run end.  Because the numbers are per-run by construction,
+/// back-to-back runs in one process never inherit each other's totals,
+/// and a Registry::reset() between runs cannot skew them.
+/// `comp_update_seconds` sums the execution time of each analysis task
+/// on whichever pool thread ran it — with `analysis_threads > 1` it can
+/// exceed a rank's wall-clock (work ran concurrently), and
+/// `comp_wait_seconds` is main-thread blocking only, so the two never
+/// double-count overlapped intervals.
 struct SenkfStats {
   double io_read_seconds = 0.0;    ///< wall time I/O ranks spent reading
   double io_send_seconds = 0.0;    ///< wall time I/O ranks spent sending
@@ -94,6 +116,13 @@ struct SenkfStats {
   /// (sorted); the returned ensemble holds the surviving members in
   /// member order.
   std::vector<Index> dropped_members;
+  /// Straggler WARNs the in-band monitor raised during this run.
+  std::uint64_t straggler_warns = 0;
+  /// Whole-run bar-acquisition skew across I/O ranks (slowest / mean;
+  /// 1 = perfectly balanced, 0 = no I/O samples).
+  double read_skew = 0.0;
+  /// Per-rank phase samples (sorted by rank) from the aggregation tree.
+  std::vector<telemetry::RankSample> ranks;
 };
 
 /// Runs S-EnKF on C₁ + C₂ thread-backed ranks; returns the analysis

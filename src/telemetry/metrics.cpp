@@ -145,6 +145,33 @@ std::string Registry::snapshot() const {
   return out.str();
 }
 
+std::vector<MetricRow> Registry::rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricRow> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricRow row;
+    row.name = name;
+    if (entry.counter) {
+      row.kind = MetricRow::Kind::kCounter;
+      row.counter = entry.counter->value();
+    } else if (entry.gauge) {
+      row.kind = MetricRow::Kind::kGauge;
+      row.gauge = entry.gauge->value();
+    } else if (entry.histogram) {
+      row.kind = MetricRow::Kind::kHistogram;
+      row.bounds = entry.histogram->bounds();
+      row.buckets = entry.histogram->bucket_counts();
+      row.count = entry.histogram->count();
+      row.sum = entry.histogram->sum();
+    } else {
+      continue;
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, entry] : entries_) {

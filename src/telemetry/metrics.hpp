@@ -68,6 +68,20 @@ class Histogram {
 std::vector<double> exponential_bounds(double first, double factor,
                                        std::size_t count);
 
+/// One registered metric with its current values, for exporters that
+/// iterate the whole registry (run report, aggregation snapshots).
+struct MetricRow {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;
+  std::int64_t gauge = 0;
+  std::vector<double> bounds;            ///< histogram only
+  std::vector<std::uint64_t> buckets;    ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;               ///< histogram only
+  double sum = 0.0;                      ///< histogram only
+};
+
 class Registry {
  public:
   /// The process-wide registry every instrumented plane reports into.
@@ -86,6 +100,11 @@ class Registry {
 
   /// Human-readable dump, one line per metric, sorted by name.
   std::string snapshot() const;
+
+  /// Every registered metric with its current values, sorted by name.
+  /// Values are read without stopping writers, so concurrent updates may
+  /// land between rows — fine for exports, not a consistent cut.
+  std::vector<MetricRow> rows() const;
 
   /// Zeroes every registered metric (keeps registrations).
   void reset();

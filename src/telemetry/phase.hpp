@@ -16,9 +16,21 @@ class CountedSpan {
       : counter_(ns_counter), name_(name), start_ns_(now_ns()),
         stage_(stage), category_(category), traced_(tracing_enabled()) {}
 
+  /// Same interval additionally accumulated into a rank-local counter
+  /// (the aggregation plane's per-rank samples, DESIGN.md §11), so the
+  /// global and per-rank views stay clock-identical.
+  CountedSpan(Category category, const char* name, Counter& ns_counter,
+              Counter* local_ns, std::int32_t stage = -1)
+      : counter_(ns_counter), local_(local_ns), name_(name),
+        start_ns_(now_ns()), stage_(stage), category_(category),
+        traced_(tracing_enabled()) {}
+
   ~CountedSpan() {
     const std::int64_t end_ns = now_ns();
     counter_.add(static_cast<std::uint64_t>(end_ns - start_ns_));
+    if (local_ != nullptr) {
+      local_->add(static_cast<std::uint64_t>(end_ns - start_ns_));
+    }
     if (traced_) {
       TraceEvent event;
       event.name = name_;
@@ -37,6 +49,7 @@ class CountedSpan {
 
  private:
   Counter& counter_;
+  Counter* local_ = nullptr;
   const char* name_;
   std::int64_t start_ns_;
   std::int32_t stage_;

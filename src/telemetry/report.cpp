@@ -1,0 +1,229 @@
+#include "telemetry/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+#include "telemetry/json_writer.hpp"
+#include "telemetry/trace.hpp"
+
+namespace senkf::telemetry {
+
+namespace {
+
+std::mutex g_report_mutex;
+
+RunReport& global_report() {
+  static RunReport* report = new RunReport();  // leaked: read at atexit
+  return *report;
+}
+
+// Mirrors trace.cpp's EnvInit: parse once before main(), export via
+// atexit so any binary gets a report with zero code changes.
+struct EnvInit {
+  EnvInit() {
+    const ReportEnvConfig config = parse_report_env(std::getenv("SENKF_REPORT"));
+    export_path = config.export_path;
+    if (!export_path.empty()) {
+      std::atexit([] {
+        const std::string& path = report_export_path();
+        try {
+          write_run_report(path);
+          std::cerr << "[senkf report] wrote " << path << "\n";
+        } catch (const std::exception& e) {
+          std::cerr << "[senkf report] export failed: " << e.what() << "\n";
+        }
+      });
+    }
+  }
+  std::string export_path;
+};
+
+EnvInit& env_init() {
+  static EnvInit* init = new EnvInit();  // leaked: read by the atexit export
+  return *init;
+}
+
+const bool g_env_applied = (env_init(), true);
+
+void write_gauge_stat(JsonWriter& json, const GaugeStat& g) {
+  json.begin_object()
+      .field("min", g.min)
+      .field("max", g.max)
+      .field("mean", g.mean())
+      .field("sum", g.sum)
+      .field("sumsq", g.sumsq)
+      .field("count", g.count)
+      .end_object();
+}
+
+void write_histogram_state(JsonWriter& json, const HistogramState& h) {
+  json.begin_object();
+  json.key("bounds").begin_array();
+  for (const double b : h.bounds) json.value(b);
+  json.end_array();
+  json.key("buckets").begin_array();
+  for (const std::uint64_t b : h.buckets) json.value(b);
+  json.end_array();
+  json.field("count", h.count).field("sum", h.sum).end_object();
+}
+
+void write_snapshot(JsonWriter& json, const MetricsSnapshot& snapshot) {
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, v] : snapshot.counters) json.field(name, v);
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, g] : snapshot.gauges) {
+    json.key(name);
+    write_gauge_stat(json, g);
+  }
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    json.key(name);
+    write_histogram_state(json, h);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void write_rank_sample(JsonWriter& json, const RankSample& r) {
+  json.begin_object()
+      .field("rank", r.rank)
+      .field("is_io", r.is_io != 0)
+      .field("group", r.group)
+      .field("read_s", r.read_s)
+      .field("obtain_s", r.obtain_s)
+      .field("send_s", r.send_s)
+      .field("wait_s", r.wait_s)
+      .field("update_s", r.update_s)
+      .field("messages", r.messages)
+      .field("retries", r.retries)
+      .field("reissued", r.reissued)
+      .field("backlog_peak", r.backlog_peak)
+      .end_object();
+}
+
+}  // namespace
+
+void set_run_report(RunReport report) {
+  report.valid = true;
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  global_report() = std::move(report);
+}
+
+void mark_run_partial() {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  global_report().partial = true;
+}
+
+RunReport run_report_copy() {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  return global_report();
+}
+
+void write_run_report(std::ostream& out) {
+  const RunReport report = run_report_copy();
+
+  JsonWriter json(out);
+  json.begin_object()
+      .field("schema", "senkf-run-report")
+      .field("version", RunReport::kVersion)
+      .field("partial", report.partial);
+
+  json.key("run").begin_object();
+  json.field("kind", report.kind).field("valid", report.valid);
+  json.key("config").begin_object();
+  for (const auto& [key, value] : report.config) json.field(key, value);
+  json.end_object();
+  json.key("phases").begin_object();
+  for (const auto& [name, seconds] : report.phases) json.field(name, seconds);
+  json.end_object();
+  json.key("drift").begin_object();
+  for (const auto& [name, rel] : report.drift) json.field(name, rel);
+  json.end_object();
+  json.key("skew").begin_object();
+  for (const auto& [name, v] : report.skew) json.field(name, v);
+  json.end_object();
+  json.field("straggler_warns", report.straggler_warns);
+  json.key("dropped_members").begin_array();
+  for (const std::uint64_t m : report.dropped_members) json.value(m);
+  json.end_array();
+  json.key("ranks").begin_array();
+  for (const RankSample& r : report.aggregate.ranks) {
+    write_rank_sample(json, r);
+  }
+  json.end_array();
+  json.key("aggregate");
+  write_snapshot(json, report.aggregate);
+  json.end_object();  // run
+
+  // Whole-registry dump at write time: includes planes outside the run
+  // (parcomm, pfs faults, kernels) and survives even when no run
+  // populated the report.
+  json.key("metrics");
+  const MetricsSnapshot registry = MetricsSnapshot::capture(Registry::global());
+  write_snapshot(json, registry);
+
+  // Convenience view for fault triage: the failure counters in one spot.
+  json.key("faults").begin_object();
+  for (const auto& [name, v] : registry.counters) {
+    if (name.rfind("pfs.fault.", 0) == 0 || name.rfind("senkf.read.", 0) == 0 ||
+        name == "senkf.member.dropped" || name == "senkf.straggler.warns") {
+      json.field(name, v);
+    }
+  }
+  json.end_object();
+
+  json.end_object();
+}
+
+void write_run_report(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    throw std::runtime_error("write_run_report: cannot open " + path);
+  }
+  write_run_report(file);
+  file << "\n";
+  if (!file) {
+    throw std::runtime_error("write_run_report: short write to " + path);
+  }
+}
+
+ReportEnvConfig parse_report_env(const char* value) {
+  ReportEnvConfig config;
+  const std::string v = value == nullptr ? "" : value;
+  if (v.empty() || v == "off" || v == "0" || v == "false") return config;
+  config.export_path =
+      (v == "on" || v == "1" || v == "true") ? "senkf_report.json" : v;
+  return config;
+}
+
+const std::string& report_export_path() { return env_init().export_path; }
+
+void flush_exports(bool partial) noexcept {
+  if (partial) mark_run_partial();
+  try {
+    const std::string& trace_path = trace_export_path();
+    if (!trace_path.empty()) {
+      write_chrome_trace(trace_path);
+      std::cerr << "[senkf trace] wrote partial " << trace_path << "\n";
+    }
+  } catch (...) {
+    // Losing the trace must not mask the run's own failure.
+  }
+  try {
+    const std::string& path = report_export_path();
+    if (!path.empty()) {
+      write_run_report(path);
+      std::cerr << "[senkf report] wrote partial " << path << "\n";
+    }
+  } catch (...) {
+  }
+}
+
+}  // namespace senkf::telemetry

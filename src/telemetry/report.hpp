@@ -1,0 +1,75 @@
+// Versioned machine-readable run reports (DESIGN.md §11).
+//
+// A run (senkf/penkf/lenkf) populates the process-global RunReport with
+// its config, per-rank samples, cross-rank aggregate, phase breakdown,
+// model drift and skew summary.  `SENKF_REPORT=<path>` arms an atexit
+// export of that state as JSON (schema "senkf-run-report" v1); the fault
+// path calls flush_exports() so an aborting run still leaves a partial
+// report + trace on disk before the exception unwinds past atexit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/aggregate.hpp"
+
+namespace senkf::telemetry {
+
+struct RunReport {
+  /// Bumped when the JSON layout changes incompatibly.
+  static constexpr int kVersion = 1;
+
+  std::string kind;     ///< "senkf", "penkf", "lenkf", ...
+  bool valid = false;   ///< a run populated this report
+  bool partial = false; ///< the run aborted; numbers cover the prefix
+  /// Ordered config key/value pairs (stringified; order preserved).
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Phase name -> seconds (whole-run totals across ranks).
+  std::map<std::string, double> phases;
+  /// "read"/"comm"/"comp" -> relative error vs tuning::CostModel.
+  std::map<std::string, double> drift;
+  /// Skew summary ("read.ratio", "group.ratio", ...).
+  std::map<std::string, double> skew;
+  std::uint64_t straggler_warns = 0;
+  std::vector<std::uint64_t> dropped_members;
+  /// Cross-rank aggregate: per-rank samples + merged counters/gauges/
+  /// histograms from the reduction tree.
+  MetricsSnapshot aggregate;
+};
+
+/// Replaces the process-global report (the last run wins).
+void set_run_report(RunReport report);
+
+/// Marks the global report partial without touching its data; called on
+/// the fault path before flush_exports().
+void mark_run_partial();
+
+/// Copy of the current global report (tests, examples).
+RunReport run_report_copy();
+
+/// Writes schema "senkf-run-report" v1: the global RunReport plus a dump
+/// of every metric currently in the registry.
+void write_run_report(std::ostream& out);
+void write_run_report(const std::string& path);
+
+/// Parsed form of the SENKF_REPORT environment value (exposed for tests).
+struct ReportEnvConfig {
+  std::string export_path;  ///< empty = no export at exit
+};
+ReportEnvConfig parse_report_env(const char* value);
+
+/// Path the process will export the report to at exit ("" = none).
+const std::string& report_export_path();
+
+/// Immediately writes the armed exports (trace and report, if their env
+/// paths are set), marking the report partial first when `partial`.
+/// Never throws: a failed run must not lose its root cause to an export
+/// error.  Used by the fault-abort path; safe to call more than once
+/// (atexit simply rewrites with fuller data on a clean exit).
+void flush_exports(bool partial = true) noexcept;
+
+}  // namespace senkf::telemetry

@@ -12,6 +12,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "telemetry/json_writer.hpp"
+
 namespace senkf::telemetry {
 
 namespace {
@@ -77,25 +79,6 @@ void append(ThreadBuffer& buffer, const TraceEvent& event) {
   const std::size_t index = chunk->count.load(std::memory_order_relaxed);
   chunk->events[index] = event;
   chunk->count.store(index + 1, std::memory_order_release);
-}
-
-void json_escape(std::ostream& out, const char* s) {
-  for (; *s != '\0'; ++s) {
-    switch (*s) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      default:
-        if (static_cast<unsigned char>(*s) < 0x20) {
-          out << ' ';
-        } else {
-          out << *s;
-        }
-    }
-  }
 }
 
 // SENKF_TRACE is applied before main() and the export (if any) runs via
@@ -237,36 +220,40 @@ void write_chrome_trace(std::ostream& out) {
   std::sort(ranks.begin(), ranks.end());
   ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
 
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
+  JsonWriter json(out);
+  json.begin_object().field("displayTimeUnit", "ms");
+  json.key("traceEvents").begin_array();
   // Process-name metadata: one Perfetto row per rank (pid = rank + 1,
   // so the unattributed rank -1 lands on pid 0).
   for (const std::int32_t rank : ranks) {
-    if (!first) out << ",";
-    first = false;
-    out << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << (rank + 1)
-        << ",\"tid\":0,\"args\":{\"name\":\""
-        << (rank < 0 ? std::string("unattributed")
-                     : "rank " + std::to_string(rank))
-        << "\"}}";
+    json.begin_object()
+        .field("ph", "M")
+        .field("name", "process_name")
+        .field("pid", rank + 1)
+        .field("tid", 0);
+    json.key("args").begin_object();
+    json.field("name", rank < 0 ? std::string("unattributed")
+                                : "rank " + std::to_string(rank));
+    json.end_object().end_object();
   }
   for (const auto& [event, tid] : events) {
-    if (!first) out << ",";
-    first = false;
     const double ts_us = static_cast<double>(event.t_start_ns) / 1e3;
     const double dur_us =
         static_cast<double>(event.t_end_ns - event.t_start_ns) / 1e3;
-    out << "{\"ph\":\"X\",\"name\":\"";
-    json_escape(out, event.name);
-    out << "\",\"cat\":\"" << category_name(event.category)
-        << "\",\"ts\":" << ts_us << ",\"dur\":" << dur_us
-        << ",\"pid\":" << (event.rank + 1) << ",\"tid\":" << tid;
+    json.begin_object()
+        .field("ph", "X")
+        .field("name", event.name)
+        .field("cat", category_name(event.category))
+        .field("ts", ts_us)
+        .field("dur", dur_us)
+        .field("pid", event.rank + 1)
+        .field("tid", tid);
     if (event.stage >= 0) {
-      out << ",\"args\":{\"stage\":" << event.stage << "}";
+      json.key("args").begin_object().field("stage", event.stage).end_object();
     }
-    out << "}";
+    json.end_object();
   }
-  out << "]}";
+  json.end_array().end_object();
 }
 
 void write_chrome_trace(const std::string& path) {

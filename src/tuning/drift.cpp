@@ -1,0 +1,53 @@
+#include "tuning/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/metrics.hpp"
+
+namespace senkf::tuning {
+
+namespace {
+
+double rel_drift(double measured, double predicted) {
+  if (predicted <= 0.0) return 0.0;
+  return (measured - predicted) / predicted;
+}
+
+std::int64_t to_milli(double rel) {
+  const double clamped = std::clamp(rel * 1e3, -1e9, 1e9);
+  return static_cast<std::int64_t>(std::llround(clamped));
+}
+
+}  // namespace
+
+PhaseDrift model_drift(const CostModel& model, const vcluster::SenkfParams& p,
+                       double measured_read_s, double measured_comm_s,
+                       double measured_comp_s) {
+  PhaseDrift drift;
+  drift.measured_read_s = measured_read_s;
+  drift.measured_comm_s = measured_comm_s;
+  drift.measured_comp_s = measured_comp_s;
+  drift.predicted_read_s = model.t_read(p);
+  drift.predicted_comm_s = model.t_comm(p);
+  drift.predicted_comp_s = model.t_comp(p);
+  drift.read = rel_drift(measured_read_s, drift.predicted_read_s);
+  drift.comm = rel_drift(measured_comm_s, drift.predicted_comm_s);
+  drift.comp = rel_drift(measured_comp_s, drift.predicted_comp_s);
+  return drift;
+}
+
+PhaseDrift record_model_drift(const CostModel& model,
+                              const vcluster::SenkfParams& p,
+                              double measured_read_s, double measured_comm_s,
+                              double measured_comp_s) {
+  const PhaseDrift drift = model_drift(model, p, measured_read_s,
+                                       measured_comm_s, measured_comp_s);
+  auto& registry = telemetry::Registry::global();
+  registry.gauge("model.drift.read").set(to_milli(drift.read));
+  registry.gauge("model.drift.comm").set(to_milli(drift.comm));
+  registry.gauge("model.drift.comp").set(to_milli(drift.comp));
+  return drift;
+}
+
+}  // namespace senkf::tuning

@@ -1,0 +1,275 @@
+// Cross-rank observability acceptance gate (DESIGN.md §11).
+//
+//  * SenkfStats derives from the run's own aggregation tree: aggregated
+//    phase totals equal the sum of the per-rank samples, and back-to-back
+//    runs (even across a Registry::reset) never inherit totals;
+//  * the SENKF_REPORT writer emits schema-valid JSON whose run section
+//    matches the stats facade;
+//  * model.drift.* gauges are populated after every run;
+//  * an injected straggler delay raises senkf.straggler.* WARNs, and
+//    SENKF_SKEW_WARN=off silences the monitor;
+//  * the aggregation survives an injected-faulty PFS (SENKF_FAULTS).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "enkf/faulty_store.hpp"
+#include "enkf/senkf.hpp"
+#include "grid/synthetic.hpp"
+#include "obs/perturbed.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "../telemetry/test_json.hpp"
+
+namespace senkf::enkf {
+namespace {
+
+struct World {
+  grid::LatLonGrid g{24, 12};
+  grid::SyntheticEnsemble scenario;
+  obs::ObservationSet observations;
+  linalg::Matrix ys;
+  MemoryEnsembleStore store;
+
+  explicit World(std::uint64_t seed, Index members = 6, Index stations = 50)
+      : scenario(make_scenario(g, members, seed)),
+        observations(make_obs(g, scenario.truth, seed, stations)),
+        ys(obs::perturbed_observations(observations, members,
+                                       senkf::Rng(seed + 5))),
+        store(g, scenario.members) {}
+
+  static grid::SyntheticEnsemble make_scenario(const grid::LatLonGrid& g,
+                                               Index members,
+                                               std::uint64_t seed) {
+    senkf::Rng rng(seed);
+    return grid::synthetic_ensemble(g, members, rng, 0.5);
+  }
+  static obs::ObservationSet make_obs(const grid::LatLonGrid& g,
+                                      const grid::Field& truth,
+                                      std::uint64_t seed, Index stations) {
+    senkf::Rng rng(seed + 1);
+    obs::NetworkOptions opt;
+    opt.station_count = stations;
+    opt.error_std = 0.05;
+    return obs::random_network(g, truth, rng, opt);
+  }
+};
+
+SenkfConfig senkf_config(Index layers = 3, Index n_cg = 2) {
+  SenkfConfig c;
+  c.n_sdx = 4;
+  c.n_sdy = 2;
+  c.layers = layers;
+  c.n_cg = n_cg;
+  c.analysis.halo = grid::Halo{2, 1};
+  return c;
+}
+
+double sum_over_ranks(const std::vector<telemetry::RankSample>& ranks,
+                      double telemetry::RankSample::* field) {
+  return std::accumulate(ranks.begin(), ranks.end(), 0.0,
+                         [field](double acc, const telemetry::RankSample& r) {
+                           return acc + r.*field;
+                         });
+}
+
+TEST(Observability, AggregatedTotalsEqualSumOfPerRankSamples) {
+  const World w(41);
+  const SenkfConfig config = senkf_config();
+  SenkfStats stats;
+  const auto result = senkf(w.store, w.observations, w.ys, config, &stats);
+  ASSERT_EQ(result.size(), 6u);
+
+  // Every rank contributed exactly one sample, sorted by rank id.
+  ASSERT_EQ(stats.ranks.size(), config.total_ranks());
+  for (std::size_t i = 0; i < stats.ranks.size(); ++i) {
+    EXPECT_EQ(stats.ranks[i].rank, static_cast<std::int32_t>(i));
+    const bool is_io = i >= config.computation_ranks();
+    EXPECT_EQ(stats.ranks[i].is_io != 0, is_io) << "rank " << i;
+    if (is_io) EXPECT_GE(stats.ranks[i].group, 0);
+  }
+
+  // The facade's totals are the per-rank sums — the aggregation-tree
+  // counter and the concatenated samples are two views of one number.
+  EXPECT_NEAR(sum_over_ranks(stats.ranks, &telemetry::RankSample::read_s),
+              stats.io_read_seconds, 1e-9);
+  EXPECT_NEAR(sum_over_ranks(stats.ranks, &telemetry::RankSample::send_s),
+              stats.io_send_seconds, 1e-9);
+  EXPECT_NEAR(sum_over_ranks(stats.ranks, &telemetry::RankSample::wait_s),
+              stats.comp_wait_seconds, 1e-9);
+  EXPECT_NEAR(sum_over_ranks(stats.ranks, &telemetry::RankSample::update_s),
+              stats.comp_update_seconds, 1e-9);
+  std::uint64_t messages = 0;
+  for (const auto& r : stats.ranks) messages += r.messages;
+  EXPECT_EQ(messages, stats.messages);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_GT(stats.io_read_seconds, 0.0);
+  EXPECT_GT(stats.comp_update_seconds, 0.0);
+  EXPECT_GE(stats.read_skew, 1.0);  // balanced in-memory reads, no faults
+  EXPECT_EQ(stats.straggler_warns, 0u);
+
+  // Each I/O rank contributed one per-stage acquisition observation.
+  const telemetry::RunReport report = telemetry::run_report_copy();
+  ASSERT_TRUE(report.valid);
+  EXPECT_EQ(report.kind, "senkf");
+  const auto hist = report.aggregate.histograms.find("senkf.rank.stage_obtain_us");
+  ASSERT_NE(hist, report.aggregate.histograms.end());
+  EXPECT_EQ(hist->second.count,
+            static_cast<std::uint64_t>(config.io_ranks() * config.layers));
+}
+
+TEST(Observability, RunReportJsonMatchesTheAggregate) {
+  const World w(42);
+  SenkfStats stats;
+  (void)senkf(w.store, w.observations, w.ys, senkf_config(), &stats);
+
+  std::ostringstream out;
+  telemetry::write_run_report(out);
+  const testjson::Value doc = testjson::parse(out.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "senkf-run-report");
+  EXPECT_DOUBLE_EQ(doc.at("version").as_number(),
+                   telemetry::RunReport::kVersion);
+  const testjson::Value& run = doc.at("run");
+  EXPECT_EQ(run.at("kind").as_string(), "senkf");
+  EXPECT_TRUE(run.at("valid").as_bool());
+  EXPECT_EQ(run.at("config").at("layers").as_string(), "3");
+
+  // Acceptance invariant, asserted on the exported JSON itself: the
+  // aggregated phase totals equal the sum over the per-rank samples.
+  const auto& ranks = run.at("ranks").as_array();
+  ASSERT_EQ(ranks.size(), senkf_config().total_ranks());
+  double read_sum = 0.0;
+  double update_sum = 0.0;
+  for (const auto& r : ranks) {
+    read_sum += r.at("read_s").as_number();
+    update_sum += r.at("update_s").as_number();
+  }
+  EXPECT_NEAR(read_sum, run.at("phases").at("io_read_s").as_number(), 1e-9);
+  EXPECT_NEAR(update_sum, run.at("phases").at("comp_update_s").as_number(),
+              1e-9);
+  EXPECT_NEAR(run.at("phases").at("io_read_s").as_number(),
+              stats.io_read_seconds, 1e-12);
+
+  // Drift section mirrors the gauges (milli-units in the registry).
+  EXPECT_TRUE(run.at("drift").has("read"));
+  EXPECT_TRUE(run.at("drift").has("comm"));
+  EXPECT_TRUE(run.at("drift").has("comp"));
+  EXPECT_TRUE(doc.at("metrics").at("counters").has("senkf.io_read_ns"));
+}
+
+TEST(Observability, ModelDriftGaugesArePopulated) {
+  const World w(43);
+  (void)senkf(w.store, w.observations, w.ys, senkf_config());
+
+  // The uncalibrated model cannot match an in-memory run: every phase
+  // drifts, and the gauges publish the relative error in milli-units.
+  auto& registry = telemetry::Registry::global();
+  EXPECT_NE(registry.gauge_value("model.drift.read"), 0);
+  EXPECT_NE(registry.gauge_value("model.drift.comm"), 0);
+  EXPECT_NE(registry.gauge_value("model.drift.comp"), 0);
+  const telemetry::RunReport report = telemetry::run_report_copy();
+  EXPECT_NE(report.drift.at("read"), 0.0);
+  EXPECT_NE(report.drift.at("comm"), 0.0);
+  EXPECT_NE(report.drift.at("comp"), 0.0);
+}
+
+TEST(Observability, InjectedStragglerRaisesWarns) {
+  const World w(44);
+  // I/O rank ordinal 0 pays 20 ms per bar read; its per-stage
+  // acquisition dwarfs the in-memory peers, so every stage trips the
+  // default 2x-of-mean threshold.
+  const FaultyEnsembleStore faulty(
+      w.store, pfs::parse_fault_plan("straggler=0:0.02"));
+  const std::uint64_t warns_before =
+      telemetry::Registry::global().counter_value("senkf.straggler.warns");
+  SenkfStats stats;
+  (void)senkf(faulty, w.observations, w.ys, senkf_config(2, 2), &stats);
+
+  EXPECT_GE(stats.straggler_warns, 1u);
+  EXPECT_GT(stats.read_skew, 2.0);
+  EXPECT_GT(telemetry::Registry::global().counter_value(
+                "senkf.straggler.warns"),
+            warns_before);
+  EXPECT_GT(telemetry::Registry::global().gauge_value("senkf.skew.stage_read"),
+            1000);  // worst per-stage ratio > 1.0 (milli-units)
+  const telemetry::RunReport report = telemetry::run_report_copy();
+  EXPECT_GE(report.straggler_warns, 1u);
+  EXPECT_GT(report.skew.at("stage.worst_ratio"), 2.0);
+}
+
+TEST(Observability, SkewWarnEnvOffDisablesTheMonitor) {
+  const World w(45);
+  const FaultyEnsembleStore faulty(
+      w.store, pfs::parse_fault_plan("straggler=0:0.02"));
+  ::setenv("SENKF_SKEW_WARN", "off", 1);
+  SenkfStats stats;
+  (void)senkf(faulty, w.observations, w.ys, senkf_config(2, 2), &stats);
+  ::unsetenv("SENKF_SKEW_WARN");
+  EXPECT_EQ(stats.straggler_warns, 0u);
+  // The aggregation tree still ran: per-rank samples and totals arrive
+  // even with the live monitor off.
+  EXPECT_EQ(stats.ranks.size(), senkf_config(2, 2).total_ranks());
+  EXPECT_GT(stats.read_skew, 2.0);
+}
+
+TEST(Observability, BackToBackRunsDoNotInheritTotals) {
+  const World w(46);
+  const SenkfConfig config = senkf_config();
+  SenkfStats first;
+  (void)senkf(w.store, w.observations, w.ys, config, &first);
+  SenkfStats second;
+  (void)senkf(w.store, w.observations, w.ys, config, &second);
+
+  // Identical workload: the second run's counts must match the first,
+  // not accumulate process-cumulative totals (the old facade diffed
+  // global counters and double-counted after any missed baseline).
+  EXPECT_EQ(second.messages, first.messages);
+  EXPECT_EQ(second.read_retries, 0u);
+  EXPECT_GT(second.io_read_seconds, 0.0);
+  EXPECT_LT(second.io_read_seconds, first.io_read_seconds * 50.0);
+
+  // A registry reset between runs (a monitoring scrape rotating
+  // counters) must not skew the per-run numbers either.
+  telemetry::Registry::global().reset();
+  SenkfStats third;
+  (void)senkf(w.store, w.observations, w.ys, config, &third);
+  EXPECT_EQ(third.messages, first.messages);
+  EXPECT_EQ(third.ranks.size(), config.total_ranks());
+  EXPECT_GT(third.io_read_seconds, 0.0);
+}
+
+TEST(Observability, AggregationSurvivesInjectedFaults) {
+  const World w(47);
+  ::setenv("SENKF_FAULTS", "seed=4,transient=0.3,burst=1", 1);
+  const auto plan = pfs::fault_plan_from_env();
+  ::unsetenv("SENKF_FAULTS");
+  ASSERT_TRUE(plan.has_value());
+  const FaultyEnsembleStore faulty(w.store, *plan);
+  SenkfStats stats;
+  const auto result =
+      senkf(faulty, w.observations, w.ys, senkf_config(), &stats);
+  ASSERT_EQ(result.size(), 6u);
+
+  EXPECT_GT(stats.read_retries, 0u);
+  std::uint64_t retries = 0;
+  for (const auto& r : stats.ranks) retries += r.retries;
+  EXPECT_EQ(retries, stats.read_retries);
+  ASSERT_EQ(stats.ranks.size(), senkf_config().total_ranks());
+}
+
+TEST(Observability, MonitorOffInConfigStillAggregates) {
+  const World w(48);
+  SenkfConfig config = senkf_config();
+  config.monitor.enabled = false;
+  SenkfStats stats;
+  (void)senkf(w.store, w.observations, w.ys, config, &stats);
+  EXPECT_EQ(stats.straggler_warns, 0u);
+  EXPECT_EQ(stats.ranks.size(), config.total_ranks());
+  EXPECT_GT(stats.messages, 0u);
+}
+
+}  // namespace
+}  // namespace senkf::enkf

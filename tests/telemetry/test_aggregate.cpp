@@ -1,0 +1,378 @@
+// Merge-operator and wire-codec units for the cross-rank aggregation
+// plane (DESIGN.md §11): counters add, gauges keep distribution stats,
+// histograms add bucketwise, rank samples concatenate; encode/decode is
+// an exact round trip and rejects truncated payloads.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "telemetry/aggregate.hpp"
+#include "telemetry/json_writer.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "test_json.hpp"
+
+namespace senkf::telemetry {
+namespace {
+
+TEST(GaugeStatTest, ObserveTracksDistribution) {
+  GaugeStat stat;
+  stat.observe(4);
+  stat.observe(-2);
+  stat.observe(10);
+  EXPECT_EQ(stat.min, -2);
+  EXPECT_EQ(stat.max, 10);
+  EXPECT_EQ(stat.count, 3u);
+  EXPECT_DOUBLE_EQ(stat.sum, 12.0);
+  EXPECT_DOUBLE_EQ(stat.sumsq, 16.0 + 4.0 + 100.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 4.0);
+}
+
+TEST(GaugeStatTest, MergeWithEmptyIsIdentityBothWays) {
+  GaugeStat a;
+  a.observe(7);
+  GaugeStat empty;
+  GaugeStat left = a;
+  left.merge(empty);
+  EXPECT_EQ(left.min, 7);
+  EXPECT_EQ(left.max, 7);
+  EXPECT_EQ(left.count, 1u);
+  GaugeStat right = empty;
+  right.merge(a);
+  EXPECT_EQ(right.min, 7);
+  EXPECT_EQ(right.max, 7);
+  EXPECT_EQ(right.count, 1u);
+  EXPECT_DOUBLE_EQ(right.mean(), 7.0);
+}
+
+TEST(GaugeStatTest, MergeCombinesExtremaAndMoments) {
+  GaugeStat a;
+  a.observe(1);
+  a.observe(3);
+  GaugeStat b;
+  b.observe(-5);
+  b.observe(9);
+  a.merge(b);
+  EXPECT_EQ(a.min, -5);
+  EXPECT_EQ(a.max, 9);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_DOUBLE_EQ(a.sum, 8.0);
+  EXPECT_DOUBLE_EQ(a.sumsq, 1.0 + 9.0 + 25.0 + 81.0);
+}
+
+TEST(HistogramStateTest, MergeAddsBucketwise) {
+  const std::vector<double> bounds{1.0, 10.0};
+  HistogramState a;
+  a.bounds = bounds;
+  a.buckets.assign(bounds.size() + 1, 0);
+  a.observe(0.5);
+  a.observe(5.0);
+  HistogramState b;
+  b.bounds = bounds;
+  b.buckets.assign(bounds.size() + 1, 0);
+  b.observe(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.buckets, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(a.sum, 105.5);
+}
+
+TEST(HistogramStateTest, MergeRejectsMismatchedBounds) {
+  HistogramState a;
+  a.bounds = {1.0, 2.0};
+  a.buckets.assign(3, 0);
+  a.observe(1.5);
+  HistogramState b;
+  b.bounds = {1.0, 3.0};
+  b.buckets.assign(3, 0);
+  b.observe(1.5);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(SnapshotTest, MergeAddsCountersAndConcatenatesRanks) {
+  MetricsSnapshot a;
+  a.add_counter("x", 3);
+  a.add_counter("only_a", 1);
+  RankSample ra;
+  ra.rank = 1;
+  a.ranks.push_back(ra);
+
+  MetricsSnapshot b;
+  b.add_counter("x", 4);
+  b.add_counter("only_b", 2);
+  RankSample rb;
+  rb.rank = 0;
+  b.ranks.push_back(rb);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("x"), 7u);
+  EXPECT_EQ(a.counter("only_a"), 1u);
+  EXPECT_EQ(a.counter("only_b"), 2u);
+  EXPECT_EQ(a.counter("missing"), 0u);
+  ASSERT_EQ(a.ranks.size(), 2u);
+  a.sort_ranks();
+  EXPECT_EQ(a.ranks[0].rank, 0);
+  EXPECT_EQ(a.ranks[1].rank, 1);
+}
+
+TEST(SnapshotTest, MergeWithEmptySnapshotIsIdentity) {
+  MetricsSnapshot a;
+  a.add_counter("x", 3);
+  a.observe_gauge("g", 5);
+  MetricsSnapshot empty;
+  a.merge(empty);
+  EXPECT_EQ(a.counter("x"), 3u);
+  EXPECT_EQ(a.gauges.at("g").count, 1u);
+
+  MetricsSnapshot other = empty;
+  other.merge(a);
+  EXPECT_EQ(other.counter("x"), 3u);
+  EXPECT_EQ(other.gauges.at("g").count, 1u);
+}
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot s;
+  s.add_counter("senkf.rank.read_ns", 1234567);
+  s.add_counter("messages", 42);
+  s.observe_gauge("backlog", 3);
+  s.observe_gauge("backlog", -1);
+  s.observe_histogram("lat_us", {10.0, 100.0, 1000.0}, 55.0);
+  s.observe_histogram("lat_us", {10.0, 100.0, 1000.0}, 5000.0);
+  RankSample r;
+  r.rank = 7;
+  r.is_io = 1;
+  r.group = 2;
+  r.read_s = 0.25;
+  r.obtain_s = 0.5;
+  r.send_s = 0.125;
+  r.wait_s = 0.0;
+  r.update_s = 0.0;
+  r.messages = 9;
+  r.retries = 1;
+  r.reissued = 2;
+  r.backlog_peak = 4;
+  s.ranks.push_back(r);
+  return s;
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTripsEveryKind) {
+  const MetricsSnapshot s = sample_snapshot();
+  const std::vector<std::byte> wire = s.encode();
+  const MetricsSnapshot back = MetricsSnapshot::decode(wire);
+
+  EXPECT_EQ(back.counters, s.counters);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_EQ(back.gauges.at("backlog").min, -1);
+  EXPECT_EQ(back.gauges.at("backlog").max, 3);
+  EXPECT_EQ(back.gauges.at("backlog").count, 2u);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms.at("lat_us").bounds,
+            (std::vector<double>{10.0, 100.0, 1000.0}));
+  EXPECT_EQ(back.histograms.at("lat_us").buckets,
+            (std::vector<std::uint64_t>{0, 1, 0, 1}));
+  ASSERT_EQ(back.ranks.size(), 1u);
+  EXPECT_EQ(back.ranks[0].rank, 7);
+  EXPECT_EQ(back.ranks[0].is_io, 1);
+  EXPECT_EQ(back.ranks[0].group, 2);
+  EXPECT_DOUBLE_EQ(back.ranks[0].obtain_s, 0.5);
+  EXPECT_EQ(back.ranks[0].reissued, 2u);
+  EXPECT_EQ(back.ranks[0].backlog_peak, 4u);
+}
+
+TEST(SnapshotTest, DecodeRejectsTruncatedPayloads) {
+  const std::vector<std::byte> wire = sample_snapshot().encode();
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                wire.size() / 2, wire.size() - 1}) {
+    EXPECT_THROW((void)MetricsSnapshot::decode(wire.data(), cut),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotTest, CaptureDeltaSubtractsBaselineSaturating) {
+  Registry registry;
+  registry.counter("c").add(10);
+  registry.gauge("g").set(5);
+  const MetricsSnapshot baseline = MetricsSnapshot::capture(registry);
+  EXPECT_EQ(baseline.counter("c"), 10u);
+
+  registry.counter("c").add(7);
+  registry.gauge("g").set(-3);
+  const MetricsSnapshot delta =
+      MetricsSnapshot::capture_delta(registry, baseline);
+  EXPECT_EQ(delta.counter("c"), 7u);
+  // Gauges are levels: the delta keeps the current value.
+  EXPECT_EQ(delta.gauges.at("g").max, -3);
+
+  // A reset between captures saturates at zero instead of wrapping.
+  registry.reset();
+  registry.counter("c").add(2);
+  const MetricsSnapshot after_reset =
+      MetricsSnapshot::capture_delta(registry, baseline);
+  EXPECT_EQ(after_reset.counter("c"), 0u);
+}
+
+TEST(SnapshotTest, ConcurrentObserversAndCaptureAreRaceFree) {
+  // Exercised under -DSENKF_SANITIZE=thread in CI: writers hammer the
+  // registry while captures run; values only need to be sane, not a
+  // consistent cut.
+  Registry registry;
+  registry.counter("warm");  // pre-register so lookups contend too
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 2000; ++i) {
+        registry.counter("warm").add(1);
+        registry.gauge("level").set(i);
+        registry.histogram("h_us", {10.0, 100.0}).observe(i % 200);
+      }
+    });
+  }
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = MetricsSnapshot::capture(registry);
+    EXPECT_GE(snap.counter("warm"), last);
+    last = snap.counter("warm");
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot final_snap = MetricsSnapshot::capture(registry);
+  EXPECT_EQ(final_snap.counter("warm"), 8000u);
+  EXPECT_EQ(final_snap.histograms.at("h_us").count, 8000u);
+}
+
+RankSample io_sample(std::int32_t rank, std::int32_t group, double obtain_s) {
+  RankSample r;
+  r.rank = rank;
+  r.is_io = 1;
+  r.group = group;
+  r.obtain_s = obtain_s;
+  return r;
+}
+
+TEST(SkewTest, ReadSkewFindsTheStraggler) {
+  std::vector<RankSample> ranks{io_sample(4, 0, 1.0), io_sample(5, 0, 1.0),
+                                io_sample(6, 1, 4.0)};
+  RankSample comp;  // computation samples never enter read skew
+  comp.rank = 0;
+  comp.obtain_s = 100.0;
+  ranks.push_back(comp);
+
+  const SkewStats skew = read_skew(ranks);
+  EXPECT_EQ(skew.samples, 3u);
+  EXPECT_DOUBLE_EQ(skew.max_s, 4.0);
+  EXPECT_DOUBLE_EQ(skew.mean_s, 2.0);
+  EXPECT_DOUBLE_EQ(skew.ratio, 2.0);
+  EXPECT_EQ(skew.max_rank, 6);
+
+  const SkewStats group = group_read_skew(ranks);
+  EXPECT_EQ(group.samples, 2u);
+  EXPECT_DOUBLE_EQ(group.max_s, 4.0);
+  EXPECT_EQ(group.max_rank, 1);  // slowest *group* id
+}
+
+TEST(SkewTest, EmptyAndSingleRankAreWellDefined) {
+  EXPECT_DOUBLE_EQ(read_skew({}).ratio, 0.0);
+  EXPECT_EQ(read_skew({}).samples, 0u);
+  const std::vector<RankSample> one{io_sample(3, 0, 2.0)};
+  const SkewStats skew = read_skew(one);
+  EXPECT_DOUBLE_EQ(skew.ratio, 1.0);
+  EXPECT_EQ(skew.max_rank, 3);
+  EXPECT_EQ(drain_backlog_peak({}), 0u);
+}
+
+TEST(SkewTest, DrainBacklogPeakIsTheMaxOverCompRanks) {
+  std::vector<RankSample> ranks;
+  RankSample a;
+  a.rank = 0;
+  a.backlog_peak = 2;
+  RankSample b;
+  b.rank = 1;
+  b.backlog_peak = 5;
+  ranks.push_back(a);
+  ranks.push_back(b);
+  EXPECT_EQ(drain_backlog_peak(ranks), 5u);
+}
+
+TEST(JsonWriterTest, WritesEscapedNestedDocuments) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.begin_object();
+    json.key("name").value("line1\nline2\t\"q\"\\");
+    json.key("nums").begin_array();
+    json.value(std::int64_t{-3});
+    json.value(std::uint64_t{18446744073709551615ull});
+    json.value(0.5);
+    json.end_array();
+    json.key("flag").value(true);
+    json.key("nested").begin_object().key("k").value("v").end_object();
+    json.end_object();
+  }
+  const testjson::Value doc = testjson::parse(out.str());
+  EXPECT_EQ(doc.at("name").as_string(), "line1\nline2\t\"q\"\\");
+  ASSERT_EQ(doc.at("nums").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("nums").as_array()[0].as_number(), -3.0);
+  EXPECT_DOUBLE_EQ(doc.at("nums").as_array()[2].as_number(), 0.5);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_EQ(doc.at("nested").at("k").as_string(), "v");
+}
+
+TEST(ReportTest, ParseReportEnv) {
+  EXPECT_EQ(parse_report_env(nullptr).export_path, "");
+  EXPECT_EQ(parse_report_env("").export_path, "");
+  EXPECT_EQ(parse_report_env("off").export_path, "");
+  EXPECT_EQ(parse_report_env("0").export_path, "");
+  EXPECT_EQ(parse_report_env("false").export_path, "");
+  EXPECT_EQ(parse_report_env("on").export_path, "senkf_report.json");
+  EXPECT_EQ(parse_report_env("1").export_path, "senkf_report.json");
+  EXPECT_EQ(parse_report_env("true").export_path, "senkf_report.json");
+  EXPECT_EQ(parse_report_env("/tmp/x.json").export_path, "/tmp/x.json");
+}
+
+TEST(ReportTest, WriteRunReportEmitsSchemaValidJson) {
+  RunReport report;
+  report.kind = "senkf";
+  report.config.emplace_back("layers", "3");
+  report.phases["io_read_s"] = 0.5;
+  report.drift["read"] = 0.25;
+  report.skew["read.ratio"] = 1.5;
+  report.straggler_warns = 2;
+  report.dropped_members = {4};
+  report.aggregate = sample_snapshot();
+  set_run_report(report);
+
+  std::ostringstream out;
+  write_run_report(out);
+  const testjson::Value doc = testjson::parse(out.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "senkf-run-report");
+  EXPECT_DOUBLE_EQ(doc.at("version").as_number(), RunReport::kVersion);
+  EXPECT_FALSE(doc.at("partial").as_bool());
+  const testjson::Value& run = doc.at("run");
+  EXPECT_EQ(run.at("kind").as_string(), "senkf");
+  EXPECT_TRUE(run.at("valid").as_bool());
+  EXPECT_EQ(run.at("config").at("layers").as_string(), "3");
+  EXPECT_DOUBLE_EQ(run.at("phases").at("io_read_s").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(run.at("drift").at("read").as_number(), 0.25);
+  EXPECT_DOUBLE_EQ(run.at("straggler_warns").as_number(), 2.0);
+  ASSERT_EQ(run.at("ranks").as_array().size(), 1u);
+  EXPECT_DOUBLE_EQ(run.at("ranks").as_array()[0].at("rank").as_number(), 7.0);
+  const testjson::Value& agg = run.at("aggregate");
+  EXPECT_DOUBLE_EQ(agg.at("counters").at("messages").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(agg.at("gauges").at("backlog").at("max").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.at("histograms").at("lat_us").at("count").as_number(),
+                   2.0);
+  EXPECT_TRUE(doc.has("metrics"));
+  EXPECT_TRUE(doc.has("faults"));
+
+  mark_run_partial();
+  std::ostringstream partial_out;
+  write_run_report(partial_out);
+  EXPECT_TRUE(
+      testjson::parse(partial_out.str()).at("partial").as_bool());
+}
+
+}  // namespace
+}  // namespace senkf::telemetry
