@@ -84,12 +84,12 @@ AnalysisResult detail_deterministic_transform(
   }
 
   // Ensemble-space system: (N−1)I + Ỹᵀ R⁻¹ Ỹ.
-  linalg::Matrix rinv_y = y_tilde;
+  linalg::Vector rinv(local.size());
   for (Index r = 0; r < local.size(); ++r) {
-    const double rinv = 1.0 / local.r_diagonal()[r];
-    auto row_values = rinv_y.row(r);
-    for (double& v : row_values) v *= rinv;
+    rinv[r] = 1.0 / local.r_diagonal()[r];
   }
+  linalg::Matrix rinv_y = y_tilde;
+  linalg::row_scale(rinv, rinv_y);
   linalg::Matrix system = linalg::multiply_at_b(y_tilde, rinv_y);
   for (Index k = 0; k < n_members; ++k) system(k, k) += scale;
 
@@ -205,25 +205,18 @@ AnalysisResult local_analysis(std::span<const grid::PatchView> background,
   const linalg::Matrix& h = local.h();
   const linalg::Vector& r_diag = local.r_diagonal();
   const Index m_bar = local.size();
+  linalg::Vector rinv(m_bar);
+  for (Index row = 0; row < m_bar; ++row) rinv[row] = 1.0 / r_diag[row];
   linalg::Matrix rinv_h = h;
-  for (Index row = 0; row < m_bar; ++row) {
-    const double rinv = 1.0 / r_diag[row];
-    auto values = rinv_h.row(row);
-    for (double& v : values) v *= rinv;
-  }
+  linalg::row_scale(rinv, rinv_h);
   const linalg::Matrix ht_rinv_h = linalg::multiply_at_b(h, rinv_h);
   linalg::axpy(1.0, ht_rinv_h, system);
 
-  // Innovations D = Yˢ − H X̄ᵇ, then RHS = Hᵀ R⁻¹ D.
+  // Weighted innovations R⁻¹(Yˢ − H X̄ᵇ) in one fused pass, then
+  // RHS = Hᵀ R⁻¹ D.
   const linalg::Matrix local_ys = local.select_rows(perturbed);
-  linalg::Matrix innovations = linalg::multiply(h, xb);
-  linalg::scale(innovations, -1.0);
-  linalg::axpy(1.0, local_ys, innovations);
-  for (Index row = 0; row < m_bar; ++row) {
-    const double rinv = 1.0 / r_diag[row];
-    auto values = innovations.row(row);
-    for (double& v : values) v *= rinv;
-  }
+  const linalg::Matrix innovations =
+      linalg::weighted_residual(local_ys, linalg::multiply(h, xb), rinv);
   const linalg::Matrix rhs = linalg::multiply_at_b(h, innovations);
 
   // δX = (B̂⁻¹ + Hᵀ R⁻¹ H)⁻¹ · RHS via Cholesky; Xᵃ = X̄ᵇ + δX.

@@ -1,41 +1,61 @@
 #include "linalg/cholesky.hpp"
 
 #include <cmath>
+#include <string>
+
+#include "linalg/kernels/dispatch.hpp"
 
 namespace senkf::linalg {
+
+namespace {
+
+// The standalone triangular solves promise NumericError on a zero
+// diagonal; the kernels divide unconditionally (factors from potrf are
+// always positive), so check up front.
+void require_nonzero_diagonal(const Matrix& l, const char* who) {
+  for (Index i = 0; i < l.rows(); ++i) {
+    if (l(i, i) == 0.0) {
+      throw NumericError(std::string(who) + ": zero diagonal");
+    }
+  }
+}
+
+}  // namespace
 
 CholeskyFactor::CholeskyFactor(const Matrix& a) {
   SENKF_REQUIRE(a.square(), "Cholesky: matrix must be square");
   const Index n = a.rows();
+  // Copy the lower triangle (upper stays zero) and factor in place with
+  // the blocked, ISA-dispatched potrf kernel.
   l_ = Matrix(n, n, 0.0);
-  for (Index j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (Index k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
-    if (!(diag > 0.0)) {
-      throw NumericError("Cholesky: matrix is not positive definite (pivot " +
-                         std::to_string(j) + ")");
-    }
-    const double ljj = std::sqrt(diag);
-    l_(j, j) = ljj;
-    for (Index i = j + 1; i < n; ++i) {
-      double sum = a(i, j);
-      for (Index k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
-      l_(i, j) = sum / ljj;
-    }
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j <= i; ++j) l_(i, j) = a(i, j);
+  }
+  const std::ptrdiff_t pivot =
+      kernels::active_kernels().potrf(n, l_.data(), l_.stride());
+  if (pivot >= 0) {
+    throw NumericError("Cholesky: matrix is not positive definite (pivot " +
+                       std::to_string(pivot) + ")");
   }
 }
 
 Vector CholeskyFactor::solve(const Vector& b) const {
   SENKF_REQUIRE(b.size() == dim(), "Cholesky::solve: length mismatch");
-  return solve_lower_transposed(l_, solve_lower(l_, b));
+  Vector x = b;
+  const auto& table = kernels::active_kernels();
+  table.trsm_lln(dim(), 1, l_.data(), l_.stride(), x.data(), 1);
+  table.trsm_llt(dim(), 1, l_.data(), l_.stride(), x.data(), 1);
+  return x;
 }
 
 Matrix CholeskyFactor::solve(const Matrix& b) const {
   SENKF_REQUIRE(b.rows() == dim(), "Cholesky::solve: row mismatch");
-  Matrix x(b.rows(), b.cols());
-  for (Index j = 0; j < b.cols(); ++j) {
-    x.set_column(j, solve(b.column(j)));
-  }
+  Matrix x = b;
+  const auto& table = kernels::active_kernels();
+  table.trsm_lln(dim(), x.cols(), l_.data(), l_.stride(), x.data(),
+                 x.stride());
+  table.trsm_llt(dim(), x.cols(), l_.data(), l_.stride(), x.data(),
+                 x.stride());
   return x;
 }
 
@@ -52,31 +72,20 @@ Matrix CholeskyFactor::inverse() const {
 Vector solve_lower(const Matrix& l, const Vector& b) {
   SENKF_REQUIRE(l.square() && l.rows() == b.size(),
                 "solve_lower: shape mismatch");
-  const Index n = b.size();
-  Vector y(n);
-  for (Index i = 0; i < n; ++i) {
-    double sum = b[i];
-    const double* li = l.data() + i * n;
-    for (Index k = 0; k < i; ++k) sum -= li[k] * y[k];
-    if (li[i] == 0.0) throw NumericError("solve_lower: zero diagonal");
-    y[i] = sum / li[i];
-  }
+  require_nonzero_diagonal(l, "solve_lower");
+  Vector y = b;
+  kernels::active_kernels().trsm_lln(l.rows(), 1, l.data(), l.stride(),
+                                     y.data(), 1);
   return y;
 }
 
 Vector solve_lower_transposed(const Matrix& l, const Vector& y) {
   SENKF_REQUIRE(l.square() && l.rows() == y.size(),
                 "solve_lower_transposed: shape mismatch");
-  const Index n = y.size();
-  Vector x(n);
-  for (Index ip = n; ip-- > 0;) {
-    double sum = y[ip];
-    for (Index k = ip + 1; k < n; ++k) sum -= l(k, ip) * x[k];
-    if (l(ip, ip) == 0.0) {
-      throw NumericError("solve_lower_transposed: zero diagonal");
-    }
-    x[ip] = sum / l(ip, ip);
-  }
+  require_nonzero_diagonal(l, "solve_lower_transposed");
+  Vector x = y;
+  kernels::active_kernels().trsm_llt(l.rows(), 1, l.data(), l.stride(),
+                                     x.data(), 1);
   return x;
 }
 

@@ -2,15 +2,21 @@
 //
 // Selection order:
 //   1. `SENKF_KERNEL=scalar` forces the portable kernels (testing / triage);
-//   2. `SENKF_KERNEL=avx2` requests the AVX2 kernels, falling back to
-//      scalar with a warning when the binary or the CPU lacks them — so a
-//      test matrix that always sets both values stays green on any host;
-//   3. unset / `auto`: AVX2 when compiled in and the CPU reports
-//      AVX2+FMA, scalar otherwise.
+//   2. `SENKF_KERNEL=avx2|avx512|neon` requests that ISA's kernels,
+//      falling back to scalar with a warning when the binary or the CPU
+//      lacks them — so a test matrix that always sets every value stays
+//      green on any host;
+//   3. unset / `auto`: the widest usable ISA — AVX-512, then AVX2, then
+//      NEON, then scalar.
 //
-// `active_kernels()` caches the decision on first use; `resolve_kernels`
-// is the pure resolution step, exposed so tests can exercise every branch
-// in one process without re-execing.
+// `active_kernels()` caches the decision on first use and records it in
+// the metrics registry exactly once per process: the
+// `kernels.dispatch.<name>` counter marks which table won and the
+// `kernels.active` gauge holds its vector width in doubles (1 = scalar,
+// 2 = neon, 4 = avx2, 8 = avx512), so run reports carry the resolved
+// ISA.  `resolve_kernels` is the pure resolution step — no counters —
+// exposed so tests can exercise every branch in one process without
+// re-execing or perturbing the accounting.
 #pragma once
 
 #include "linalg/kernels/kernels.hpp"
@@ -20,16 +26,23 @@ namespace senkf::linalg::kernels {
 /// True when the running CPU reports AVX2 and FMA.
 bool cpu_supports_avx2();
 
+/// True when the running CPU reports AVX-512 F and DQ.
+bool cpu_supports_avx512();
+
+/// True when the running CPU has NEON (always, on aarch64 builds).
+bool cpu_supports_neon();
+
 /// Resolves a requested implementation name (nullptr or "auto" = pick the
-/// best available).  Unknown names throw InvalidArgument so typos in
+/// widest available).  Unknown names throw InvalidArgument so typos in
 /// SENKF_KERNEL fail loudly instead of silently benchmarking the wrong
-/// kernels.
+/// kernels.  Pure: never touches the metrics registry.
 const KernelTable& resolve_kernels(const char* requested);
 
 /// The process-wide kernel table: resolve_kernels($SENKF_KERNEL), cached
 /// on first call.  Every linalg entry point routes through this, so all
 /// EnKF variants in a process use the same kernels (a precondition for
-/// their bit-identical-analysis guarantee).
+/// their bit-identical-analysis guarantee).  Padded Matrix allocation
+/// derives its stride from this table's width.
 const KernelTable& active_kernels();
 
 }  // namespace senkf::linalg::kernels

@@ -1,34 +1,40 @@
-// Cache-blocked GEMM/GEMV micro-kernels behind runtime ISA dispatch.
+// The multi-ISA kernel plane behind the EnKF analysis hot spots.
 //
 // Following the hmmer `simdvec` layout: every ISA-specific instruction
-// lives in exactly one translation unit per ISA (`gemm_scalar.cpp`,
-// `gemm_avx2.cpp`, compiled with per-file `-mavx2 -mfma`), and callers go
-// through a `KernelTable` of raw-pointer kernels resolved once at startup
-// by CPUID (`dispatch.cpp`).  `ops.cpp` is the only caller; the Matrix /
-// Vector API above it is unchanged, so every EnKF variant picks up the
-// fast kernels with zero call-site churn.
+// lives in exactly one translation unit per ISA (`kernels_scalar.cpp`,
+// `kernels_avx2.cpp`, `kernels_avx512.cpp`, `kernels_neon.cpp`, each
+// compiled with per-file ISA flags), all instantiating the single generic
+// implementation in kernels_impl.hpp over that ISA's vector policy
+// (simdvec.hpp).  Callers go through a `KernelTable` of raw-pointer
+// kernels resolved once at startup by CPUID (`dispatch.cpp`); the
+// Matrix / Vector API above it is unchanged, so every EnKF variant picks
+// up the fast kernels with zero call-site churn.
 //
 // Contract shared by all implementations:
 //   * row-major storage with explicit leading dimensions (lda/ldb/ldc);
-//   * C (or y) is *overwritten*, never accumulated into, and must not
-//     alias A, B or x;
-//   * any dimension may be zero (the output is zero-filled);
-//   * for each output element the reduction over k runs in ascending-k
-//     order in every implementation, so scalar and SIMD kernels agree to
-//     rounding (FMA contraction and lane-split dot reductions are the only
-//     divergence — bounded well below the 1e-12 relative tolerance the
-//     equivalence tests assert).
+//   * GEMM/GEMV outputs are *overwritten*, never accumulated into, and
+//     must not alias the inputs; potrf/trsm operate in place;
+//   * any dimension may be zero (outputs are zero-filled);
+//   * for each output element the k-reduction runs in ascending-k order
+//     in every implementation, so scalar and SIMD kernels agree to
+//     rounding (FMA contraction and lane-split dot reductions are the
+//     only divergence — bounded well below the 1e-12 relative tolerance
+//     the equivalence tests assert);
+//   * padded operands (ld >= padded_stride(n, width), trailing entries
+//     zero — see simdvec.hpp) let kernels skip column edge handling; the
+//     pad-zero invariant is preserved by every kernel.
 #pragma once
 
 #include <cstddef>
 
-namespace senkf::linalg::kernels {
+#include "linalg/kernels/simdvec.hpp"
 
-using Index = std::size_t;
+namespace senkf::linalg::kernels {
 
 /// One ISA's worth of kernels.  All matrices are row-major.
 struct KernelTable {
-  const char* name;  ///< "scalar" or "avx2" (dispatch / test reporting)
+  const char* name;  ///< "scalar", "avx2", "avx512" or "neon"
+  Index width;       ///< vector width in doubles (1, 2, 4 or 8)
 
   /// C(m×n) = A(m×k) · B(k×n).
   void (*gemm_nn)(Index m, Index n, Index k, const double* a, Index lda,
@@ -49,6 +55,46 @@ struct KernelTable {
   /// y(n) = Aᵀ · x(m) with A stored m×n.
   void (*gemv_t)(Index m, Index n, const double* a, Index lda,
                  const double* x, double* y);
+
+  /// Blocked in-place SPD Cholesky: overwrites the lower triangle of
+  /// A(n×n) with L such that A = L·Lᵀ.  Entries above the diagonal are
+  /// neither read nor written.  Returns the index of the first
+  /// non-positive pivot, or -1 on success.
+  std::ptrdiff_t (*potrf)(Index n, double* a, Index lda);
+
+  /// Forward triangular solve: overwrites B(n×nrhs) with X solving
+  /// L·X = B, L lower-triangular with non-zero diagonal (not checked —
+  /// wrappers validate; a zero diagonal yields inf/nan).
+  void (*trsm_lln)(Index n, Index nrhs, const double* l, Index ldl,
+                   double* b, Index ldb);
+
+  /// Backward triangular solve: overwrites B(n×nrhs) with X solving
+  /// Lᵀ·X = B.
+  void (*trsm_llt)(Index n, Index nrhs, const double* l, Index ldl,
+                   double* b, Index ldb);
+
+  /// y[0..n) += alpha · x[0..n) (contiguous).
+  void (*axpy)(Index n, double alpha, const double* x, double* y);
+
+  /// x[0..n) *= alpha (contiguous).
+  void (*scale)(Index n, double alpha, double* x);
+
+  /// Row r of A(m×n, lda) *= d[r] — the R⁻¹ weighting sweep.
+  void (*row_scale)(Index m, Index n, const double* d, double* a, Index lda);
+
+  /// Fused observation-space innovation: out[r][j] = (ys[r][j] −
+  /// hx[r][j]) · rinv[r], i.e. D = R⁻¹(Yˢ − H X̄ᵇ) in one pass.
+  void (*innovation)(Index m, Index n, const double* ys, Index ldy,
+                     const double* hx, Index ldh, const double* rinv,
+                     double* out, Index ldo);
+
+  /// Σ x[i]·y[i] over contiguous spans (ascending-i lane-split sum).
+  double (*dot)(Index n, const double* x, const double* y);
+
+  /// Σ values[s] · x[cols[s]] — the sparse-lower column sweep of the
+  /// modified-Cholesky estimator (indexed gather dot product).
+  double (*gather_dot)(Index nnz, const double* values, const Index* cols,
+                       const double* x);
 };
 
 /// Cache-block sizes shared by every implementation.  The j/k blocking
@@ -58,6 +104,9 @@ struct KernelTable {
 inline constexpr Index kBlockK = 512;
 inline constexpr Index kBlockN = 512;
 
+/// Column-panel width of the blocked Cholesky (left-looking dots).
+inline constexpr Index kPotrfBlock = 64;
+
 /// The portable reference implementation (always available).
 const KernelTable& scalar_kernels();
 
@@ -65,5 +114,12 @@ const KernelTable& scalar_kernels();
 /// without AVX2 support.  Callers must additionally check
 /// `cpu_supports_avx2()` before using it (see dispatch.hpp).
 const KernelTable* avx2_kernels();
+
+/// The AVX-512 (F+DQ) implementation, or nullptr when this binary was
+/// built without AVX-512 support.  Gate on `cpu_supports_avx512()`.
+const KernelTable* avx512_kernels();
+
+/// The NEON (aarch64) implementation, or nullptr on non-ARM builds.
+const KernelTable* neon_kernels();
 
 }  // namespace senkf::linalg::kernels

@@ -1,0 +1,32 @@
+// AVX2+FMA instantiation of the generic kernel plane.  This is the only
+// translation unit in the library that may contain AVX2 instructions;
+// CMake compiles it with per-file `-mavx2 -mfma` (the rest of the build
+// stays at the base ISA so the binary still runs on non-AVX2 hosts —
+// dispatch.cpp checks CPUID before ever calling into this file).  On
+// toolchains/architectures without AVX2 the whole implementation
+// compiles away and avx2_kernels() returns nullptr.
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/simdvec.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include "linalg/kernels/kernels_impl.hpp"
+
+namespace senkf::linalg::kernels {
+
+const KernelTable* avx2_kernels() {
+  static const KernelTable table = impl::make_table<Avx2Ops>("avx2");
+  return &table;
+}
+
+}  // namespace senkf::linalg::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace senkf::linalg::kernels {
+
+const KernelTable* avx2_kernels() { return nullptr; }
+
+}  // namespace senkf::linalg::kernels
+
+#endif

@@ -1,0 +1,31 @@
+// AVX-512 (F+DQ) instantiation of the generic kernel plane — the only
+// translation unit that may contain AVX-512 instructions; CMake compiles
+// it with per-file `-mavx512f -mavx512dq`.  dispatch.cpp checks CPUID
+// before routing here, so the same binary runs on narrower x86 hosts.
+// Without AVX-512 toolchain support the implementation compiles away and
+// avx512_kernels() returns nullptr.
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/simdvec.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include "linalg/kernels/kernels_impl.hpp"
+
+namespace senkf::linalg::kernels {
+
+const KernelTable* avx512_kernels() {
+  static const KernelTable table = impl::make_table<Avx512Ops>("avx512");
+  return &table;
+}
+
+}  // namespace senkf::linalg::kernels
+
+#else  // !(__AVX512F__ && __AVX512DQ__)
+
+namespace senkf::linalg::kernels {
+
+const KernelTable* avx512_kernels() { return nullptr; }
+
+}  // namespace senkf::linalg::kernels
+
+#endif

@@ -1,0 +1,30 @@
+// NEON (aarch64) instantiation of the generic kernel plane — the only
+// translation unit that may contain NEON intrinsics.  On aarch64 NEON is
+// part of the base ISA, so no per-file flags are needed and the table is
+// always usable there; on other architectures the implementation
+// compiles away and neon_kernels() returns nullptr.
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/simdvec.hpp"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include "linalg/kernels/kernels_impl.hpp"
+
+namespace senkf::linalg::kernels {
+
+const KernelTable* neon_kernels() {
+  static const KernelTable table = impl::make_table<NeonOps>("neon");
+  return &table;
+}
+
+}  // namespace senkf::linalg::kernels
+
+#else  // !(__aarch64__ && __ARM_NEON)
+
+namespace senkf::linalg::kernels {
+
+const KernelTable* neon_kernels() { return nullptr; }
+
+}  // namespace senkf::linalg::kernels
+
+#endif

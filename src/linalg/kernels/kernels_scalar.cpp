@@ -1,0 +1,16 @@
+// Portable reference instantiation of the generic kernel plane — the
+// semantics every SIMD table must match and the fallback on hosts
+// without a usable vector ISA.  Compiled at the base ISA (no per-file
+// flags) so the binary runs anywhere.
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/kernels_impl.hpp"
+#include "linalg/kernels/simdvec.hpp"
+
+namespace senkf::linalg::kernels {
+
+const KernelTable& scalar_kernels() {
+  static const KernelTable table = impl::make_table<ScalarOps>("scalar");
+  return table;
+}
+
+}  // namespace senkf::linalg::kernels

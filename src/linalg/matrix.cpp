@@ -1,14 +1,49 @@
 #include "linalg/matrix.hpp"
 
+#include "linalg/kernels/dispatch.hpp"
+#include "linalg/kernels/simdvec.hpp"
+
 namespace senkf::linalg {
 
-Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
-  rows_ = rows.size();
-  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
-  data_.reserve(rows_ * cols_);
+namespace {
+
+// Default leading dimension: cols rounded up to the active kernel
+// table's vector width.  With SENKF_KERNEL=scalar the width is 1 and
+// matrices come out compact, so forcing scalar also reproduces the
+// historical layout exactly.
+Index default_stride(Index cols) {
+  return kernels::padded_stride(cols, kernels::active_kernels().width);
+}
+
+}  // namespace
+
+Matrix::Matrix(Index rows, Index cols, Index stride, double fill)
+    : rows_(rows), cols_(cols), stride_(stride), data_(rows * stride, 0.0) {
+  SENKF_ASSERT(stride_ >= cols_);
+  if (fill != 0.0) {
+    for (Index i = 0; i < rows_; ++i) {
+      double* r = data_.data() + i * stride_;
+      for (Index j = 0; j < cols_; ++j) r[j] = fill;
+    }
+  }
+}
+
+Matrix::Matrix(Index rows, Index cols, double fill)
+    : Matrix(rows, cols, default_stride(cols), fill) {}
+
+Matrix Matrix::compact(Index rows, Index cols, double fill) {
+  return Matrix(rows, cols, /*stride=*/cols, fill);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : Matrix(rows.size(), rows.size() == 0 ? 0 : rows.begin()->size()) {
+  Index i = 0;
   for (const auto& row : rows) {
     SENKF_REQUIRE(row.size() == cols_, "Matrix: ragged initializer list");
-    data_.insert(data_.end(), row.begin(), row.end());
+    double* dst = data_.data() + i * stride_;
+    Index j = 0;
+    for (double v : row) dst[j++] = v;
+    ++i;
   }
 }
 

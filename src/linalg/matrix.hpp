@@ -5,6 +5,17 @@
 // element access in debug builds, plus cheap structural queries.  All
 // numerical routines live in ops.hpp / cholesky.hpp / solve.hpp so the
 // data type stays small.
+//
+// Layout: rows are contiguous, but the leading dimension (`stride()`)
+// may exceed `cols()` — by default allocation rounds it up to the active
+// kernel table's vector width so the SIMD kernels can use full-width
+// loads and stores on every row.  The pad entries (columns cols()..
+// stride()) are zero at construction and every routine in linalg keeps
+// them zero (the "pad-zero invariant" — see kernels/simdvec.hpp), which
+// is what lets kernels read them safely: pad lanes only ever contribute
+// 0·x terms.  Code that needs the historical tightly-packed layout
+// (wire-format staging, external libraries) builds with
+// `Matrix::compact(...)`, which sets stride() == cols().
 #pragma once
 
 #include <cstddef>
@@ -56,15 +67,20 @@ class Vector {
   std::vector<double> data_;
 };
 
-/// Dense row-major matrix of doubles.
+/// Dense row-major matrix of doubles with a padded leading dimension.
 class Matrix {
  public:
   Matrix() = default;
-  Matrix(Index rows, Index cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  Matrix(Index rows, Index cols, double fill = 0.0);
 
   /// Constructs from nested initializer lists (rows of equal width).
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// A matrix with stride() == cols() — no padding.  For consumers that
+  /// require the tightly-packed layout (wire formats, layout-sensitive
+  /// tests).  Kernels handle such operands with scalar remainder loops,
+  /// so results are identical, just slightly slower.
+  static Matrix compact(Index rows, Index cols, double fill = 0.0);
 
   static Matrix identity(Index n);
 
@@ -73,29 +89,32 @@ class Matrix {
 
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
-  bool empty() const { return data_.empty(); }
+  /// Leading dimension: distance in doubles between row starts.
+  Index stride() const { return stride_; }
+  bool is_compact() const { return stride_ == cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
   bool square() const { return rows_ == cols_; }
 
   double& operator()(Index i, Index j) {
     SENKF_ASSERT(i < rows_ && j < cols_);
-    return data_[i * cols_ + j];
+    return data_[i * stride_ + j];
   }
   double operator()(Index i, Index j) const {
     SENKF_ASSERT(i < rows_ && j < cols_);
-    return data_[i * cols_ + j];
+    return data_[i * stride_ + j];
   }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
-  /// Contiguous view of row i.
+  /// Contiguous view of the logical entries of row i (excludes the pad).
   std::span<double> row(Index i) {
     SENKF_ASSERT(i < rows_);
-    return {data_.data() + i * cols_, cols_};
+    return {data_.data() + i * stride_, cols_};
   }
   std::span<const double> row(Index i) const {
     SENKF_ASSERT(i < rows_);
-    return {data_.data() + i * cols_, cols_};
+    return {data_.data() + i * stride_, cols_};
   }
 
   /// Copy of column j (columns are strided in row-major storage).
@@ -104,11 +123,25 @@ class Matrix {
   /// Overwrites column j from a vector of length rows().
   void set_column(Index j, const Vector& values);
 
-  friend bool operator==(const Matrix&, const Matrix&) = default;
+  /// Element-wise equality over the logical rows() x cols() region; the
+  /// operands' strides need not match (a padded and a compact matrix
+  /// holding the same values compare equal).
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+    for (Index i = 0; i < a.rows_; ++i) {
+      for (Index j = 0; j < a.cols_; ++j) {
+        if (a(i, j) != b(i, j)) return false;
+      }
+    }
+    return true;
+  }
 
  private:
+  Matrix(Index rows, Index cols, Index stride, double fill);
+
   Index rows_ = 0;
   Index cols_ = 0;
+  Index stride_ = 0;
   std::vector<double> data_;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/cholesky.hpp"
+#include "linalg/kernels/dispatch.hpp"
 #include "linalg/ops.hpp"
 
 namespace senkf::linalg {
@@ -51,6 +52,11 @@ ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
   result.l = Matrix::identity(n);
   result.d = Vector(n, 0.0);
 
+  // The column sweeps are dots and axpys over ensemble-sized rows, so
+  // they ride the dispatched SIMD kernels.
+  const auto& table = kernels::active_kernels();
+  Vector fitted(ens);
+
   for (Index i = 0; i < n; ++i) {
     const std::vector<Index> pred = predecessors(i);
     for (const Index j : pred) {
@@ -59,8 +65,7 @@ ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
     const auto xi = anomalies.row(i);
 
     if (pred.empty()) {
-      double var = 0.0;
-      for (Index e = 0; e < ens; ++e) var += xi[e] * xi[e];
+      const double var = table.dot(ens, xi.data(), xi.data());
       result.d[i] = std::max(var / denom, ridge + 1e-12);
       continue;
     }
@@ -74,26 +79,23 @@ ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
       const auto za = anomalies.row(pred[a]);
       for (Index b = a; b < p; ++b) {
         const auto zb = anomalies.row(pred[b]);
-        double sum = 0.0;
-        for (Index e = 0; e < ens; ++e) sum += za[e] * zb[e];
+        const double sum = table.dot(ens, za.data(), zb.data());
         gram(a, b) = sum;
         gram(b, a) = sum;
       }
       gram(a, a) += ridge * denom;
-      double sum = 0.0;
-      for (Index e = 0; e < ens; ++e) sum += za[e] * xi[e];
-      rhs[a] = sum;
+      rhs[a] = table.dot(ens, za.data(), xi.data());
     }
     const Vector beta = CholeskyFactor(gram).solve(rhs);
 
-    // Residual variance and the negated coefficients into row i of L.
-    double rss = 0.0;
-    for (Index e = 0; e < ens; ++e) {
-      double fitted = 0.0;
-      for (Index a = 0; a < p; ++a) fitted += beta[a] * anomalies(pred[a], e);
-      const double resid = xi[e] - fitted;
-      rss += resid * resid;
+    // Residual variance and the negated coefficients into row i of L:
+    // fitted = Σ_a beta_a · z_a accumulated by axpy, rss = ‖x_i − fitted‖².
+    std::fill(fitted.begin(), fitted.end(), 0.0);
+    for (Index a = 0; a < p; ++a) {
+      table.axpy(ens, beta[a], anomalies.row(pred[a]).data(), fitted.data());
     }
+    table.axpy(ens, -1.0, xi.data(), fitted.data());
+    const double rss = table.dot(ens, fitted.data(), fitted.data());
     result.d[i] = std::max(rss / denom, ridge + 1e-12);
     for (Index a = 0; a < p; ++a) result.l(i, pred[a]) = -beta[a];
   }

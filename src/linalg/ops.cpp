@@ -24,14 +24,16 @@ void require_same_size(const Vector& a, const Vector& b, const char* who) {
 // startup (linalg/kernels/dispatch.hpp).  No zero-skip branches here: they
 // block vectorization and make the FP summation order data-dependent;
 // sparsity is exploited only where the structure is explicit
-// (sparse_lower.cpp).
+// (sparse_lower.cpp).  Leading dimensions come from Matrix::stride(), so
+// padded operands take the full-width SIMD path and compact ones fall
+// back to scalar remainder loops with identical results.
 
 Matrix multiply(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw ShapeError("multiply: inner dim mismatch");
   Matrix c(a.rows(), b.cols());
   kernels::active_kernels().gemm_nn(a.rows(), b.cols(), a.cols(), a.data(),
-                                    a.cols(), b.data(), b.cols(), c.data(),
-                                    c.cols());
+                                    a.stride(), b.data(), b.stride(),
+                                    c.data(), c.stride());
   return c;
 }
 
@@ -41,8 +43,8 @@ Matrix multiply_at_b(const Matrix& a, const Matrix& b) {
   }
   Matrix c(a.cols(), b.cols());
   kernels::active_kernels().gemm_tn(a.cols(), b.cols(), a.rows(), a.data(),
-                                    a.cols(), b.data(), b.cols(), c.data(),
-                                    c.cols());
+                                    a.stride(), b.data(), b.stride(),
+                                    c.data(), c.stride());
   return c;
 }
 
@@ -52,15 +54,15 @@ Matrix multiply_a_bt(const Matrix& a, const Matrix& b) {
   }
   Matrix c(a.rows(), b.rows());
   kernels::active_kernels().gemm_nt(a.rows(), b.rows(), a.cols(), a.data(),
-                                    a.cols(), b.data(), b.cols(), c.data(),
-                                    c.cols());
+                                    a.stride(), b.data(), b.stride(),
+                                    c.data(), c.stride());
   return c;
 }
 
 Vector multiply(const Matrix& a, const Vector& x) {
   if (a.cols() != x.size()) throw ShapeError("multiply: Ax dim mismatch");
   Vector y(a.rows());
-  kernels::active_kernels().gemv_n(a.rows(), a.cols(), a.data(), a.cols(),
+  kernels::active_kernels().gemv_n(a.rows(), a.cols(), a.data(), a.stride(),
                                    x.data(), y.data());
   return y;
 }
@@ -68,7 +70,7 @@ Vector multiply(const Matrix& a, const Vector& x) {
 Vector multiply_at(const Matrix& a, const Vector& x) {
   if (a.rows() != x.size()) throw ShapeError("multiply_at: dim mismatch");
   Vector y(a.cols());
-  kernels::active_kernels().gemv_t(a.rows(), a.cols(), a.data(), a.cols(),
+  kernels::active_kernels().gemv_t(a.rows(), a.cols(), a.data(), a.stride(),
                                    x.data(), y.data());
   return y;
 }
@@ -83,25 +85,49 @@ Matrix transpose(const Matrix& a) {
 
 void axpy(double alpha, const Matrix& b, Matrix& a) {
   require_same_shape(a, b, "axpy");
-  double* ap = a.data();
-  const double* bp = b.data();
-  const Index n = a.rows() * a.cols();
-  for (Index i = 0; i < n; ++i) ap[i] += alpha * bp[i];
+  const auto& table = kernels::active_kernels();
+  if (a.stride() == b.stride()) {
+    // Same layout: one flat sweep, pad included (both pads are zero, so
+    // a_pad += alpha·0 keeps the pad-zero invariant).
+    table.axpy(a.rows() * a.stride(), alpha, b.data(), a.data());
+    return;
+  }
+  for (Index i = 0; i < a.rows(); ++i) {
+    table.axpy(a.cols(), alpha, b.row(i).data(), a.row(i).data());
+  }
 }
 
 void axpy(double alpha, const Vector& b, Vector& a) {
   require_same_size(a, b, "axpy");
-  for (Index i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+  kernels::active_kernels().axpy(a.size(), alpha, b.data(), a.data());
 }
 
 void scale(Matrix& a, double alpha) {
-  double* ap = a.data();
-  const Index n = a.rows() * a.cols();
-  for (Index i = 0; i < n; ++i) ap[i] *= alpha;
+  // Flat sweep including the pad: alpha·0 = 0 preserves the invariant.
+  kernels::active_kernels().scale(a.rows() * a.stride(), alpha, a.data());
 }
 
 void scale(Vector& a, double alpha) {
-  for (auto& x : a) x *= alpha;
+  kernels::active_kernels().scale(a.size(), alpha, a.data());
+}
+
+void row_scale(const Vector& d, Matrix& a) {
+  if (d.size() != a.rows()) throw ShapeError("row_scale: length mismatch");
+  kernels::active_kernels().row_scale(a.rows(), a.cols(), d.data(), a.data(),
+                                      a.stride());
+}
+
+Matrix weighted_residual(const Matrix& ys, const Matrix& hx,
+                         const Vector& rinv) {
+  require_same_shape(ys, hx, "weighted_residual");
+  if (rinv.size() != ys.rows()) {
+    throw ShapeError("weighted_residual: weight length mismatch");
+  }
+  Matrix out(ys.rows(), ys.cols());
+  kernels::active_kernels().innovation(ys.rows(), ys.cols(), ys.data(),
+                                       ys.stride(), hx.data(), hx.stride(),
+                                       rinv.data(), out.data(), out.stride());
+  return out;
 }
 
 Matrix subtract(const Matrix& a, const Matrix& b) {
@@ -134,29 +160,30 @@ Vector add(const Vector& a, const Vector& b) {
 
 double dot(const Vector& a, const Vector& b) {
   require_same_size(a, b, "dot");
-  double sum = 0.0;
-  for (Index i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return kernels::active_kernels().dot(a.size(), a.data(), b.data());
 }
 
 double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
 
 double norm_frobenius(const Matrix& a) {
+  const auto& table = kernels::active_kernels();
   double sum = 0.0;
-  const double* ap = a.data();
-  const Index n = a.rows() * a.cols();
-  for (Index i = 0; i < n; ++i) sum += ap[i] * ap[i];
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* row = a.row(i).data();
+    sum += table.dot(a.cols(), row, row);
+  }
   return std::sqrt(sum);
 }
 
 double max_abs_diff(const Matrix& a, const Matrix& b) {
   require_same_shape(a, b, "max_abs_diff");
   double worst = 0.0;
-  const double* ap = a.data();
-  const double* bp = b.data();
-  const Index n = a.rows() * a.cols();
-  for (Index i = 0; i < n; ++i) {
-    worst = std::max(worst, std::abs(ap[i] - bp[i]));
+  for (Index i = 0; i < a.rows(); ++i) {
+    const double* ap = a.row(i).data();
+    const double* bp = b.row(i).data();
+    for (Index j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::abs(ap[j] - bp[j]));
+    }
   }
   return worst;
 }

@@ -1,12 +1,13 @@
 // Basic dense BLAS-like operations on Matrix / Vector.
 //
 // These are the only kernels the EnKF local analysis needs: GEMM variants,
-// matrix-vector products, AXPY-style updates, transposes and norms.  The
-// hot products (GEMM / GEMV) dispatch to cache-blocked micro-kernels with
-// a runtime-selected ISA (linalg/kernels/): once the pipeline hides I/O
-// and communication behind the local analysis, these FLOPs bound the
-// end-to-end time, so they run as fast as the host allows (AVX2+FMA when
-// available, portable scalar otherwise; override with SENKF_KERNEL).
+// matrix-vector products, AXPY-style updates, diagonal row scalings,
+// transposes and norms.  The hot paths dispatch to cache-blocked
+// micro-kernels with a runtime-selected ISA (linalg/kernels/): once the
+// pipeline hides I/O and communication behind the local analysis, these
+// FLOPs bound the end-to-end time, so they run as fast as the host allows
+// (AVX-512 / AVX2+FMA / NEON when available, portable scalar otherwise;
+// override with SENKF_KERNEL).
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -38,6 +39,16 @@ void axpy(double alpha, const Vector& b, Vector& a);
 /// a *= alpha.
 void scale(Matrix& a, double alpha);
 void scale(Vector& a, double alpha);
+
+/// Diagonal left-scaling A ← D·A: row i of A is multiplied by d[i].
+/// The EnKF analysis uses this for R⁻¹-weighting of observation-space
+/// matrices (d holding the reciprocal observation variances).
+void row_scale(const Vector& d, Matrix& a);
+
+/// Fused innovation weighting: out(i,j) = (ys(i,j) − hx(i,j)) · rinv[i],
+/// i.e. R⁻¹(Yˢ − H X̄ᵇ) in one pass instead of scale + axpy + row_scale.
+Matrix weighted_residual(const Matrix& ys, const Matrix& hx,
+                         const Vector& rinv);
 
 /// Returns a - b.
 Matrix subtract(const Matrix& a, const Matrix& b);

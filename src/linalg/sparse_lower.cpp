@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/kernels/dispatch.hpp"
+
 namespace senkf::linalg {
 
 SparseUnitLower SparseUnitLower::from_dense(const Matrix& l,
@@ -35,12 +37,14 @@ std::size_t SparseUnitLower::memory_bytes() const {
 Vector SparseUnitLower::multiply(const Vector& x) const {
   SENKF_REQUIRE(x.size() == dim(), "SparseUnitLower: length mismatch");
   Vector y = x;  // implicit unit diagonal
+  // Each row is a sparse dot against x: the gather_dot kernel vectorizes
+  // the value loads and gathers the x entries by column index.
+  const auto& table = kernels::active_kernels();
   for (Index i = 0; i < dim(); ++i) {
-    double sum = 0.0;
-    for (Index s = row_start_[i]; s < row_start_[i + 1]; ++s) {
-      sum += values_[s] * x[column_[s]];
-    }
-    y[i] += sum;
+    const Index begin = row_start_[i];
+    const Index nnz = row_start_[i + 1] - begin;
+    y[i] += table.gather_dot(nnz, values_.data() + begin,
+                             column_.data() + begin, x.data());
   }
   return y;
 }

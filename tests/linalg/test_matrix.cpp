@@ -31,10 +31,30 @@ TEST(Vector, SpanSharesStorage) {
 TEST(Matrix, ConstructionRowMajor) {
   Matrix m(2, 3, 0.0);
   m(1, 2) = 5.0;
-  EXPECT_DOUBLE_EQ(m.data()[1 * 3 + 2], 5.0);
+  EXPECT_GE(m.stride(), m.cols());
+  EXPECT_DOUBLE_EQ(m.data()[1 * m.stride() + 2], 5.0);
   EXPECT_EQ(m.rows(), 2u);
   EXPECT_EQ(m.cols(), 3u);
   EXPECT_FALSE(m.square());
+}
+
+TEST(Matrix, CompactOptOutHasTightStride) {
+  Matrix m = Matrix::compact(2, 3, 1.5);
+  EXPECT_TRUE(m.is_compact());
+  EXPECT_EQ(m.stride(), 3u);
+  EXPECT_DOUBLE_EQ(m.data()[1 * 3 + 2], 1.5);
+}
+
+TEST(Matrix, PaddedEntriesStartZero) {
+  // The pad-zero invariant: columns cols()..stride() are zero even when
+  // the logical entries are filled.
+  Matrix m(3, 3, 7.0);
+  for (Index i = 0; i < m.rows(); ++i) {
+    const double* row = m.data() + i * m.stride();
+    for (Index j = m.cols(); j < m.stride(); ++j) {
+      EXPECT_DOUBLE_EQ(row[j], 0.0);
+    }
+  }
 }
 
 TEST(Matrix, NestedInitializerList) {
@@ -91,6 +111,19 @@ TEST(Matrix, EqualityIsValueBased) {
   Matrix c{{1.0, 3.0}};
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
+}
+
+TEST(Matrix, EqualityIgnoresStride) {
+  Matrix padded(2, 3);
+  Matrix compact = Matrix::compact(2, 3);
+  for (Index i = 0; i < 2; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      padded(i, j) = compact(i, j) = 1.0 + static_cast<double>(i * 3 + j);
+    }
+  }
+  EXPECT_EQ(padded, compact);
+  compact(1, 2) += 0.5;
+  EXPECT_NE(padded, compact);
 }
 
 }  // namespace

@@ -173,10 +173,14 @@ TEST(TelemetrySmoke, MetricsRegistrySawThePipeline) {
   EXPECT_GT(registry.counter_value("senkf.comp_update_ns"), 0u);
   EXPECT_GT(registry.counter_value("parcomm.messages"), 0u);
   EXPECT_GT(registry.counter_value("store.reads"), 0u);
-  // Kernel dispatch ran under exactly one SENKF_KERNEL selection.
-  EXPECT_GT(registry.counter_value("kernels.dispatch.scalar") +
-                registry.counter_value("kernels.dispatch.avx2"),
-            0u);
+  // Kernel dispatch ran under exactly one SENKF_KERNEL selection, counted
+  // once per process, and published the active vector width as a gauge.
+  EXPECT_EQ(registry.counter_value("kernels.dispatch.scalar") +
+                registry.counter_value("kernels.dispatch.avx2") +
+                registry.counter_value("kernels.dispatch.avx512") +
+                registry.counter_value("kernels.dispatch.neon"),
+            1u);
+  EXPECT_GT(registry.gauge_value("kernels.active"), 0);
   const std::string snapshot = registry.snapshot();
   EXPECT_NE(snapshot.find("senkf.io_read_ns"), std::string::npos);
 }
