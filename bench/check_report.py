@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Schema checker for senkf-run-report JSON (schema v1, DESIGN.md §11).
+"""Schema checker for senkf-run-report JSON (schema v2, DESIGN.md §11/§13).
 
 Usage: check_report.py REPORT.json [--kind senkf] [--require-warns]
+                       [--require-critical-path]
 
-Validates structure and types, cross-checks the acceptance invariant
-(aggregated phase totals equal the sum of the per-rank samples), and
-exits nonzero on any violation.  Stdlib only — runs anywhere CI has a
-python3.
+Validates structure and types, cross-checks the acceptance invariants
+(aggregated phase totals equal the sum of the per-rank samples;
+critical-path splits partition each cycle's wall clock to within 5%),
+and exits nonzero on any violation.  Stdlib only — runs anywhere CI has
+a python3.
 """
 import argparse
 import json
@@ -50,6 +52,50 @@ def require(obj, key, types, where):
     return value
 
 
+CP_NUMBER_FIELDS = ("wall_s", "attributed_s", "compute_s", "disk_s",
+                    "comm_blocked_s", "other_s", "untracked_s")
+
+
+def check_critical_path(cp, where):
+    for key in CP_NUMBER_FIELDS:
+        require(cp, key, (int, float), where)
+    require(cp, "cycle", (int,), where)
+    require(cp, "message_hops", (int,), where)
+    require(cp, "missing_edges", (int,), where)
+    require(cp, "truncated", (bool,), where)
+    top = require(cp, "top", (list,), where) or []
+    for i, contributor in enumerate(top):
+        require(contributor, "rank", (int,), f"{where}.top[{i}]")
+        require(contributor, "phase", (str,), f"{where}.top[{i}]")
+        require(contributor, "seconds", (int, float), f"{where}.top[{i}]")
+    # Acceptance invariant (ISSUE 7): the splits partition wall clock.
+    wall = cp.get("wall_s")
+    if isinstance(wall, (int, float)) and wall > 0:
+        split_sum = sum(cp.get(k, 0) or 0
+                        for k in CP_NUMBER_FIELDS if k not in
+                        ("wall_s", "attributed_s"))
+        check(abs(split_sum - wall) <= 0.05 * wall,
+              f"{where}: splits sum {split_sum:.6f} != wall {wall:.6f} "
+              f"(>5% off)")
+
+
+def check_series_map(series, where):
+    for name, data in series.items():
+        require(data, "dropped", (int,), f"{where}.{name}")
+        points = require(data, "points", (list,), f"{where}.{name}") or []
+        last_t = None
+        for i, point in enumerate(points):
+            ok = (isinstance(point, list) and len(point) == 2 and
+                  isinstance(point[0], int) and
+                  isinstance(point[1], (int, float)))
+            if not check(ok, f"{where}.{name}.points[{i}]: want [t_ns, value]"):
+                continue
+            if last_t is not None:
+                check(point[0] >= last_t,
+                      f"{where}.{name}.points[{i}]: out of time order")
+            last_t = point[0]
+
+
 def check_gauge_stat(stat, where):
     for key in ("min", "max", "mean", "sum", "sumsq"):
         require(stat, key, (int, float), where)
@@ -84,6 +130,8 @@ def main():
                         help="require run.kind to equal this")
     parser.add_argument("--require-warns", action="store_true",
                         help="require at least one straggler WARN")
+    parser.add_argument("--require-critical-path", action="store_true",
+                        help="require at least one per-cycle critical path")
     args = parser.parse_args()
 
     with open(args.report, encoding="utf-8") as f:
@@ -91,7 +139,7 @@ def main():
 
     check(doc.get("schema") == "senkf-run-report",
           f"schema: got {doc.get('schema')!r}")
-    check(doc.get("version") == 1, f"version: got {doc.get('version')!r}")
+    check(doc.get("version") == 2, f"version: got {doc.get('version')!r}")
     require(doc, "partial", (bool,), "$")
 
     run = require(doc, "run", (dict,), "$") or {}
@@ -128,9 +176,38 @@ def main():
     aggregate = require(run, "aggregate", (dict,), "run")
     if aggregate is not None:
         check_snapshot(aggregate, "run.aggregate")
+
+    # --- v2 additions (DESIGN.md §13) ---------------------------------
+    critical_paths = require(run, "critical_paths", (list,), "run") or []
+    for i, cp in enumerate(critical_paths):
+        check_critical_path(cp, f"run.critical_paths[{i}]")
+    if args.require_critical_path:
+        check(len(critical_paths) >= 1,
+              "run.critical_paths: empty (tracing was off?)")
+
     metrics = require(doc, "metrics", (dict,), "$")
     if metrics is not None:
         check_snapshot(metrics, "$.metrics")
+
+    latency = require(doc, "latency", (dict,), "$") or {}
+    for name, q in latency.items():
+        p50 = require(q, "p50", (int, float), f"$.latency.{name}")
+        p90 = require(q, "p90", (int, float), f"$.latency.{name}")
+        p99 = require(q, "p99", (int, float), f"$.latency.{name}")
+        require(q, "count", (int,), f"$.latency.{name}")
+        if all(isinstance(v, (int, float)) for v in (p50, p90, p99)):
+            check(p50 <= p90 <= p99,
+                  f"$.latency.{name}: quantiles not monotone "
+                  f"({p50}, {p90}, {p99})")
+
+    timeseries = require(doc, "timeseries", (dict,), "$") or {}
+    require(timeseries, "sample_interval_ms", (int,), "$.timeseries")
+    require(timeseries, "samples", (int,), "$.timeseries")
+    require(timeseries, "capacity", (int,), "$.timeseries")
+    series = require(timeseries, "series", (dict,), "$.timeseries")
+    if series is not None:
+        check_series_map(series, "$.timeseries.series")
+
     require(doc, "faults", (dict,), "$")
 
     # Acceptance invariant: aggregated phase totals equal the sum of the

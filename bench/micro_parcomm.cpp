@@ -17,6 +17,7 @@
 #include "parcomm/payload_pool.hpp"
 #include "parcomm/runtime.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -188,6 +189,68 @@ void BM_ScatterBlocks(benchmark::State& state) {
   before.report(state, messages);
 }
 BENCHMARK(BM_ScatterBlocks)->Arg(65536)->Arg(1 << 20)->UseRealTime();
+
+/// One round of the block stream used by the trace-overhead pair below.
+void stream_blocks(const std::vector<double>& data) {
+  Runtime::run(2, [&](Communicator& world) {
+    constexpr int kRounds = 8;
+    if (world.rank() == 0) {
+      for (int i = 0; i < kRounds; ++i) {
+        Packer packer;
+        packer.reserve(sizeof(std::uint64_t) + data.size() * sizeof(double));
+        packer.put_vector(data);
+        world.send(1, 1, packer.take());
+      }
+    } else {
+      for (int i = 0; i < kRounds; ++i) {
+        const Envelope envelope = world.recv(0, 1);
+        Unpacker unpacker(envelope.payload);
+        benchmark::DoNotOptimize(unpacker.view<double>());
+      }
+    }
+  });
+}
+
+/// Trace-off overhead guard (DESIGN.md §13): the span-context header now
+/// rides in every envelope and the sampler hook sits on the send path,
+/// but with tracing disarmed (the default) their cost must stay within
+/// noise.  compare_bench.py gates this bench against the stored nightly
+/// baseline, so a regression in the disarmed path fails the build even
+/// though the armed sibling below is expected to be slower.
+void BM_SendBlockTraceOff(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> data(bytes / sizeof(double), 1.0);
+  senkf::telemetry::set_tracing_enabled(false);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    stream_blocks(data);
+    messages += 8;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(messages * bytes));
+}
+BENCHMARK(BM_SendBlockTraceOff)->Arg(262144)->UseRealTime();
+
+/// The armed sibling: same traffic with every message stamped and its
+/// flow-origin event recorded, so the armed-vs-disarmed delta — the true
+/// tracing cost — is visible in the same JSON.
+void BM_SendBlockTraceOn(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> data(bytes / sizeof(double), 1.0);
+  senkf::telemetry::set_tracing_enabled(true);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    stream_blocks(data);
+    messages += 8;
+    // Quiescent between runs: drop the recorded events so the armed
+    // bench measures recording, not an ever-growing export buffer.
+    state.PauseTiming();
+    senkf::telemetry::clear_events();
+    state.ResumeTiming();
+  }
+  senkf::telemetry::set_tracing_enabled(false);
+  state.SetBytesProcessed(static_cast<std::int64_t>(messages * bytes));
+}
+BENCHMARK(BM_SendBlockTraceOn)->Arg(262144)->UseRealTime();
 
 void BM_Barrier(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));

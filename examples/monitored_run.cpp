@@ -8,6 +8,8 @@
 //   SENKF_SKEW_WARN=4        ./monitored_run   # raise the WARN threshold
 //   SENKF_SKEW_WARN=off      ./monitored_run   # silence the monitor
 //   SENKF_FAULTS="straggler=0:0.03" ./monitored_run   # pick the delay
+//   SENKF_SAMPLE_MS=5        ./monitored_run   # continuous sampling
+//   SENKF_TRACE=trace.json   ./monitored_run   # flow-event trace export
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -18,6 +20,9 @@
 #include "obs/perturbed.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/timeseries.hpp"
+#include "telemetry/trace.hpp"
+#include "tuning/drift.hpp"
 
 int main() {
   using namespace senkf;
@@ -52,6 +57,10 @@ int main() {
   std::cout << "Injecting faults: " << pfs::to_spec(*faults) << "\n";
   const enkf::FaultyEnsembleStore faulty(store, *faults);
 
+  // Arm tracing so the run computes its critical-path attribution even
+  // without SENKF_TRACE (the export still needs the env var).
+  telemetry::set_tracing_enabled(true);
+
   enkf::SenkfStats stats;
   const auto analysis = enkf::senkf(faulty, observations, ys, config, &stats);
   std::cout << "\nAnalysis members: " << analysis.size() << "\n\n";
@@ -76,7 +85,28 @@ int main() {
   const telemetry::RunReport report = telemetry::run_report_copy();
   std::cout << "\nModel drift (measured vs eqs. (7)-(9), relative):\n";
   for (const auto& [phase, rel] : report.drift) {
-    std::printf("  %-5s %+9.3f\n", phase.c_str(), rel);
+    const tuning::DriftTrend trend = tuning::drift_trend(phase);
+    std::printf("  %-5s %+9.3f   trend: %zu pts, mean %+.1f, slope %+.2f/s\n",
+                phase.c_str(), rel, trend.points, trend.mean,
+                trend.slope_per_s);
+  }
+
+  // Critical-path attribution (DESIGN.md §13): where this cycle's wall
+  // clock actually went, walked backward through waits and message edges.
+  std::cout << "\nCritical path per cycle:\n";
+  for (const auto& cp : telemetry::critical_paths_copy()) {
+    std::printf(
+        "  cycle %llu: wall %.4fs = compute %.4f + disk %.4f + "
+        "comm-blocked %.4f + other %.4f + untracked %.4f  (%llu hops, "
+        "%llu missing edges)\n",
+        static_cast<unsigned long long>(cp.cycle), cp.wall_s, cp.compute_s,
+        cp.disk_s, cp.comm_blocked_s, cp.other_s, cp.untracked_s,
+        static_cast<unsigned long long>(cp.message_hops),
+        static_cast<unsigned long long>(cp.missing_edges));
+    for (const auto& c : cp.top) {
+      std::printf("    rank %2d  %-16s %9.4fs\n", c.rank, c.phase.c_str(),
+                  c.seconds);
+    }
   }
 
   std::cout << "\nMonitor gauges:\n  senkf.skew.stage_read = "

@@ -6,6 +6,7 @@
 #include "parcomm/runtime.hpp"
 #include "support/thread_pool.hpp"
 #include "telemetry/phase.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
 namespace senkf::enkf {
@@ -45,6 +46,10 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
 
   std::vector<grid::Field> result;
   std::mutex result_mutex;
+
+  // Same continuous-telemetry arming as senkf(): no-op unless
+  // SENKF_SAMPLE_MS is set.
+  telemetry::ensure_sampler_started();
 
   parcomm::Runtime::run(n_procs, [&](parcomm::Communicator& world) {
     const grid::SubdomainId my_id =
@@ -118,7 +123,14 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
     };
     apply(results.take_shared());
     for (int r = 1; r < world.size(); ++r) {
-      apply(world.recv(r, kResultTag).payload);
+      parcomm::Envelope envelope;
+      {
+        telemetry::TraceSpan wait_span(telemetry::Category::kWait,
+                                       "result_wait");
+        envelope = world.recv(r, kResultTag);
+        wait_span.set_flow(telemetry::FlowDir::kIn, envelope.ctx.span_id);
+      }
+      apply(envelope.payload);
     }
     std::lock_guard<std::mutex> lock(result_mutex);
     result = std::move(fields);

@@ -23,6 +23,7 @@
 #include "support/thread_pool.hpp"
 #include "telemetry/phase.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/timeseries.hpp"
 #include "tuning/drift.hpp"
 
 namespace senkf::enkf {
@@ -235,12 +236,18 @@ class StageBuffers {
         members_(members),
         patches_(layers * members),
         accounted_(layers, 0),
+        cause_(layers),
         dead_(members, 0) {}
 
   /// Helper thread: deposits member k's block for `stage`.  The view
   /// aliases an incoming payload; pair every batch of deposits with one
   /// retain() of the payload handle so the bytes outlive the views.
-  void deposit(Index stage, Index member, grid::PatchView patch) {
+  /// `ctx` is the carrying message's span context: the context of the
+  /// deposit that *completes* a stage is remembered as that stage's
+  /// cause, so the main thread's stage_wait span can record which
+  /// sender it was blocked on (DESIGN.md §13).
+  void deposit(Index stage, Index member, grid::PatchView patch,
+               const parcomm::SpanContext& ctx) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto& slot = patches_[stage * members_ + member];
     if (slot.has_value() || dead_[member] != 0) {
@@ -248,7 +255,10 @@ class StageBuffers {
       return;
     }
     slot = patch;
-    if (++accounted_[stage] == members_) cv_.notify_all();
+    if (++accounted_[stage] == members_) {
+      cause_[stage] = ctx;
+      cv_.notify_all();
+    }
   }
 
   /// Keeps a message payload alive for as long as the buffers (and hence
@@ -261,13 +271,16 @@ class StageBuffers {
   /// Helper thread: member k's file is permanently unreadable — account
   /// it as missing in every stage.  Idempotent (several I/O readers can
   /// discover the same dead file).
-  void mark_dead(Index member) {
+  void mark_dead(Index member, const parcomm::SpanContext& ctx) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (dead_[member] != 0) return;
     dead_[member] = 1;
     for (Index stage = 0; stage < layers_; ++stage) {
       if (!patches_[stage * members_ + member].has_value()) {
-        if (++accounted_[stage] == members_) cv_.notify_all();
+        if (++accounted_[stage] == members_) {
+          cause_[stage] = ctx;
+          cv_.notify_all();
+        }
       }
     }
   }
@@ -298,6 +311,9 @@ class StageBuffers {
   struct Stage {
     std::vector<grid::PatchView> patches;
     std::vector<Index> live;
+    /// Span context of the message that completed the stage ("who was I
+    /// blocked on"); span_id 0 when tracing was off.
+    parcomm::SpanContext cause;
   };
 
   /// Main thread: blocks until every member is accounted for `stage`,
@@ -309,6 +325,7 @@ class StageBuffers {
       throw ProtocolError("senkf: run aborted before stage data completed");
     }
     Stage out;
+    out.cause = cause_[stage];
     out.patches.reserve(members_);
     out.live.reserve(members_);
     for (Index k = 0; k < members_; ++k) {
@@ -349,6 +366,7 @@ class StageBuffers {
   std::vector<std::optional<grid::PatchView>> patches_;
   std::vector<parcomm::SharedPayload> owners_;
   std::vector<Index> accounted_;
+  std::vector<parcomm::SpanContext> cause_;  ///< per stage, see deposit()
   std::vector<std::uint8_t> dead_;
   bool aborted_ = false;
   mutable std::mutex mutex_;
@@ -620,6 +638,11 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
     // see; read_ns mirrors the global bar-read span (successful read
     // time only).
     telemetry::ScopedTimerNs obtain_timer(local.obtain_ns);
+    // Traced sibling of obtain_ns: the critical-path walker needs the
+    // injected delay and backoff sleeps covered by a span, or a straggler
+    // shows up as untracked time instead of disk time on this rank.
+    telemetry::TraceSpan obtain_span(telemetry::Category::kRead, "bar_obtain",
+                                     static_cast<std::int32_t>(l));
     if (straggle > std::chrono::nanoseconds::zero()) {
       pfs::FaultMetrics& fault_metrics = pfs::FaultMetrics::get();
       fault_metrics.straggler_ns.add(
@@ -725,6 +748,8 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
   const Index members_per_group =
       (n_members + config.n_cg - 1) / config.n_cg;
   telemetry::MetricsSnapshot mine;
+  const std::string series_prefix =
+      "ts.rank" + std::to_string(world.rank()) + ".";
   for (Index l = 0; l < config.layers; ++l) {
     // Stage baseline for the per-stage sample shipped to the monitor.
     const std::uint64_t stage_read0 = local.read_ns.value();
@@ -791,6 +816,18 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
     const std::uint64_t stage_obtain_ns = local.obtain_ns.value() - stage_obtain0;
     mine.observe_histogram("senkf.rank.stage_obtain_us", stage_obtain_bounds(),
                            static_cast<double>(stage_obtain_ns) / 1e3);
+    // One time-series point per stage boundary; the series ride the
+    // run-end reduce to rank 0, where the drift gauges and report read
+    // them as per-rank trends (DESIGN.md §13).
+    const std::int64_t stage_t = telemetry::now_ns();
+    mine.append_series(series_prefix + "obtain_s", stage_t,
+                       static_cast<double>(stage_obtain_ns) / 1e9);
+    mine.append_series(
+        series_prefix + "read_s", stage_t,
+        static_cast<double>(local.read_ns.value() - stage_read0) / 1e9);
+    mine.append_series(
+        series_prefix + "send_s", stage_t,
+        static_cast<double>(local.send_ns.value() - stage_send0) / 1e9);
     if (ctx.monitor.enabled) {
       parcomm::Packer sample;
       sample.put<std::uint64_t>(kSampleStage);
@@ -930,11 +967,14 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
         telemetry::TraceSpan span(telemetry::Category::kRecv, "drain_block");
         const parcomm::Envelope envelope =
             world.recv(parcomm::kAnySource, kBlockTag);
+        // Flow step: the message passed through this drain on its way to
+        // the stage_wait it will release.
+        span.set_flow(telemetry::FlowDir::kStep, envelope.ctx.span_id);
         ++helper_messages;
         parcomm::Unpacker unpacker(envelope.payload);
         const auto kind = unpacker.get<std::uint64_t>();
         if (kind == kKindDead) {
-          buffers.mark_dead(unpacker.get<std::uint64_t>());
+          buffers.mark_dead(unpacker.get<std::uint64_t>(), envelope.ctx);
           continue;
         }
         if (kind == kKindAbort) {
@@ -949,7 +989,8 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
         buffers.retain(envelope.payload);
         while (!unpacker.exhausted()) {
           const auto member = unpacker.get<std::uint64_t>();
-          buffers.deposit(stage, member, unpack_patch_view(unpacker));
+          buffers.deposit(stage, member, unpack_patch_view(unpacker),
+                          envelope.ctx);
         }
       }
     } catch (...) {
@@ -980,6 +1021,9 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   // execution time of the analysis tasks (recorded inside each task, on
   // whichever pool thread ran it).
   std::uint64_t backlog_peak = 0;
+  telemetry::MetricsSnapshot mine;
+  const std::string series_prefix =
+      "ts.rank" + std::to_string(my_rank) + ".";
   for (Index l = 0; l < config.layers; ++l) {
     // Helper-thread drain backlog: stages already complete but not yet
     // consumed by the analysis loop.  Its peak is the depth of the
@@ -988,13 +1032,21 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
     if (completed > l) {
       backlog_peak = std::max<std::uint64_t>(backlog_peak, completed - l);
     }
+    const std::uint64_t stage_wait0 = local.wait_ns.value();
     {
       telemetry::CountedSpan wait_span(telemetry::Category::kWait,
                                        "stage_wait", phases.comp_wait_ns,
                                        &local.wait_ns,
                                        static_cast<std::int32_t>(l));
       stage_data[l] = buffers.take_stage(l);
+      // Flow finish: this wait was released by the message that completed
+      // the stage; the flow id names its sender-side span.
+      wait_span.set_flow(telemetry::FlowDir::kIn,
+                         stage_data[l].cause.span_id);
     }
+    mine.append_series(
+        series_prefix + "wait_s", telemetry::now_ns(),
+        static_cast<double>(local.wait_ns.value() - stage_wait0) / 1e9);
 
     pool.submit([&, l, my_rank] {
       telemetry::set_thread_rank(my_rank);
@@ -1064,7 +1116,6 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   // binomial reduce toward rank 0.  The cancellation predicate keeps the
   // receive legs from stalling on a peer that unwound instead of sending.
   const auto finish_telemetry = [&] {
-    telemetry::MetricsSnapshot mine;
     telemetry::RankSample sample;
     sample.rank = my_rank;
     sample.is_io = 0;
@@ -1125,7 +1176,14 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   };
   apply(results.take_shared());
   for (Index r = 1; r < config.computation_ranks(); ++r) {
-    apply(world.recv(static_cast<int>(r), kResultTag).payload);
+    parcomm::Envelope envelope;
+    {
+      telemetry::TraceSpan wait_span(telemetry::Category::kWait,
+                                     "result_wait");
+      envelope = world.recv(static_cast<int>(r), kResultTag);
+      wait_span.set_flow(telemetry::FlowDir::kIn, envelope.ctx.span_id);
+    }
+    apply(envelope.payload);
   }
   *result_out = std::move(fields);
   *dropped_out = dropped;
@@ -1178,6 +1236,12 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
   const RankLayout layout(config);
   std::vector<grid::Field> result;
   std::vector<Index> dropped;
+
+  // Continuous telemetry: arm the background registry sampler (no-op
+  // unless SENKF_SAMPLE_MS enables it) and remember the cycle's start so
+  // the critical-path window excludes spans from earlier cycles.
+  telemetry::ensure_sampler_started();
+  const std::int64_t run_start_ns = telemetry::now_ns();
 
   // Observability plane state shared by every rank thread of this run.
   // SENKF_SKEW_WARN overrides the configured straggler threshold
@@ -1278,6 +1342,18 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
   const tuning::PhaseDrift drift = tuning::record_model_drift(
       tuning::CostModel(mp), params, io_read_s / io_norm,
       io_send_s / io_norm, comp_update_s / comp_norm);
+
+  // Cycle boundary: snapshot the registry into the process time-series
+  // (the drift gauges set above become a per-cycle trend point), then
+  // attribute this cycle's critical path from the spans it recorded.
+  telemetry::TimeSeriesRecorder::global().sample(telemetry::Registry::global());
+  if (telemetry::tracing_enabled()) {
+    telemetry::CriticalPathOptions options;
+    options.window_start_ns = run_start_ns;
+    const telemetry::CriticalPathReport cp = telemetry::analyze_critical_path(
+        telemetry::collect_events(), options);
+    if (cp.valid) telemetry::append_critical_path(telemetry::summarize(cp));
+  }
 
   if (stats != nullptr) {
     stats->io_read_seconds = io_read_s;

@@ -51,6 +51,36 @@ Mailbox& Communicator::mailbox_of(int rank) {
   return bus_->mailbox(comm_id_, rank);
 }
 
+void Communicator::post(int dest, int tag, SharedPayload payload) {
+  Envelope envelope;
+  envelope.source = rank_;
+  envelope.tag = tag;
+  envelope.payload = std::move(payload);
+  bytes_sent_counter().add(envelope.payload.size());
+  if (telemetry::tracing_enabled()) {
+    // World rank of the sending thread, not the comm-local rank_: split
+    // communicators renumber ranks, but trace attribution (pid rows, the
+    // critical-path table) is keyed by world rank throughout.
+    envelope.ctx.origin_rank = telemetry::thread_rank();
+    envelope.ctx.span_id = telemetry::alloc_flow_id();
+    envelope.ctx.send_ns = telemetry::now_ns();
+    // Zero-length marker span carrying the flow origin ("s"): receivers'
+    // wait spans point their flow steps/finish at this id, which is what
+    // lets the critical-path walker (and Perfetto's arrows) jump from a
+    // blocked receiver back to this exact send.
+    telemetry::TraceEvent event;
+    event.name = "msg_send";
+    event.t_start_ns = envelope.ctx.send_ns;
+    event.t_end_ns = envelope.ctx.send_ns;
+    event.rank = envelope.ctx.origin_rank;
+    event.flow_id = envelope.ctx.span_id;
+    event.category = telemetry::Category::kSend;
+    event.flow = telemetry::FlowDir::kOut;
+    telemetry::record_event(event);
+  }
+  mailbox_of(dest).push(std::move(envelope));
+}
+
 void Communicator::send(int dest, int tag, Payload payload) {
   send_shared(dest, tag, SharedPayload(std::move(payload)));
 }
@@ -59,8 +89,7 @@ void Communicator::send_shared(int dest, int tag, SharedPayload payload) {
   SENKF_REQUIRE(tag >= 0, "Communicator::send: user tags must be >= 0");
   telemetry::CountedSpan span(telemetry::Category::kSend, "send",
                               send_ns_counter());
-  bytes_sent_counter().add(payload.size());
-  mailbox_of(dest).push(Envelope{rank_, tag, std::move(payload)});
+  post(dest, tag, std::move(payload));
 }
 
 void Communicator::send_doubles(int dest, int tag,
@@ -123,8 +152,7 @@ void Communicator::broadcast(int root, std::vector<double>& values) {
     const SharedPayload payload = packer.take_shared();
     for (int r = 0; r < size_; ++r) {
       if (r == root) continue;
-      bytes_sent_counter().add(payload.size());
-      mailbox_of(r).push(Envelope{rank_, kCollectiveTag, payload});
+      post(r, kCollectiveTag, payload);
     }
   } else {
     const Envelope envelope = my_mailbox().pop(root, kCollectiveTag);
@@ -144,9 +172,7 @@ std::vector<double> Communicator::scatter(
       Packer packer;
       packer.reserve(sizeof(std::uint64_t) + chunks[r].size() * sizeof(double));
       packer.put_vector(chunks[r]);
-      const SharedPayload payload = packer.take_shared();
-      bytes_sent_counter().add(payload.size());
-      mailbox_of(r).push(Envelope{rank_, kCollectiveTag, payload});
+      post(r, kCollectiveTag, packer.take_shared());
     }
     return chunks[root];
   }
@@ -161,7 +187,7 @@ std::vector<std::vector<double>> Communicator::gather(
   if (rank_ != root) {
     Packer packer;
     packer.put_vector(mine);
-    mailbox_of(root).push(Envelope{rank_, kCollectiveTag, packer.take()});
+    post(root, kCollectiveTag, SharedPayload(packer.take()));
     return {};
   }
   std::vector<std::vector<double>> gathered(size_);
@@ -205,9 +231,7 @@ std::vector<double> Communicator::allreduce(const std::vector<double>& mine,
     Packer packer;
     packer.reserve(sizeof(std::uint64_t) + values.size() * sizeof(double));
     packer.put_vector(values);
-    const SharedPayload payload = packer.take_shared();
-    bytes_sent_counter().add(payload.size());
-    mailbox_of(dest).push(Envelope{rank_, kCollectiveTag, payload});
+    post(dest, kCollectiveTag, packer.take_shared());
   };
 
   std::vector<double> acc = mine;
@@ -271,8 +295,7 @@ std::unique_ptr<Communicator> Communicator::split(int color, int key) {
       const SharedPayload announcement = packer.take_shared();
       for (int r = 0; r < size_; ++r) {
         if (r == rank_) continue;
-        bus_->mailbox(comm_id_, r).push(
-            Envelope{rank_, kSplitTag, announcement});
+        post(r, kSplitTag, announcement);
       }
       result = std::make_unique<Communicator>(bus_, new_id, 0,
                                               outcome.new_size);

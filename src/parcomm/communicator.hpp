@@ -127,6 +127,13 @@ class Communicator {
   Mailbox& my_mailbox();
   Mailbox& mailbox_of(int rank);
 
+  /// Every outbound envelope funnels through here: counts payload bytes
+  /// and, while tracing is armed, stamps the causal span context (origin
+  /// rank, fresh flow id, send timestamp) and records the flow-origin
+  /// trace event (DESIGN.md §13).  Cost with tracing off is one relaxed
+  /// atomic load.
+  void post(int dest, int tag, SharedPayload payload);
+
   // Internal tag space for collectives, disjoint from user tags (which
   // must be >= 0).
   static constexpr int kCollectiveTag = -1000;

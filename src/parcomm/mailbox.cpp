@@ -73,12 +73,19 @@ std::optional<Envelope> Mailbox::pop_until(
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (auto envelope = take_matching_locked(source, tag)) {
+      // Flow step: the message passed through this pop on its way to
+      // whichever wait it ultimately releases (stage_wait, result_wait).
+      span.set_flow(telemetry::FlowDir::kStep, envelope->ctx.span_id);
       return envelope;
     }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       // One last sweep: a push may have landed between the final wake-up
       // and the deadline check.
-      return take_matching_locked(source, tag);
+      auto envelope = take_matching_locked(source, tag);
+      if (envelope) {
+        span.set_flow(telemetry::FlowDir::kStep, envelope->ctx.span_id);
+      }
+      return envelope;
     }
   }
 }

@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -21,16 +22,32 @@ namespace senkf::parcomm {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// Causal span context piggybacked on every message (DESIGN.md §13).
+/// Stamped by the sender only while tracing is armed — span_id 0 means
+/// "no context" and costs nothing — so receiver-side wait spans can
+/// record which sender span they were blocked on and the Chrome-trace
+/// export can draw cross-rank flow arrows.  Lives in the envelope header
+/// next to (source, tag), never in the payload: the zero-copy plane
+/// shares one sealed payload across fan-out destinations, but each
+/// destination gets its own envelope and hence its own context.
+struct SpanContext {
+  std::int32_t origin_rank = -1;  ///< world rank that sent the message
+  std::uint64_t span_id = 0;      ///< telemetry flow id; 0 = untraced
+  std::int64_t send_ns = 0;       ///< telemetry::now_ns() at send time
+};
+
 /// One queued message.  The payload is a refcounted handle, so an
 /// envelope never owns a private copy of the bytes: fan-out pushes the
 /// same sealed buffer to every destination, and moving an envelope out
 /// of the queue moves a pointer.  Receivers that unpack by view must
 /// keep the handle (or an Unpacker built from it) alive while the views
-/// are in use.
+/// are in use.  `ctx` is last so the pre-existing three-member aggregate
+/// initializers keep compiling (it default-initializes to "untraced").
 struct Envelope {
   int source = 0;
   int tag = 0;
   SharedPayload payload;
+  SpanContext ctx;
 };
 
 class Mailbox {

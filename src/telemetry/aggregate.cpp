@@ -78,6 +78,11 @@ void MetricsSnapshot::observe_histogram(std::string_view name,
   h.observe(v);
 }
 
+void MetricsSnapshot::append_series(std::string_view name, std::int64_t t_ns,
+                                    double value) {
+  series[std::string(name)].append(t_ns, value, kDefaultSeriesCapacity);
+}
+
 std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
   const auto it = counters.find(std::string(name));
   return it == counters.end() ? 0 : it->second;
@@ -90,6 +95,9 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
     histograms[name].merge(hist);
   }
   ranks.insert(ranks.end(), other.ranks.begin(), other.ranks.end());
+  for (const auto& [name, s] : other.series) {
+    series[name].merge(s, kDefaultSeriesCapacity);
+  }
 }
 
 void MetricsSnapshot::sort_ranks() {
@@ -162,7 +170,10 @@ struct Cursor {
   }
 };
 
-constexpr std::uint32_t kWireVersion = 1;
+// v2 appends the time-series section (DESIGN.md §13).  Both ends of the
+// in-process transport always run the same build, so there is no
+// cross-version negotiation — decode rejects anything else loudly.
+constexpr std::uint32_t kWireVersion = 2;
 
 }  // namespace
 
@@ -211,6 +222,17 @@ std::vector<std::byte> MetricsSnapshot::encode() const {
     put<std::uint64_t>(out, r.retries);
     put<std::uint64_t>(out, r.reissued);
     put<std::uint64_t>(out, r.backlog_peak);
+  }
+
+  put<std::uint64_t>(out, series.size());
+  for (const auto& [name, s] : series) {
+    put_string(out, name);
+    put<std::uint64_t>(out, s.dropped);
+    put<std::uint64_t>(out, s.points.size());
+    for (const SeriesPoint& p : s.points) {
+      put<std::int64_t>(out, p.t_ns);
+      put<double>(out, p.value);
+    }
   }
   return out;
 }
@@ -279,6 +301,22 @@ MetricsSnapshot MetricsSnapshot::decode(const std::byte* data,
     r.reissued = in.get<std::uint64_t>();
     r.backlog_peak = in.get<std::uint64_t>();
     out.ranks.push_back(r);
+  }
+
+  const auto n_series = in.get_count(3 * sizeof(std::uint64_t));
+  for (std::uint64_t i = 0; i < n_series; ++i) {
+    std::string name = in.get_string();
+    SeriesData s;
+    s.dropped = in.get<std::uint64_t>();
+    const auto n_points = in.get_count(sizeof(std::int64_t) + sizeof(double));
+    s.points.reserve(static_cast<std::size_t>(n_points));
+    for (std::uint64_t p = 0; p < n_points; ++p) {
+      SeriesPoint point;
+      point.t_ns = in.get<std::int64_t>();
+      point.value = in.get<double>();
+      s.points.push_back(point);
+    }
+    out.series[std::move(name)] = std::move(s);
   }
   return out;
 }

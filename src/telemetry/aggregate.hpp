@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace senkf::telemetry {
 
@@ -71,16 +72,22 @@ class MetricsSnapshot {
   std::map<std::string, GaugeStat> gauges;
   std::map<std::string, HistogramState> histograms;
   std::vector<RankSample> ranks;
+  /// Per-rank trend series (DESIGN.md §13), e.g. "ts.rank3.obtain_s":
+  /// bounded rings that ride the same reduction tree as the scalars so
+  /// rank 0 sees every rank's per-stage trajectory, not just its total.
+  std::map<std::string, SeriesData> series;
 
   void add_counter(std::string_view name, std::uint64_t v);
   void observe_gauge(std::string_view name, std::int64_t v);
   void observe_histogram(std::string_view name,
                          const std::vector<double>& bounds, double v);
+  void append_series(std::string_view name, std::int64_t t_ns, double value);
 
   std::uint64_t counter(std::string_view name) const;
 
   /// Counters add, gauges stat-merge, histograms add bucketwise (bounds
-  /// mismatch throws std::logic_error), rank samples concatenate.
+  /// mismatch throws std::logic_error), rank samples concatenate, series
+  /// merge-sort keeping the newest kDefaultSeriesCapacity points.
   void merge(const MetricsSnapshot& other);
 
   /// Sorts rank samples by rank id (the tree merge interleaves them).

@@ -64,6 +64,37 @@ std::vector<double> exponential_bounds(double first, double factor,
   return bounds;
 }
 
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets,
+                          double q) {
+  if (bounds.empty() || buckets.size() != bounds.size() + 1) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  // Target observation index (1-based); walk cumulative counts to the
+  // bucket containing it, then interpolate linearly within the bucket.
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i == bounds.size()) {
+      // Overflow bucket is unbounded above; clamp to the largest finite
+      // bound rather than invent an upper edge.
+      return bounds.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (buckets[i] == 0) return upper;
+    const double fraction =
+        (target - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds.back();
+}
+
 Registry& Registry::global() {
   static Registry* registry = new Registry();  // leaked: outlives atexit users
   return *registry;

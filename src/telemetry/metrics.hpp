@@ -68,6 +68,16 @@ class Histogram {
 std::vector<double> exponential_bounds(double first, double factor,
                                        std::size_t count);
 
+/// Quantile estimate over "le"-bucket counts by linear interpolation
+/// within the bucket holding the q-th observation (Prometheus
+/// histogram_quantile semantics).  `buckets` has bounds.size() + 1
+/// entries, the last being the overflow bucket; a quantile landing there
+/// is clamped to the largest finite bound (the estimate is a lower
+/// bound, as with any bucketed quantile).  Returns 0 when there are no
+/// observations; q is clamped to [0, 1].
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& buckets, double q);
+
 /// One registered metric with its current values, for exporters that
 /// iterate the whole registry (run report, aggregation snapshots).
 struct MetricRow {

@@ -37,7 +37,9 @@ class CountedSpan {
       event.t_start_ns = start_ns_;
       event.t_end_ns = end_ns;
       event.stage = stage_;
+      event.flow_id = flow_id_;
       event.category = category_;
+      event.flow = flow_;
       record_event(event);  // fills rank from the thread's rank
     }
   }
@@ -47,13 +49,22 @@ class CountedSpan {
 
   void set_stage(std::int32_t stage) { stage_ = stage; }
 
+  /// Bind to a message flow (see TraceSpan::set_flow); id 0 is ignored.
+  void set_flow(FlowDir dir, std::uint64_t id) {
+    if (id == 0) return;
+    flow_ = dir;
+    flow_id_ = id;
+  }
+
  private:
   Counter& counter_;
   Counter* local_ = nullptr;
   const char* name_;
   std::int64_t start_ns_;
+  std::uint64_t flow_id_ = 0;
   std::int32_t stage_;
   Category category_;
+  FlowDir flow_ = FlowDir::kNone;
   bool traced_;
 };
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "telemetry/json_writer.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
 
 namespace senkf::telemetry {
@@ -20,6 +21,15 @@ RunReport& global_report() {
   static RunReport* report = new RunReport();  // leaked: read at atexit
   return *report;
 }
+
+// Accumulated per-cycle critical paths (guarded by g_report_mutex).
+// Separate from the RunReport so cycled runs — which replace the report
+// every cycle — keep their whole attribution history.
+std::vector<CriticalPathSummary>& global_critical_paths() {
+  static auto* paths = new std::vector<CriticalPathSummary>();
+  return *paths;
+}
+std::uint64_t g_next_cycle = 0;
 
 // Mirrors trace.cpp's EnvInit: parse once before main(), export via
 // atexit so any binary gets a report with zero code changes.
@@ -68,7 +78,25 @@ void write_histogram_state(JsonWriter& json, const HistogramState& h) {
   json.key("buckets").begin_array();
   for (const std::uint64_t b : h.buckets) json.value(b);
   json.end_array();
-  json.field("count", h.count).field("sum", h.sum).end_object();
+  json.field("count", h.count).field("sum", h.sum);
+  json.field("p50", histogram_quantile(h.bounds, h.buckets, 0.50))
+      .field("p90", histogram_quantile(h.bounds, h.buckets, 0.90))
+      .field("p99", histogram_quantile(h.bounds, h.buckets, 0.99));
+  json.end_object();
+}
+
+void write_series_map(JsonWriter& json,
+                      const std::map<std::string, SeriesData>& series) {
+  json.begin_object();
+  for (const auto& [name, s] : series) {
+    json.key(name).begin_object().field("dropped", s.dropped);
+    json.key("points").begin_array();
+    for (const SeriesPoint& p : s.points) {
+      json.begin_array().value(p.t_ns).value(p.value).end_array();
+    }
+    json.end_array().end_object();
+  }
+  json.end_object();
 }
 
 void write_snapshot(JsonWriter& json, const MetricsSnapshot& snapshot) {
@@ -116,6 +144,23 @@ void set_run_report(RunReport report) {
   global_report() = std::move(report);
 }
 
+void append_critical_path(CriticalPathSummary summary) {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  summary.cycle = ++g_next_cycle;
+  global_critical_paths().push_back(std::move(summary));
+}
+
+std::vector<CriticalPathSummary> critical_paths_copy() {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  return global_critical_paths();
+}
+
+void clear_critical_paths() {
+  std::lock_guard<std::mutex> lock(g_report_mutex);
+  global_critical_paths().clear();
+  g_next_cycle = 0;
+}
+
 void mark_run_partial() {
   std::lock_guard<std::mutex> lock(g_report_mutex);
   global_report().partial = true;
@@ -160,6 +205,35 @@ void write_run_report(std::ostream& out) {
   json.end_array();
   json.key("aggregate");
   write_snapshot(json, report.aggregate);
+
+  // Per-cycle critical-path attribution (DESIGN.md §13): the splits
+  // partition each cycle's wall clock, so attributed_s + untracked_s
+  // reproduces wall_s to rounding.
+  json.key("critical_paths").begin_array();
+  for (const CriticalPathSummary& cp : critical_paths_copy()) {
+    json.begin_object()
+        .field("cycle", cp.cycle)
+        .field("wall_s", cp.wall_s)
+        .field("attributed_s", cp.attributed_s)
+        .field("compute_s", cp.compute_s)
+        .field("disk_s", cp.disk_s)
+        .field("comm_blocked_s", cp.comm_blocked_s)
+        .field("other_s", cp.other_s)
+        .field("untracked_s", cp.untracked_s)
+        .field("message_hops", cp.message_hops)
+        .field("missing_edges", cp.missing_edges)
+        .field("truncated", cp.truncated);
+    json.key("top").begin_array();
+    for (const CriticalPathSummary::Contributor& c : cp.top) {
+      json.begin_object()
+          .field("rank", c.rank)
+          .field("phase", c.phase)
+          .field("seconds", c.seconds)
+          .end_object();
+    }
+    json.end_array().end_object();
+  }
+  json.end_array();
   json.end_object();  // run
 
   // Whole-registry dump at write time: includes planes outside the run
@@ -168,6 +242,45 @@ void write_run_report(std::ostream& out) {
   json.key("metrics");
   const MetricsSnapshot registry = MetricsSnapshot::capture(Registry::global());
   write_snapshot(json, registry);
+
+  // Latency quantiles for every microsecond histogram (queue/exec wait,
+  // stage obtain) — the triage view; the raw buckets stay available in
+  // the metrics dump above.
+  json.key("latency").begin_object();
+  for (const auto& [name, h] : registry.histograms) {
+    if (name.size() < 3 || name.compare(name.size() - 3, 3, "_us") != 0) {
+      continue;
+    }
+    json.key(name)
+        .begin_object()
+        .field("p50", histogram_quantile(h.bounds, h.buckets, 0.50))
+        .field("p90", histogram_quantile(h.bounds, h.buckets, 0.90))
+        .field("p99", histogram_quantile(h.bounds, h.buckets, 0.99))
+        .field("count", h.count)
+        .end_object();
+  }
+  json.end_object();
+
+  // Time-series section: the process sampler's registry-delta series
+  // unioned with the per-rank series that rode the aggregation tree
+  // (names are disjoint by convention — "ts.rankN.*" vs metric names).
+  {
+    const SampleEnvConfig sample =
+        parse_sample_env(std::getenv("SENKF_SAMPLE_MS"));
+    const TimeSeriesRecorder& recorder = TimeSeriesRecorder::global();
+    std::map<std::string, SeriesData> series = recorder.snapshot();
+    for (const auto& [name, s] : report.aggregate.series) {
+      series[name].merge(s, kDefaultSeriesCapacity);
+    }
+    json.key("timeseries")
+        .begin_object()
+        .field("sample_interval_ms", sample.interval_ms)
+        .field("samples", recorder.samples())
+        .field("capacity", static_cast<std::uint64_t>(recorder.capacity()));
+    json.key("series");
+    write_series_map(json, series);
+    json.end_object();
+  }
 
   // Convenience view for fault triage: the failure counters in one spot.
   json.key("faults").begin_object();
@@ -207,6 +320,22 @@ const std::string& report_export_path() { return env_init().export_path; }
 
 void flush_exports(bool partial) noexcept {
   if (partial) mark_run_partial();
+  try {
+    // Tail sample: the aborted interval's deltas make it into the
+    // exported time-series even when the background sampler never fired.
+    TimeSeriesRecorder::global().sample(Registry::global());
+  } catch (...) {
+  }
+  try {
+    // An abort before the first cycle boundary leaves the critical-path
+    // list empty; attribute the partial window from whatever spans were
+    // recorded so the report still says where the time went.
+    if (tracing_enabled() && critical_paths_copy().empty()) {
+      const CriticalPathReport cp = analyze_critical_path(collect_events());
+      if (cp.valid) append_critical_path(summarize(cp));
+    }
+  } catch (...) {
+  }
   try {
     const std::string& trace_path = trace_export_path();
     if (!trace_path.empty()) {

@@ -16,12 +16,15 @@
 #include <vector>
 
 #include "telemetry/aggregate.hpp"
+#include "telemetry/critical_path.hpp"
 
 namespace senkf::telemetry {
 
 struct RunReport {
-  /// Bumped when the JSON layout changes incompatibly.
-  static constexpr int kVersion = 1;
+  /// Bumped when the JSON layout changes incompatibly.  v2 adds the
+  /// per-cycle critical-path section, latency quantiles, and the
+  /// time-series section (DESIGN.md §13).
+  static constexpr int kVersion = 2;
 
   std::string kind;     ///< "senkf", "penkf", "lenkf", ...
   bool valid = false;   ///< a run populated this report
@@ -44,6 +47,19 @@ struct RunReport {
 /// Replaces the process-global report (the last run wins).
 void set_run_report(RunReport report);
 
+/// Appends one per-cycle critical-path summary to the accumulating
+/// process-global list and assigns it the next cycle index (1-based).
+/// Deliberately separate from set_run_report: cycled runs replace the
+/// report once per cycle but the attribution history must span them.
+void append_critical_path(CriticalPathSummary summary);
+
+/// Copy of every appended per-cycle summary, in cycle order.
+std::vector<CriticalPathSummary> critical_paths_copy();
+
+/// Drops the accumulated summaries and resets the cycle counter (tests
+/// call it between runs).
+void clear_critical_paths();
+
 /// Marks the global report partial without touching its data; called on
 /// the fault path before flush_exports().
 void mark_run_partial();
@@ -51,8 +67,11 @@ void mark_run_partial();
 /// Copy of the current global report (tests, examples).
 RunReport run_report_copy();
 
-/// Writes schema "senkf-run-report" v1: the global RunReport plus a dump
-/// of every metric currently in the registry.
+/// Writes schema "senkf-run-report" v2: the global RunReport plus the
+/// per-cycle critical paths, p50/p90/p99 latency quantiles for every
+/// "*_us" histogram, the time-series section (sampler + aggregated
+/// per-rank series), and a dump of every metric currently in the
+/// registry.
 void write_run_report(std::ostream& out);
 void write_run_report(const std::string& path);
 
@@ -67,6 +86,10 @@ const std::string& report_export_path();
 
 /// Immediately writes the armed exports (trace and report, if their env
 /// paths are set), marking the report partial first when `partial`.
+/// Before writing it takes one final time-series sample (so the exported
+/// report carries the tail of the aborted interval) and, when tracing is
+/// armed and no cycle completed, computes a partial critical path over
+/// the events recorded so far — an aborting run keeps its attribution.
 /// Never throws: a failed run must not lose its root cause to an export
 /// error.  Used by the fault-abort path; safe to call more than once
 /// (atexit simply rewrites with fuller data on a clean exit).

@@ -163,8 +163,15 @@ void TraceSpan::record() {
   event.t_end_ns = now_ns();
   event.rank = g_thread_rank;
   event.stage = stage_;
+  event.flow_id = flow_id_;
   event.category = category_;
+  event.flow = flow_;
   append(local_buffer(), event);
+}
+
+std::uint64_t alloc_flow_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 void record_event(const TraceEvent& event) {
@@ -252,6 +259,27 @@ void write_chrome_trace(std::ostream& out) {
       json.key("args").begin_object().field("stage", event.stage).end_object();
     }
     json.end_object();
+    if (event.flow_id != 0 && event.flow != FlowDir::kNone) {
+      // Flow events share name/cat across all hops of an id so Chrome and
+      // Perfetto join them into one arrow chain.  The start binds at the
+      // sender span's begin (the message existed from then on); steps and
+      // the finish bind at span end — the instant the message was taken
+      // out of the mailbox / released the wait.  bp:"e" makes the finish
+      // attach to the enclosing slice rather than the next one.
+      const bool start = event.flow == FlowDir::kOut;
+      const double flow_ts_us =
+          static_cast<double>(start ? event.t_start_ns : event.t_end_ns) / 1e3;
+      json.begin_object()
+          .field("ph", start ? "s" : (event.flow == FlowDir::kStep ? "t" : "f"))
+          .field("name", "parcomm")
+          .field("cat", "flow")
+          .field("id", event.flow_id)
+          .field("ts", flow_ts_us)
+          .field("pid", event.rank + 1)
+          .field("tid", tid);
+      if (event.flow == FlowDir::kIn) json.field("bp", "e");
+      json.end_object();
+    }
   }
   json.end_array().end_object();
 }

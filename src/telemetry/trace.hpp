@@ -45,13 +45,27 @@ enum class Category : std::uint8_t {
 
 const char* category_name(Category category);
 
+/// Role of a span in a cross-rank message flow (DESIGN.md §13).  A
+/// sender-side span is the flow origin (kOut, Chrome "s"), intermediate
+/// hops — the helper-thread drain, the mailbox pop — are steps (kStep,
+/// "t"), and the span whose wait the message ultimately unblocked is the
+/// finish (kIn, "f" with bp:"e").
+enum class FlowDir : std::uint8_t {
+  kNone = 0,
+  kOut,   ///< message leaves this span (flow start)
+  kStep,  ///< message passed through this span (flow step)
+  kIn,    ///< this span was blocked on the message (flow finish)
+};
+
 struct TraceEvent {
   const char* name = "";  ///< must point at storage outliving the tracer
   std::int64_t t_start_ns = 0;
   std::int64_t t_end_ns = 0;
   std::int32_t rank = -1;   ///< -1 = not attributed to a rank
   std::int32_t stage = -1;  ///< -1 = no stage/layer
+  std::uint64_t flow_id = 0;  ///< 0 = not part of a message flow
   Category category = Category::kOther;
+  FlowDir flow = FlowDir::kNone;
 };
 
 /// Nanoseconds on the process-wide monotonic clock (steady_clock anchored
@@ -97,15 +111,35 @@ class TraceSpan {
   /// unpacked); call before destruction.
   void set_stage(std::int32_t stage) { stage_ = stage; }
 
+  /// Bind this span to a message flow (id from alloc_flow_id() on the
+  /// sender, or from a received envelope's span context).  id 0 is
+  /// ignored, so callers can pass an unstamped context straight through.
+  void set_flow(FlowDir dir, std::uint64_t id) {
+    if (id == 0) return;
+    flow_ = dir;
+    flow_id_ = id;
+  }
+
+  std::int64_t start_ns() const { return start_ns_; }
+  bool armed() const { return armed_; }
+
  private:
   void record();
 
   std::int64_t start_ns_ = 0;
+  std::uint64_t flow_id_ = 0;
   const char* name_;
   std::int32_t stage_;
   Category category_;
+  FlowDir flow_ = FlowDir::kNone;
   bool armed_;
 };
+
+/// Process-unique nonzero flow id for a new message (atomic counter).
+/// Rank threads share one process here, so uniqueness is global; a real
+/// MPI transport would namespace by origin rank, which the span context
+/// carries anyway.
+std::uint64_t alloc_flow_id();
 
 /// Direct recording for pre-timed intervals (CountedSpan, tests).
 void record_event(const TraceEvent& event);
@@ -121,7 +155,10 @@ void clear_events();
 
 /// Chrome trace-event JSON (object form, {"traceEvents": [...]}): one
 /// "X" complete event per span, microsecond timestamps, pid = rank + 1
-/// with "M" process_name metadata rows, tid = thread_index().
+/// with "M" process_name metadata rows, tid = thread_index().  Spans
+/// bound to a message flow additionally emit an "s"/"t"/"f" flow event
+/// (shared name "parcomm", cat "flow") so Perfetto draws cross-rank
+/// arrows from sender to the wait the message released.
 void write_chrome_trace(std::ostream& out);
 void write_chrome_trace(const std::string& path);
 

@@ -9,10 +9,17 @@
 //  * an injected straggler delay raises senkf.straggler.* WARNs, and
 //    SENKF_SKEW_WARN=off silences the monitor;
 //  * the aggregation survives an injected-faulty PFS (SENKF_FAULTS).
+//
+// Causal-tracing acceptance (DESIGN.md §13): an injected straggler rank
+// dominates the per-cycle critical path and the attribution sums to the
+// measured wall clock; re-issued bar reads leave no dangling flow ids;
+// flush-on-fault still emits the partial time-series and critical path.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -20,8 +27,11 @@
 #include "enkf/senkf.hpp"
 #include "grid/synthetic.hpp"
 #include "obs/perturbed.hpp"
+#include "telemetry/critical_path.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/timeseries.hpp"
+#include "telemetry/trace.hpp"
 #include "../telemetry/test_json.hpp"
 
 namespace senkf::enkf {
@@ -89,7 +99,9 @@ TEST(Observability, AggregatedTotalsEqualSumOfPerRankSamples) {
     EXPECT_EQ(stats.ranks[i].rank, static_cast<std::int32_t>(i));
     const bool is_io = i >= config.computation_ranks();
     EXPECT_EQ(stats.ranks[i].is_io != 0, is_io) << "rank " << i;
-    if (is_io) EXPECT_GE(stats.ranks[i].group, 0);
+    if (is_io) {
+      EXPECT_GE(stats.ranks[i].group, 0);
+    }
   }
 
   // The facade's totals are the per-rank sums — the aggregation-tree
@@ -269,6 +281,125 @@ TEST(Observability, MonitorOffInConfigStillAggregates) {
   EXPECT_EQ(stats.straggler_warns, 0u);
   EXPECT_EQ(stats.ranks.size(), config.total_ranks());
   EXPECT_GT(stats.messages, 0u);
+}
+
+// Tracing state, the critical-path list, and the series recorder are
+// process-global; each tracing test arms them on entry and scrubs them on
+// exit so the plain Observability suites above stay oblivious.
+class ObservabilityTracing : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_tracing_enabled(true);
+    telemetry::clear_events();
+    telemetry::clear_critical_paths();
+  }
+  void TearDown() override {
+    telemetry::set_tracing_enabled(false);
+    telemetry::clear_events();
+    telemetry::clear_critical_paths();
+  }
+};
+
+TEST_F(ObservabilityTracing, StragglerDominatesReportedCriticalPath) {
+  const World w(49);
+  // I/O rank ordinal 0 pays 40 ms per bar read with no re-issue deadline:
+  // every stage of the run is serialized behind its acquisitions.
+  const FaultyEnsembleStore faulty(
+      w.store, pfs::parse_fault_plan("straggler=0:0.04"));
+  const SenkfConfig config = senkf_config(2, 2);
+
+  const std::int64_t t0 = telemetry::now_ns();
+  (void)senkf(faulty, w.observations, w.ys, config);
+  const double measured_s =
+      static_cast<double>(telemetry::now_ns() - t0) / 1e9;
+
+  const auto paths = telemetry::critical_paths_copy();
+  ASSERT_EQ(paths.size(), 1u);  // one cycle, one attribution
+  const telemetry::CriticalPathSummary& cp = paths.front();
+
+  // Acceptance: the attribution partitions the cycle — the split sums to
+  // the walked wall clock exactly, and that window covers the measured
+  // run wall clock within 5%.
+  EXPECT_NEAR(cp.attributed_s + cp.untracked_s, cp.wall_s, 1e-9);
+  EXPECT_NEAR(cp.compute_s + cp.disk_s + cp.comm_blocked_s + cp.other_s +
+                  cp.untracked_s,
+              cp.wall_s, 1e-9);
+  EXPECT_NEAR(cp.wall_s, measured_s, 0.05 * measured_s + 0.005);
+
+  // Acceptance: the injected straggler — I/O rank ordinal 0, world rank
+  // computation_ranks() — dominates the ranked contributor table with its
+  // bar acquisitions, reached from cycle end through flow-edge hops.
+  ASSERT_FALSE(cp.top.empty());
+  EXPECT_EQ(cp.top[0].rank,
+            static_cast<std::int32_t>(config.computation_ranks()));
+  EXPECT_EQ(cp.top[0].phase, "bar_obtain");
+  EXPECT_GT(cp.disk_s, 0.5 * cp.wall_s);
+  EXPECT_GE(cp.message_hops, 1u);
+  EXPECT_EQ(cp.missing_edges, 0u);
+}
+
+TEST_F(ObservabilityTracing, ReissuedBarsLeaveNoDanglingFlowIds) {
+  const World w(50);
+  // 50 ms straggler against a 2 ms deadline: its bars are re-issued to
+  // the group peer, so the message plane carries both the late originals
+  // and the replacements.
+  const FaultyEnsembleStore faulty(
+      w.store, pfs::parse_fault_plan("straggler=0:0.05"));
+  SenkfConfig config = senkf_config(2, 2);
+  config.fault.straggler_deadline_s = 0.002;
+
+  SenkfStats stats;
+  (void)senkf(faulty, w.observations, w.ys, config, &stats);
+  const auto events = telemetry::collect_events();
+  ASSERT_GT(stats.bars_reissued, 0u);
+
+  // Re-issue changes which rank sends which block mid-flight, but every
+  // consumed flow id must still resolve to a recorded origin — a dangling
+  // id would render as an arrow from nowhere in the export.
+  std::set<std::uint64_t> origins;
+  for (const auto& e : events) {
+    if (e.flow == telemetry::FlowDir::kOut) origins.insert(e.flow_id);
+  }
+  std::size_t consumed = 0;
+  for (const auto& e : events) {
+    if (e.flow != telemetry::FlowDir::kStep &&
+        e.flow != telemetry::FlowDir::kIn) {
+      continue;
+    }
+    ++consumed;
+    EXPECT_EQ(origins.count(e.flow_id), 1u)
+        << "dangling flow id " << e.flow_id;
+  }
+  EXPECT_GT(consumed, 0u);
+
+  // The walker sees the same complete edge set and terminates cleanly.
+  const telemetry::CriticalPathReport cp =
+      telemetry::analyze_critical_path(events);
+  ASSERT_TRUE(cp.valid);
+  EXPECT_FALSE(cp.truncated);
+  EXPECT_EQ(cp.missing_edges, 0u);
+}
+
+TEST_F(ObservabilityTracing, FlushOnFaultEmitsTimeseriesAndCriticalPath) {
+  const World w(51);
+  const FaultyEnsembleStore faulty(w.store, pfs::parse_fault_plan("dead=1"));
+  SenkfConfig config = senkf_config();
+  config.fault.drop_unreadable_members = false;  // make the run abort
+
+  telemetry::TimeSeriesRecorder::global().clear();
+  EXPECT_THROW(senkf(faulty, w.observations, w.ys, config),
+               pfs::PermanentReadError);
+
+  // Flush-on-fault must leave behind (a) a report marked partial, (b) a
+  // critical path attributing the aborted window, (c) the tail
+  // time-series sample covering the aborted interval's deltas.
+  EXPECT_TRUE(telemetry::run_report_copy().partial);
+  const auto paths = telemetry::critical_paths_copy();
+  ASSERT_FALSE(paths.empty());
+  EXPECT_GT(paths.front().wall_s, 0.0);
+  EXPECT_GT(paths.front().attributed_s + paths.front().untracked_s, 0.0);
+  EXPECT_FALSE(telemetry::TimeSeriesRecorder::global().snapshot().empty());
+  telemetry::TimeSeriesRecorder::global().clear();
 }
 
 }  // namespace

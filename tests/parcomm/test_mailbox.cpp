@@ -10,7 +10,11 @@ namespace {
 Envelope make(int source, int tag, double value = 0.0) {
   Packer packer;
   packer.put(value);
-  return Envelope{source, tag, packer.take()};
+  Envelope envelope;
+  envelope.source = source;
+  envelope.tag = tag;
+  envelope.payload = SharedPayload(packer.take());
+  return envelope;
 }
 
 TEST(Mailbox, PushPopFifoPerSignature) {

@@ -141,6 +141,55 @@ TEST(Registry, GlobalIsASingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }
 
+TEST(HistogramQuantile, InterpolatesWithinBucket) {
+  // 100 observations spread uniformly over the (0, 10] bucket: p50 lands
+  // mid-bucket, p90 at 9/10 of it.
+  const std::vector<double> bounds{10.0, 20.0};
+  const std::vector<std::uint64_t> buckets{100, 0, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 0.90), 9.0);
+}
+
+TEST(HistogramQuantile, WalksCumulativeAcrossBuckets) {
+  // 50 in (0,10], 30 in (10,20], 20 overflow.
+  const std::vector<double> bounds{10.0, 20.0};
+  const std::vector<std::uint64_t> buckets{50, 30, 20};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 0.50), 10.0);
+  // p75: target 75, 25 into the 30-wide second bucket → 10 + 10*25/30.
+  EXPECT_NEAR(histogram_quantile(bounds, buckets, 0.75),
+              10.0 + 10.0 * 25.0 / 30.0, 1e-12);
+  // Quantiles in the overflow bucket clamp to the last finite bound.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 0.99), 20.0);
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0, 8.0};
+  const std::vector<std::uint64_t> buckets{3, 7, 11, 2, 1};
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = histogram_quantile(bounds, buckets, q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramQuantile, DegenerateInputsReturnZero) {
+  EXPECT_DOUBLE_EQ(histogram_quantile({}, {}, 0.5), 0.0);
+  // All-zero buckets: no observations.
+  EXPECT_DOUBLE_EQ(histogram_quantile({1.0}, {0, 0}, 0.5), 0.0);
+  // Mismatched shapes never read out of bounds.
+  EXPECT_DOUBLE_EQ(histogram_quantile({1.0, 2.0}, {5}, 0.5), 0.0);
+}
+
+TEST(HistogramQuantile, ClampsQ) {
+  const std::vector<double> bounds{10.0};
+  const std::vector<std::uint64_t> buckets{10, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, -1.0),
+                   histogram_quantile(bounds, buckets, 0.0));
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 2.0),
+                   histogram_quantile(bounds, buckets, 1.0));
+}
+
 TEST(ScopedTimer, AddsElapsedNanoseconds) {
   Counter c;
   { ScopedTimerNs timer(c); }

@@ -130,13 +130,19 @@ TEST(TelemetrySmoke, ExportIsLoadableChromeTrace) {
   const testjson::Value root = testjson::parse(out.str());
 
   const auto& trace_events = root.at("traceEvents").as_array();
-  std::size_t complete = 0, metadata = 0;
+  std::size_t complete = 0, metadata = 0, flows = 0;
   std::set<double> pids;
   for (const auto& event : trace_events) {
     const std::string ph = event.at("ph").as_string();
     if (ph == "M") {
       ++metadata;
       EXPECT_EQ(event.at("name").as_string(), "process_name");
+      continue;
+    }
+    if (ph == "s" || ph == "t" || ph == "f") {
+      ++flows;
+      EXPECT_EQ(event.at("cat").as_string(), "flow");
+      EXPECT_GT(event.at("id").as_number(), 0.0);
       continue;
     }
     ASSERT_EQ(ph, "X");
@@ -148,6 +154,8 @@ TEST(TelemetrySmoke, ExportIsLoadableChromeTrace) {
   }
   EXPECT_EQ(complete, run.events.size());
   EXPECT_GE(metadata, 1u);
+  // The pipeline sends traced messages, so cross-rank flow arrows exist.
+  EXPECT_GE(flows, 1u);
   // One Chrome process row per rank (plus possibly the unattributed row).
   EXPECT_GE(pids.size(),
             static_cast<std::size_t>(run.config.total_ranks()));

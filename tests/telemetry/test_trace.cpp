@@ -135,7 +135,8 @@ TEST_F(TraceTest, ChromeExportIsValidJson) {
   std::size_t spans = 0;
   for (const auto& event : events) {
     const std::string ph = event.at("ph").as_string();
-    ASSERT_TRUE(ph == "X" || ph == "M");
+    ASSERT_TRUE(ph == "X" || ph == "M" || ph == "s" || ph == "t" ||
+                ph == "f");
     if (ph != "X") continue;
     ++spans;
     EXPECT_FALSE(event.at("name").as_string().empty());
@@ -145,6 +146,71 @@ TEST_F(TraceTest, ChromeExportIsValidJson) {
     EXPECT_EQ(event.at("pid").as_number(), 3.0);  // rank 2 → pid 3
   }
   EXPECT_EQ(spans, 2u);
+}
+
+TEST_F(TraceTest, FlowIdsAreUniqueAndNonzero) {
+  const auto a = alloc_flow_id();
+  const auto b = alloc_flow_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(TraceTest, SetFlowIgnoresUntracedContext) {
+  {
+    TraceSpan span(Category::kWait, "stage_wait");
+    span.set_flow(FlowDir::kIn, 0);  // span_id 0 = sender wasn't tracing
+  }
+  const auto events = collect_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].flow, FlowDir::kNone);
+  EXPECT_EQ(events[0].flow_id, 0u);
+}
+
+TEST_F(TraceTest, ChromeExportEmitsFlowEventTriplet) {
+  set_thread_rank(1);
+  const std::uint64_t id = alloc_flow_id();
+  {
+    TraceEvent origin;
+    origin.name = "msg_send";
+    origin.t_start_ns = origin.t_end_ns = now_ns();
+    origin.rank = 1;
+    origin.flow_id = id;
+    origin.category = Category::kSend;
+    origin.flow = FlowDir::kOut;
+    record_event(origin);
+  }
+  {
+    TraceSpan step(Category::kRecv, "drain_block");
+    step.set_flow(FlowDir::kStep, id);
+  }
+  {
+    TraceSpan finish(Category::kWait, "stage_wait");
+    finish.set_flow(FlowDir::kIn, id);
+  }
+  std::ostringstream out;
+  write_chrome_trace(out);
+
+  const testjson::Value root = testjson::parse(out.str());
+  bool saw_s = false, saw_t = false, saw_f = false;
+  for (const auto& event : root.at("traceEvents").as_array()) {
+    const std::string ph = event.at("ph").as_string();
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    // Flow events share one name/cat/id so Perfetto joins the arrow.
+    EXPECT_EQ(event.at("name").as_string(), "parcomm");
+    EXPECT_EQ(event.at("cat").as_string(), "flow");
+    EXPECT_EQ(event.at("id").as_number(), static_cast<double>(id));
+    if (ph == "s") saw_s = true;
+    if (ph == "t") saw_t = true;
+    if (ph == "f") {
+      saw_f = true;
+      // Binding point "enclosing": the arrow ends on the wait span.
+      EXPECT_EQ(event.at("bp").as_string(), "e");
+    }
+  }
+  EXPECT_TRUE(saw_s);
+  EXPECT_TRUE(saw_t);
+  EXPECT_TRUE(saw_f);
 }
 
 TEST(TraceEnv, ParsesKillSwitchValues) {
