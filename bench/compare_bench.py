@@ -7,7 +7,12 @@ Usage: compare_bench.py BASELINE.json CURRENT.json [--threshold 0.15]
 Matches benchmarks by name, compares real_time (normalized to ns), and
 prints a delta table.  Regressions beyond --threshold emit warnings
 (GitHub-annotation format under CI) but exit 0 unless --hard — the gate
-is advisory while the bench trajectory seeds.  Stdlib only.
+is advisory while the bench trajectory seeds.  A benchmark present in
+the current run but absent from the baseline is NOT a regression: it is
+reported as `new-metric` with a non-fatal ::notice annotation, so adding
+a benchmark never trips the gate before its baseline lands.  A baseline
+benchmark missing from the current run still counts as a regression
+(something stopped being measured).  Stdlib only.
 """
 import argparse
 import json
@@ -66,8 +71,15 @@ def main():
               f"{delta:+7.1%}{flag}")
         if delta > args.threshold:
             regressions.append((name, delta))
-    for name in sorted(set(current) - set(baseline)):
-        print(f"{name:<{width}}  {'new':>12}  {current[name]:>12.1f}  -")
+    new_metrics = sorted(set(current) - set(baseline))
+    for name in new_metrics:
+        print(f"{name:<{width}}  {'new-metric':>12}  {current[name]:>12.1f}  -")
+    for name in new_metrics:
+        # ::notice renders as a non-failing annotation on GitHub Actions;
+        # a new benchmark needs a baseline refresh, not a red build.
+        print(f"::notice title=bench new-metric::{name}: present in current "
+              "run but not in baseline (refresh the committed baseline to "
+              "start gating it)")
 
     if regressions:
         for name, delta in regressions:
@@ -79,8 +91,9 @@ def main():
         print(f"compare_bench: {len(regressions)} regression(s) beyond "
               f"+{args.threshold:.0%}")
         return 1 if args.hard else 0
+    extra = f", {len(new_metrics)} new-metric" if new_metrics else ""
     print("compare_bench: no regressions beyond "
-          f"+{args.threshold:.0%} ({len(baseline)} benchmarks)")
+          f"+{args.threshold:.0%} ({len(baseline)} benchmarks{extra})")
     return 0
 
 

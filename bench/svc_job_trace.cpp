@@ -1,0 +1,155 @@
+// Multi-tenant service bench (DESIGN.md §14): replays one bursty
+// synthetic job trace under each scheduling policy on the same shared
+// vcluster + PFS, and reports per-policy throughput (jobs/hour) and tail
+// latency (p99 job latency = queue wait + run time).
+//
+// Usage (key=value args):
+//   svc_job_trace [jobs=120] [tenants=6] [horizon=600] [seed=42]
+//                 [ranks=384] [policy=all|fifo|fair-share|deadline]
+//                 [smoke=0] [out=BENCH_service.json]
+//
+// `smoke=1` shrinks the trace for CI sanity legs.  `policy` defaults to
+// SENKF_SERVICE_POLICY when set, else all three.  `out=` writes the
+// per-policy metrics in google-benchmark JSON so bench/compare_bench.py
+// can gate them against the committed BENCH_service.json; every gated
+// metric is lower-is-better (throughput is gated via makespan_s).
+// SENKF_REPORT exports the last executed policy's run report (schema v3
+// with the per-job SLO section).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/scheduler.hpp"
+#include "service/trace_gen.hpp"
+#include "support/config.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "telemetry/json_writer.hpp"
+
+namespace {
+
+using senkf::Table;
+namespace service = senkf::service;
+
+struct PolicyRun {
+  service::Policy policy;
+  service::ServiceResult result;
+};
+
+void write_benchmark_json(const std::string& path,
+                          const std::vector<PolicyRun>& runs) {
+  std::ofstream out(path);
+  SENKF_REQUIRE(out.good(), "svc_job_trace: cannot open out= path");
+  senkf::telemetry::JsonWriter w(out);
+  w.begin_object();
+  w.key("context").begin_object();
+  w.field("executable", "svc_job_trace");
+  w.field("num_cpus", std::int64_t{1});
+  w.end_object();
+  w.key("benchmarks").begin_array();
+  for (const PolicyRun& run : runs) {
+    const std::string prefix =
+        std::string("svc/") + service::policy_name(run.policy) + "/";
+    auto metric = [&w, &prefix](const std::string& name, double seconds) {
+      w.begin_object();
+      w.field("name", prefix + name);
+      w.field("run_type", "iteration");
+      w.field("real_time", seconds);
+      w.field("time_unit", "s");
+      w.end_object();
+    };
+    const service::ServiceResult& r = run.result;
+    metric("p99_job_latency_s", r.p99_latency_s);
+    metric("mean_job_latency_s", r.mean_latency_s);
+    metric("worst_tenant_p99_s", r.worst_tenant_p99_s);
+    metric("makespan_s", r.makespan_s);
+    const double total =
+        static_cast<double>(r.deadlines_met + r.deadlines_missed);
+    metric("deadline_miss_frac",
+           total > 0.0 ? static_cast<double>(r.deadlines_missed) / total
+                       : 0.0);
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const senkf::Config config = senkf::Config::from_args(argc, argv);
+  const bool smoke = config.get_bool("smoke", false);
+
+  service::TraceConfig trace_config;
+  trace_config.jobs =
+      static_cast<std::uint64_t>(config.get_int("jobs", smoke ? 36 : 120));
+  trace_config.tenants =
+      static_cast<std::uint64_t>(config.get_int("tenants", 6));
+  trace_config.horizon_s = config.get_double("horizon", smoke ? 180.0 : 600.0);
+  trace_config.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  trace_config.cluster_ranks =
+      static_cast<std::uint64_t>(config.get_int("ranks", 384));
+
+  service::ServiceConfig svc;
+  svc.total_ranks = trace_config.cluster_ranks;
+
+  const std::vector<service::JobSpec> trace =
+      service::generate_trace(trace_config, svc.machine);
+
+  std::string policy_arg = config.get_string("policy", "");
+  if (policy_arg.empty()) {
+    const char* env = std::getenv("SENKF_SERVICE_POLICY");
+    policy_arg = (env != nullptr && env[0] != '\0') ? env : "all";
+  }
+  std::vector<service::Policy> policies;
+  if (policy_arg == "all") {
+    policies = {service::Policy::kFifo, service::Policy::kFairShare,
+                service::Policy::kDeadline};
+  } else {
+    policies = {service::parse_policy(policy_arg)};
+  }
+
+  std::vector<PolicyRun> runs;
+  Table table({"policy", "jobs/h", "admitted", "rejected", "met", "missed",
+               "mean_s", "p99_s", "worst_tenant_p99_s", "peak_jobs",
+               "cache_hits"});
+  for (const service::Policy policy : policies) {
+    svc.policy = policy;
+    service::ServiceResult result = service::run_service(svc, trace);
+    SENKF_REQUIRE(result.peak_concurrent_jobs >= 3,
+                  "svc_job_trace: trace never reached 3 concurrent jobs — "
+                  "not a service-plane exercise");
+    table.add_row({service::policy_name(policy),
+                   Table::num(result.jobs_per_hour, 1),
+                   Table::num(static_cast<long long>(result.admitted)),
+                   Table::num(static_cast<long long>(result.rejected)),
+                   Table::num(static_cast<long long>(result.deadlines_met)),
+                   Table::num(static_cast<long long>(result.deadlines_missed)),
+                   Table::num(result.mean_latency_s, 2),
+                   Table::num(result.p99_latency_s, 2),
+                   Table::num(result.worst_tenant_p99_s, 2),
+                   Table::num(
+                       static_cast<long long>(result.peak_concurrent_jobs)),
+                   Table::num(static_cast<long long>(result.cache_hits))});
+    runs.push_back(PolicyRun{policy, std::move(result)});
+  }
+
+  std::cout << "svc_job_trace: " << trace.size() << " jobs, "
+            << trace_config.tenants << " tenants, "
+            << trace_config.cluster_ranks << " ranks, horizon "
+            << trace_config.horizon_s << " s, seed " << trace_config.seed
+            << (smoke ? " (smoke)" : "") << "\n\n";
+  table.print(std::cout, "per-policy throughput and tail latency");
+
+  // Export the last policy's report (schema v3) for SENKF_REPORT users.
+  service::publish_report(runs.back().result, svc);
+
+  const std::string out_path = config.get_string("out", "");
+  if (!out_path.empty()) {
+    write_benchmark_json(out_path, runs);
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Job descriptions for the assimilation service (DESIGN.md §14).
+//
+// A JobSpec is one tenant's request: "assimilate this workload (grid,
+// ensemble, observation density) within `ranks` processors, `deadline_s`
+// seconds after I submit it".  The scheduler tunes each admitted job with
+// the paper's Algorithms 1–2 against the shared machine model, carves a
+// disjoint rank interval for it, and executes it on the shared simulated
+// PFS; the JobRecord is the full per-job SLO accounting that feeds run
+// report schema v3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vcluster/machine.hpp"
+#include "vcluster/workflows.hpp"
+
+namespace senkf::service {
+
+struct JobSpec {
+  std::uint64_t id = 0;
+  std::string tenant;
+  /// Submission time on the service clock (simulated seconds).
+  double arrival_s = 0.0;
+  /// Deadline relative to arrival.  > 0 is a real deadline; == 0 means
+  /// "due immediately" (admitted, scheduled with top urgency under the
+  /// deadline-aware policy, and inevitably recorded as missed); < 0 is
+  /// rejected at admission.
+  double deadline_s = 0.0;
+  /// Processor budget the tuner may spend on this job (upper bound on the
+  /// carved rank set).
+  std::uint64_t ranks = 0;
+  /// Back-to-back assimilation cycles; cycles after the first reuse the
+  /// job's own cached ensemble reads.
+  std::uint64_t cycles = 1;
+  /// Grid size, ensemble N, halos — the per-tenant analysis workload.
+  vcluster::SimWorkload workload;
+  /// Observation-network density relative to the calibrated baseline:
+  /// scales the local-analysis cost per grid point (a denser network
+  /// means more observations per local domain).
+  double obs_density = 1.0;
+  /// First ensemble-member file index of this tenant's ensemble on the
+  /// shared PFS (members occupy [file_base, file_base + workload.members)).
+  /// Distinct tenants use distinct ranges, so OST placement — and hence
+  /// disk contention — is tenant-dependent, as on a real file system.
+  std::uint64_t file_base = 0;
+};
+
+/// Per-job outcome and SLO accounting.
+struct JobRecord {
+  JobSpec spec;
+  bool admitted = false;
+  std::string reject_reason;  ///< set iff !admitted
+  double start_s = -1.0;
+  double end_s = -1.0;
+  double queue_wait_s = 0.0;
+  double run_s = 0.0;
+  double predicted_s = 0.0;  ///< tuning::predict_runtime at admission
+  bool deadline_met = false;
+  /// The carved rank interval [rank_lo, rank_lo + ranks_used) — disjoint
+  /// from every concurrently running job's interval.
+  std::uint64_t rank_lo = 0;
+  std::uint64_t ranks_used = 0;
+  /// Disk-concurrency slots (n_cg · n_sdy) held for the job's duration.
+  std::uint64_t io_slots = 0;
+  /// Tuned configuration the job ran with.
+  vcluster::SenkfParams params;
+  // Cross-job reuse accounting.
+  std::uint64_t cache_hits = 0;      ///< cycles served from cached bars
+  double cache_saved_bytes = 0.0;    ///< PFS bytes the cache absorbed
+  std::uint64_t pool_hits = 0;       ///< payload buffers recycled from pool
+  std::uint64_t pool_misses = 0;     ///< payload buffers freshly allocated
+
+  /// Queue wait + run time (the per-job latency the bench quantiles).
+  double latency_s() const { return end_s - spec.arrival_s; }
+};
+
+}  // namespace senkf::service

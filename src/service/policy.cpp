@@ -1,0 +1,113 @@
+#include "service/policy.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace senkf::service {
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kFifo: return "fifo";
+    case Policy::kFairShare: return "fair-share";
+    case Policy::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+Policy parse_policy(const std::string& spec) {
+  if (spec == "fifo") return Policy::kFifo;
+  if (spec == "fair-share" || spec == "fair" || spec == "fairshare") {
+    return Policy::kFairShare;
+  }
+  if (spec == "deadline" || spec == "deadline-aware" || spec == "edf") {
+    return Policy::kDeadline;
+  }
+  throw InvalidArgument("SENKF_SERVICE_POLICY: unknown policy '" + spec +
+                        "' (want fifo | fair-share | deadline)");
+}
+
+Policy policy_from_env() {
+  const char* spec = std::getenv("SENKF_SERVICE_POLICY");
+  if (spec == nullptr || spec[0] == '\0') return Policy::kFifo;
+  return parse_policy(spec);
+}
+
+namespace {
+
+/// Earlier arrival wins; queue index is the final, total tie-break.
+bool arrives_before(const Candidate& a, const Candidate& b) {
+  if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+  return a.index < b.index;
+}
+
+std::optional<std::size_t> pick_fifo(const std::vector<Candidate>& pending) {
+  // Strict arrival order: only the head may start.  When the head does
+  // not fit, everything behind it waits — the baseline's head-of-line
+  // blocking that the other policies exist to remove.
+  const Candidate* head = nullptr;
+  for (const Candidate& c : pending) {
+    if (head == nullptr || arrives_before(c, *head)) head = &c;
+  }
+  if (head == nullptr || !head->fits) return std::nullopt;
+  return head->index;
+}
+
+std::optional<std::size_t> pick_deadline(
+    const std::vector<Candidate>& pending) {
+  const Candidate* best = nullptr;
+  for (const Candidate& c : pending) {
+    if (!c.fits) continue;
+    if (best == nullptr || c.deadline_abs_s < best->deadline_abs_s ||
+        (c.deadline_abs_s == best->deadline_abs_s &&
+         arrives_before(c, *best))) {
+      best = &c;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->index;
+}
+
+std::optional<std::size_t> pick_fair_share(
+    const std::vector<Candidate>& pending,
+    const std::map<std::string, double>& billed_usage, double now_s,
+    double aging_rate) {
+  const Candidate* best = nullptr;
+  double best_usage = 0.0;
+  for (const Candidate& c : pending) {
+    if (!c.fits) continue;
+    const auto it = billed_usage.find(c.tenant);
+    // Aging bounds starvation: a queued job forgives aging_rate
+    // slot-seconds of its tenant's billing per second of wait, so a
+    // heavily billed tenant's job eventually outranks fresher arrivals
+    // instead of waiting forever behind them.
+    const double usage = (it == billed_usage.end() ? 0.0 : it->second) -
+                         aging_rate * (now_s - c.arrival_s);
+    // Equal billing degrades gracefully to arrival order (backfilling
+    // FIFO), so an idle service treats its first burst fairly.
+    if (best == nullptr || usage < best_usage ||
+        (usage == best_usage && arrives_before(c, *best))) {
+      best = &c;
+      best_usage = usage;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->index;
+}
+
+}  // namespace
+
+std::optional<std::size_t> pick_next(
+    Policy policy, const std::vector<Candidate>& pending,
+    const std::map<std::string, double>& billed_usage, double now_s,
+    double aging_rate) {
+  switch (policy) {
+    case Policy::kFifo: return pick_fifo(pending);
+    case Policy::kFairShare:
+      return pick_fair_share(pending, billed_usage, now_s, aging_rate);
+    case Policy::kDeadline: return pick_deadline(pending);
+  }
+  return std::nullopt;
+}
+
+}  // namespace senkf::service

@@ -1,0 +1,69 @@
+// Pluggable scheduling policies for the assimilation service
+// (DESIGN.md §14).
+//
+// The dispatcher reduces every policy to one pure decision: given the
+// pending queue (in arrival order) and which entries currently fit the
+// free ranks + disk-concurrency slots, which job starts next?
+//
+//  * FIFO          — strict arrival order, no backfill: when the head
+//                    does not fit, nothing starts (head-of-line blocking
+//                    is the point of the baseline).
+//  * fair-share    — tenants ordered by weighted disk-slot-seconds
+//                    billed so far; the least-billed tenant's oldest
+//                    fitting job starts.  Backfills across tenants, so a
+//                    burst-heavy tenant cannot starve the others.
+//  * deadline      — EDF over absolute deadlines with cost-model
+//                    predicted runtimes billed at dispatch; backfills
+//                    past jobs that do not fit.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace senkf::service {
+
+enum class Policy {
+  kFifo,
+  kFairShare,
+  kDeadline,
+};
+
+/// Stable short name ("fifo", "fair-share", "deadline").
+const char* policy_name(Policy policy);
+
+/// Parses a policy spec ("fifo" | "fair-share"/"fair"/"fairshare" |
+/// "deadline"/"deadline-aware"/"edf"); throws InvalidArgument otherwise.
+Policy parse_policy(const std::string& spec);
+
+/// SENKF_SERVICE_POLICY from the environment; unset/empty means FIFO.
+Policy policy_from_env();
+
+/// The dispatcher's per-candidate view of one pending job.
+struct Candidate {
+  std::size_t index = 0;       ///< position in the pending queue
+  std::string tenant;
+  double arrival_s = 0.0;
+  double deadline_abs_s = 0.0; ///< arrival + relative deadline
+  double predicted_s = 0.0;
+  bool fits = false;           ///< free ranks + io slots admit it right now
+};
+
+/// Picks the pending-queue index of the job to start next, or nullopt when
+/// the policy starts nothing.  `pending` must be in arrival order;
+/// `billed_usage` maps tenant -> weighted disk-slot-seconds consumed (the
+/// fair-share ordering key; tenants absent from the map have consumed
+/// nothing).  Under fair-share a candidate's effective billing is
+/// `billed − aging_rate × (now_s − arrival)`: every second a job queues
+/// forgives `aging_rate` slot-seconds of its tenant's consumption, so
+/// even the heaviest biller's wait is bounded (no strict-priority
+/// starvation).  Deterministic: ties break on arrival time, then queue
+/// index.
+std::optional<std::size_t> pick_next(
+    Policy policy, const std::vector<Candidate>& pending,
+    const std::map<std::string, double>& billed_usage, double now_s,
+    double aging_rate);
+
+}  // namespace senkf::service

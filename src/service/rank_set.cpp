@@ -1,0 +1,93 @@
+#include "service/rank_set.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace senkf::service {
+
+RankAllocator::RankAllocator(std::uint64_t total_ranks) : total_(total_ranks) {
+  SENKF_REQUIRE(total_ranks > 0, "RankAllocator: need at least one rank");
+  free_.push_back(Interval{0, total_ranks});
+}
+
+std::uint64_t RankAllocator::free_ranks() const {
+  std::uint64_t total = 0;
+  for (const Interval& hole : free_) total += hole.count;
+  return total;
+}
+
+std::uint64_t RankAllocator::largest_hole() const {
+  std::uint64_t best = 0;
+  for (const Interval& hole : free_) best = std::max(best, hole.count);
+  return best;
+}
+
+bool RankAllocator::can_allocate(std::uint64_t count) const {
+  return count > 0 && largest_hole() >= count;
+}
+
+std::optional<std::uint64_t> RankAllocator::allocate(std::uint64_t count) {
+  SENKF_REQUIRE(count > 0, "RankAllocator: cannot allocate zero ranks");
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].count < count) continue;
+    const std::uint64_t lo = free_[i].lo;
+    free_[i].lo += count;
+    free_[i].count -= count;
+    if (free_[i].count == 0) {
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return lo;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> RankAllocator::allocate_from_top(
+    std::uint64_t count) {
+  SENKF_REQUIRE(count > 0, "RankAllocator: cannot allocate zero ranks");
+  for (std::size_t i = free_.size(); i-- > 0;) {
+    if (free_[i].count < count) continue;
+    free_[i].count -= count;
+    const std::uint64_t lo = free_[i].lo + free_[i].count;
+    if (free_[i].count == 0) {
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return lo;
+  }
+  return std::nullopt;
+}
+
+void RankAllocator::release(std::uint64_t lo, std::uint64_t count) {
+  SENKF_REQUIRE(count > 0 && lo + count <= total_,
+                "RankAllocator: release outside the cluster");
+  const auto at = std::lower_bound(
+      free_.begin(), free_.end(), lo,
+      [](const Interval& hole, std::uint64_t value) { return hole.lo < value; });
+  // The released interval must not overlap its neighbours (double release
+  // or a carve the allocator never handed out).
+  if (at != free_.begin()) {
+    const Interval& prev = *(at - 1);
+    SENKF_REQUIRE(prev.lo + prev.count <= lo,
+                  "RankAllocator: release overlaps a free interval");
+  }
+  if (at != free_.end()) {
+    SENKF_REQUIRE(lo + count <= at->lo,
+                  "RankAllocator: release overlaps a free interval");
+  }
+  auto inserted = free_.insert(at, Interval{lo, count});
+  // Coalesce with the next interval, then with the previous one.
+  const auto next = inserted + 1;
+  if (next != free_.end() && inserted->lo + inserted->count == next->lo) {
+    inserted->count += next->count;
+    inserted = free_.erase(next) - 1;
+  }
+  if (inserted != free_.begin()) {
+    const auto prev = inserted - 1;
+    if (prev->lo + prev->count == inserted->lo) {
+      prev->count += inserted->count;
+      free_.erase(inserted);
+    }
+  }
+}
+
+}  // namespace senkf::service

@@ -1,0 +1,52 @@
+// Disjoint rank-set carving for concurrent jobs (DESIGN.md §14).
+//
+// The cluster's ranks form one interval [0, total); every admitted job
+// gets a contiguous sub-interval, first-fit into the lowest-addressed
+// hole that is large enough.  First-fit keeps the allocator deterministic
+// (same request sequence, same placement) and contiguous intervals make
+// the "disjoint rank sets" invariant trivially checkable from the job
+// records alone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace senkf::service {
+
+class RankAllocator {
+ public:
+  explicit RankAllocator(std::uint64_t total_ranks);
+
+  std::uint64_t total_ranks() const { return total_; }
+  std::uint64_t free_ranks() const;
+  /// Size of the largest free interval — what can actually be carved.
+  std::uint64_t largest_hole() const;
+  bool can_allocate(std::uint64_t count) const;
+
+  /// Carves `count` ranks out of the lowest-addressed sufficient hole;
+  /// returns the interval's first rank, or nullopt when no hole fits.
+  std::optional<std::uint64_t> allocate(std::uint64_t count);
+
+  /// Carves from the *top* of the highest-addressed sufficient hole.
+  /// The scheduler sends narrow jobs here and wide jobs to allocate(),
+  /// segregating the address space so narrow carve-outs do not fragment
+  /// the large contiguous holes wide jobs need.
+  std::optional<std::uint64_t> allocate_from_top(std::uint64_t count);
+
+  /// Returns a previously carved interval.  Adjacent free intervals are
+  /// coalesced, so release order never causes permanent fragmentation.
+  void release(std::uint64_t lo, std::uint64_t count);
+
+ private:
+  struct Interval {
+    std::uint64_t lo;
+    std::uint64_t count;
+  };
+
+  std::uint64_t total_;
+  /// Free intervals, sorted by lo, pairwise disjoint and non-adjacent.
+  std::vector<Interval> free_;
+};
+
+}  // namespace senkf::service

@@ -1,0 +1,80 @@
+#include "service/reuse.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace senkf::service {
+
+BarReadCache::BarReadCache(double capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  SENKF_REQUIRE(capacity_bytes >= 0.0,
+                "BarReadCache: capacity must be non-negative");
+}
+
+std::string BarReadCache::key_of(const JobSpec& spec) {
+  // Tenant + file range + grid shape: anything that changes what the
+  // cached bytes *are* changes the key, so a stale hit is impossible.
+  return spec.tenant + "/" + std::to_string(spec.file_base) + "+" +
+         std::to_string(spec.workload.members) + "/" +
+         std::to_string(spec.workload.nx) + "x" +
+         std::to_string(spec.workload.ny) + "x" +
+         std::to_string(spec.workload.levels);
+}
+
+bool BarReadCache::lookup(const JobSpec& spec) {
+  const std::string key = key_of(spec);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key != key) continue;
+    entries_.splice(entries_.begin(), entries_, it);  // refresh LRU
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void BarReadCache::insert(const JobSpec& spec) {
+  const std::string key = key_of(spec);
+  const double bytes = static_cast<double>(spec.workload.members) *
+                       spec.workload.member_bytes();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->key != key) continue;
+    entries_.splice(entries_.begin(), entries_, it);
+    return;  // already resident
+  }
+  if (bytes > capacity_bytes_) return;  // would evict everything for nothing
+  while (!entries_.empty() && resident_bytes_ + bytes > capacity_bytes_) {
+    resident_bytes_ -= entries_.back().bytes;
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  if (resident_bytes_ + bytes > capacity_bytes_) return;
+  entries_.push_front(Entry{key, bytes});
+  resident_bytes_ += bytes;
+  ++stats_.insertions;
+}
+
+SharedBufferPool::JobBuffers SharedBufferPool::acquire(std::uint64_t count,
+                                                       std::size_t bytes) {
+  const std::size_t clamped = std::min(bytes, kMaxModelBytes);
+  JobBuffers out;
+  out.buffers.reserve(count);
+  const parcomm::PayloadPool::Stats before = pool_.stats();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.buffers.push_back(pool_.acquire(clamped));
+  }
+  const parcomm::PayloadPool::Stats after = pool_.stats();
+  out.hits = after.hits - before.hits;
+  out.misses = after.misses - before.misses;
+  return out;
+}
+
+void SharedBufferPool::release(JobBuffers&& buffers) {
+  for (parcomm::Payload& payload : buffers.buffers) {
+    pool_.release(std::move(payload));
+  }
+  buffers.buffers.clear();
+}
+
+}  // namespace senkf::service

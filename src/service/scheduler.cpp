@@ -1,0 +1,577 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "net/net.hpp"
+#include "service/rank_set.hpp"
+#include "service/reuse.hpp"
+#include "sim/primitives.hpp"
+#include "sim/simulation.hpp"
+#include "support/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "tuning/auto_tune.hpp"
+
+namespace senkf::service {
+
+namespace {
+
+/// One admitted job's tuned execution plan.
+struct JobPlan {
+  bool feasible = false;
+  std::string reason;  ///< set iff !feasible
+  vcluster::SenkfParams params;
+  std::uint64_t ranks_needed = 0;  ///< c1 + c2
+  std::uint64_t io_slots = 0;      ///< c1 = n_cg · n_sdy
+  double predicted_s = 0.0;
+};
+
+struct PendingJob {
+  std::size_t index = 0;  ///< position in ServiceState::records
+  JobPlan plan;
+};
+
+/// Stage geometry of one job's pipeline — the same formulas as
+/// vcluster's SenkfFabric, rebuilt here because service jobs share one
+/// Simulation + Pfs instead of owning a private pair.
+struct CycleGeometry {
+  std::uint64_t stage_rows = 0;
+  double stage_bar_bytes = 0.0;
+  double message_bytes = 0.0;
+  double compute_per_stage = 0.0;
+  /// PFS bytes one cycle reads (what a cache hit saves).
+  double read_bytes = 0.0;
+};
+
+CycleGeometry cycle_geometry(const vcluster::MachineConfig& machine,
+                             const JobSpec& spec,
+                             const vcluster::SenkfParams& p) {
+  const vcluster::SimWorkload& w = spec.workload;
+  CycleGeometry g;
+  const std::uint64_t rows_per_stage = w.rows_per_stage(p.n_sdy, p.layers);
+  g.stage_rows = rows_per_stage + 2 * w.halo_eta;
+  g.stage_bar_bytes = static_cast<double>(g.stage_rows) *
+                      static_cast<double>(w.nx) * w.point_bytes();
+  const double block_cols = static_cast<double>(w.nx / p.n_sdx) +
+                            2.0 * static_cast<double>(w.halo_xi);
+  g.message_bytes = static_cast<double>(g.stage_rows) * block_cols *
+                    w.point_bytes() *
+                    static_cast<double>(w.members / p.n_cg);
+  // Observation density scales the per-point analysis cost; the machine's
+  // analysis_speedup divides it exactly as in the cost model's T_comp.
+  g.compute_per_stage = machine.update_cost_per_point_s * spec.obs_density /
+                        machine.analysis_speedup *
+                        static_cast<double>(w.nx / p.n_sdx) *
+                        static_cast<double>(rows_per_stage);
+  g.read_bytes = static_cast<double>(p.n_sdy) *
+                 static_cast<double>(w.members) *
+                 static_cast<double>(p.layers) * g.stage_bar_bytes;
+  return g;
+}
+
+/// Everything one Scheduler::run shares across jobs: the simulation, the
+/// PFS, the rank allocator, the reuse structures and the accounting.
+struct ServiceState {
+  explicit ServiceState(const ServiceConfig& cfg)
+      : config(cfg),
+        storage(sim, cfg.machine.pfs),
+        network(cfg.machine.net),
+        allocator(cfg.total_ranks),
+        cache(cfg.cache_capacity_bytes) {
+    io_slot_budget =
+        cfg.io_slot_budget > 0
+            ? cfg.io_slot_budget
+            : static_cast<std::uint64_t>(cfg.machine.pfs.ost_count) *
+                  static_cast<std::uint64_t>(cfg.machine.pfs.ost.max_streams);
+    io_slots_free = io_slot_budget;
+  }
+
+  double weight(const std::string& tenant) const {
+    const auto it = config.tenant_weights.find(tenant);
+    return it == config.tenant_weights.end() ? 1.0 : it->second;
+  }
+
+  int tenant_id(const std::string& tenant) {
+    const auto it = tenant_ids.find(tenant);
+    if (it != tenant_ids.end()) return it->second;
+    const int id = static_cast<int>(tenant_ids.size());
+    tenant_ids.emplace(tenant, id);
+    return id;
+  }
+
+  JobPlan plan_for(const JobSpec& spec);
+
+  const ServiceConfig& config;
+  sim::Simulation sim;
+  pfs::Pfs storage;
+  net::Net network;
+  RankAllocator allocator;
+  BarReadCache cache;
+  SharedBufferPool pool;
+  std::uint64_t io_slot_budget = 0;
+  std::uint64_t io_slots_free = 0;
+  std::vector<JobRecord> records;
+  /// Admitted, not yet started; always in arrival order.
+  std::vector<PendingJob> pending;
+  /// Tenant -> weighted disk-slot-seconds (the fair-share ledger).
+  std::map<std::string, double> billed;
+  std::map<std::string, int> tenant_ids;
+  std::map<std::string, JobPlan> plan_cache;
+  std::uint64_t running = 0;
+  std::uint64_t peak_running = 0;
+};
+
+JobPlan ServiceState::plan_for(const JobSpec& spec) {
+  std::ostringstream key;
+  key << spec.workload.nx << 'x' << spec.workload.ny << 'x'
+      << spec.workload.levels << '/' << spec.workload.members << '/'
+      << spec.workload.halo_xi << ',' << spec.workload.halo_eta << '/'
+      << spec.workload.bytes_per_point << '@' << spec.ranks << '/'
+      << spec.obs_density << '/' << spec.cycles;
+  const auto cached = plan_cache.find(key.str());
+  if (cached != plan_cache.end()) return cached->second;
+
+  JobPlan plan;
+  try {
+    SENKF_REQUIRE(spec.ranks >= 2,
+                  "service: a job needs at least 2 ranks "
+                  "(one I/O group + one computation processor)");
+    tuning::CostModelParams mp =
+        tuning::params_from(config.machine, spec.workload);
+    mp.c *= spec.obs_density;
+    const tuning::CostModel model(mp);
+    const tuning::AutoTuneResult tuned =
+        tuning::auto_tune(model, spec.ranks, config.epsilon);
+    plan.feasible = true;
+    plan.params = tuned.params;
+    plan.ranks_needed = tuned.c1 + tuned.c2;
+    plan.io_slots = tuned.c1;
+    plan.predicted_s =
+        tuning::predict_runtime(model, tuned.params, spec.cycles);
+  } catch (const std::exception& e) {
+    plan.feasible = false;
+    plan.reason = std::string("no feasible configuration: ") + e.what();
+  }
+  plan_cache.emplace(key.str(), plan);
+  return plan;
+}
+
+/// The WaitGroup fabric of one cycle of one job, living on the frame of
+/// run_cycle below (which outlives every task that references it).
+struct CycleFabric {
+  CycleFabric(ServiceState& st, const JobSpec& spec,
+              const vcluster::SenkfParams& params)
+      : p(params), geo(cycle_geometry(st.config.machine, spec, params)),
+        procs_done(st.sim) {
+    for (std::uint64_t l = 0; l < p.layers; ++l) {
+      compute_done.push_back(std::make_unique<sim::WaitGroup>(st.sim));
+      compute_done.back()->add(static_cast<int>(p.n_sdy));
+    }
+    arrivals.reserve(p.n_sdy * p.layers);
+    for (std::uint64_t i = 0; i < p.n_sdy * p.layers; ++i) {
+      arrivals.push_back(std::make_unique<sim::WaitGroup>(st.sim));
+      arrivals.back()->add(static_cast<int>(p.n_cg));
+    }
+    procs_done.add(static_cast<int>(p.io_processors() + p.n_sdy));
+  }
+
+  sim::WaitGroup& arrival(std::uint64_t row, std::uint64_t stage) {
+    return *arrivals[row * p.layers + stage];
+  }
+
+  vcluster::SenkfParams p;
+  CycleGeometry geo;
+  std::vector<std::unique_ptr<sim::WaitGroup>> compute_done;
+  std::vector<std::unique_ptr<sim::WaitGroup>> arrivals;
+  sim::WaitGroup procs_done;
+};
+
+/// One I/O group row of one cycle: flow-controlled bar reads (from the
+/// shared PFS, billed to the tenant, or from the bar cache) followed by
+/// the serialized scatter to the row's computation processors.
+sim::Task cycle_io_proc(ServiceState& st, CycleFabric& f, const JobSpec& spec,
+                        int tenant, bool from_cache, std::uint64_t group,
+                        std::uint64_t row) {
+  for (std::uint64_t l = 0; l < f.p.layers; ++l) {
+    // Stay one stage ahead of the computation (Fig. 8's flow control).
+    if (l >= 2) co_await f.compute_done[l - 2]->wait();
+    for (std::uint64_t file = group; file < spec.workload.members;
+         file += f.p.n_cg) {
+      if (from_cache) {
+        co_await st.sim.delay(f.geo.stage_bar_bytes /
+                              st.config.cache_bandwidth);
+      } else {
+        co_await st.storage.read_as(tenant, spec.file_base + file, 1,
+                                    f.geo.stage_bar_bytes);
+      }
+    }
+    co_await st.sim.delay(st.network.serialized_sends_time(
+        static_cast<int>(f.p.n_sdx), f.geo.message_bytes));
+    f.arrival(row, l).done();
+  }
+  f.procs_done.done();
+}
+
+sim::Task cycle_comp_row(ServiceState& st, CycleFabric& f, std::uint64_t row) {
+  for (std::uint64_t l = 0; l < f.p.layers; ++l) {
+    co_await f.arrival(row, l).wait();
+    co_await st.sim.delay(f.geo.compute_per_stage);
+    f.compute_done[l]->done();
+  }
+  f.procs_done.done();
+}
+
+sim::Task run_cycle(ServiceState& st, const JobSpec& spec,
+                    const vcluster::SenkfParams& params, int tenant,
+                    bool from_cache) {
+  CycleFabric fabric(st, spec, params);
+  for (std::uint64_t g = 0; g < params.n_cg; ++g) {
+    for (std::uint64_t j = 0; j < params.n_sdy; ++j) {
+      st.sim.spawn(cycle_io_proc(st, fabric, spec, tenant, from_cache, g, j));
+    }
+  }
+  for (std::uint64_t j = 0; j < params.n_sdy; ++j) {
+    st.sim.spawn(cycle_comp_row(st, fabric, j));
+  }
+  co_await fabric.procs_done.wait();
+}
+
+void try_dispatch(ServiceState& st);
+
+sim::Task run_job(ServiceState& st, std::size_t index, JobPlan plan,
+                  std::uint64_t rank_lo) {
+  JobRecord& rec = st.records[index];
+  const JobSpec& spec = rec.spec;
+  rec.start_s = st.sim.now();
+  rec.queue_wait_s = rec.start_s - spec.arrival_s;
+  rec.rank_lo = rank_lo;
+  rec.ranks_used = plan.ranks_needed;
+  rec.io_slots = plan.io_slots;
+  rec.params = plan.params;
+  st.running += 1;
+  st.peak_running = std::max(st.peak_running, st.running);
+
+  // Bill the fair-share ledger at dispatch with the predicted cost so the
+  // policy reacts to a tenant's consumption *while* its jobs run; the
+  // delta to the actual cost is settled at completion.
+  const double weight = st.weight(spec.tenant);
+  st.billed[spec.tenant] +=
+      static_cast<double>(plan.io_slots) * plan.predicted_s / weight;
+
+  const int tenant = st.tenant_id(spec.tenant);
+  const CycleGeometry geo =
+      cycle_geometry(st.config.machine, spec, plan.params);
+
+  SharedBufferPool::JobBuffers buffers;
+  if (st.config.reuse_enabled) {
+    buffers = st.pool.acquire(plan.params.io_processors(),
+                              static_cast<std::size_t>(geo.message_bytes));
+    rec.pool_hits = buffers.hits;
+    rec.pool_misses = buffers.misses;
+    if (buffers.misses > 0) {
+      co_await st.sim.delay(static_cast<double>(buffers.misses) *
+                            st.config.alloc_overhead_s);
+    }
+  }
+
+  // A prior job with the same ensemble signature (same tenant, file
+  // range, grid) left the bars resident; cycles after a job's first
+  // always reuse its own reads.
+  const bool resident = st.config.reuse_enabled && st.cache.lookup(spec);
+  for (std::uint64_t cycle = 0; cycle < spec.cycles; ++cycle) {
+    const bool from_cache =
+        st.config.reuse_enabled && (resident || cycle > 0);
+    if (from_cache) {
+      rec.cache_hits += 1;
+      rec.cache_saved_bytes += geo.read_bytes;
+    }
+    co_await run_cycle(st, spec, plan.params, tenant, from_cache);
+  }
+  if (st.config.reuse_enabled) {
+    st.cache.insert(spec);
+    st.pool.release(std::move(buffers));
+  }
+
+  rec.end_s = st.sim.now();
+  rec.run_s = rec.end_s - rec.start_s;
+  rec.deadline_met =
+      spec.deadline_s > 0.0 && rec.latency_s() <= spec.deadline_s;
+  // Settle the billing to the actual slot-seconds consumed.
+  st.billed[spec.tenant] += static_cast<double>(plan.io_slots) *
+                            (rec.run_s - plan.predicted_s) / weight;
+
+  st.running -= 1;
+  st.allocator.release(rank_lo, plan.ranks_needed);
+  st.io_slots_free += plan.io_slots;
+  try_dispatch(st);
+}
+
+void try_dispatch(ServiceState& st) {
+  while (!st.pending.empty()) {
+    std::vector<Candidate> candidates;
+    candidates.reserve(st.pending.size());
+    for (std::size_t i = 0; i < st.pending.size(); ++i) {
+      const PendingJob& pj = st.pending[i];
+      const JobSpec& spec = st.records[pj.index].spec;
+      Candidate c;
+      c.index = i;
+      c.tenant = spec.tenant;
+      c.arrival_s = spec.arrival_s;
+      c.deadline_abs_s = spec.arrival_s + spec.deadline_s;
+      c.predicted_s = pj.plan.predicted_s;
+      c.fits = pj.plan.io_slots <= st.io_slots_free &&
+               st.allocator.can_allocate(pj.plan.ranks_needed);
+      candidates.push_back(std::move(c));
+    }
+    const std::optional<std::size_t> pick =
+        pick_next(st.config.policy, candidates, st.billed, st.sim.now(),
+                  st.config.fair_aging_rate);
+    if (!pick.has_value()) return;
+    const PendingJob pj = st.pending[*pick];
+    st.pending.erase(st.pending.begin() +
+                     static_cast<std::ptrdiff_t>(*pick));
+    // Segregate the rank space: narrow jobs carve from the top so they
+    // never fragment the big contiguous holes wide jobs need (an
+    // interleaving policy would otherwise starve wide jobs on a cluster
+    // with plenty of free — but scattered — ranks).
+    const bool narrow =
+        pj.plan.ranks_needed * 4 <= st.allocator.total_ranks();
+    const std::optional<std::uint64_t> lo =
+        narrow ? st.allocator.allocate_from_top(pj.plan.ranks_needed)
+               : st.allocator.allocate(pj.plan.ranks_needed);
+    SENKF_REQUIRE(lo.has_value(),
+                  "service: policy picked a job that does not fit");
+    st.io_slots_free -= pj.plan.io_slots;
+    st.sim.spawn(run_job(st, pj.index, pj.plan, *lo));
+  }
+}
+
+void reject(JobRecord& rec, std::string reason) {
+  rec.admitted = false;
+  rec.reject_reason = std::move(reason);
+}
+
+sim::Task arrive(ServiceState& st, std::size_t index) {
+  co_await st.sim.delay(st.records[index].spec.arrival_s);
+  JobRecord& rec = st.records[index];
+  const JobSpec& spec = rec.spec;
+  if (spec.deadline_s < 0.0) {
+    reject(rec, "negative deadline");
+    co_return;
+  }
+  const JobPlan plan = st.plan_for(spec);
+  if (!plan.feasible) {
+    reject(rec, plan.reason);
+    co_return;
+  }
+  if (plan.ranks_needed > st.allocator.total_ranks()) {
+    std::ostringstream why;
+    why << "needs " << plan.ranks_needed << " ranks; cluster has "
+        << st.allocator.total_ranks();
+    reject(rec, why.str());
+    co_return;
+  }
+  if (plan.io_slots > st.io_slot_budget) {
+    std::ostringstream why;
+    why << "needs " << plan.io_slots << " disk-concurrency slots; budget is "
+        << st.io_slot_budget;
+    reject(rec, why.str());
+    co_return;
+  }
+  rec.admitted = true;
+  rec.predicted_s = plan.predicted_s;
+  st.tenant_id(spec.tenant);  // assign ids in arrival order
+  st.pending.push_back(PendingJob{index, plan});
+  try_dispatch(st);
+}
+
+/// Quantile of a sorted sample (nearest-rank definition).
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t i = static_cast<std::size_t>(
+      std::clamp(rank - 1.0, 0.0, static_cast<double>(sorted.size() - 1)));
+  return sorted[i];
+}
+
+ServiceResult finish(ServiceState& st) {
+  ServiceResult result;
+  result.policy = st.config.policy;
+  result.makespan_s = st.sim.now();
+  result.peak_concurrent_jobs = st.peak_running;
+
+  std::vector<double> latencies;
+  std::map<std::string, std::vector<double>> tenant_latencies;
+  for (const JobRecord& rec : st.records) {
+    TenantSummary& tenant = result.tenants[rec.spec.tenant];
+    tenant.jobs += 1;
+    if (!rec.admitted) {
+      tenant.rejected += 1;
+      result.rejected += 1;
+      continue;
+    }
+    tenant.admitted += 1;
+    result.admitted += 1;
+    if (rec.deadline_met) {
+      tenant.met += 1;
+      result.deadlines_met += 1;
+    } else {
+      tenant.missed += 1;
+      result.deadlines_missed += 1;
+    }
+    tenant.run_s += rec.run_s;
+    tenant.queue_wait_s += rec.queue_wait_s;
+    tenant.max_wait_s = std::max(tenant.max_wait_s, rec.queue_wait_s);
+    latencies.push_back(rec.latency_s());
+    tenant_latencies[rec.spec.tenant].push_back(rec.latency_s());
+    result.cache_hits += rec.cache_hits;
+    result.cache_saved_bytes += rec.cache_saved_bytes;
+    result.pool_hits += rec.pool_hits;
+    result.pool_misses += rec.pool_misses;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies) sum += v;
+    result.mean_latency_s = sum / static_cast<double>(latencies.size());
+    result.p50_latency_s = quantile(latencies, 0.50);
+    result.p99_latency_s = quantile(latencies, 0.99);
+  }
+  for (auto& [name, sample] : tenant_latencies) {
+    std::sort(sample.begin(), sample.end());
+    TenantSummary& tenant = result.tenants[name];
+    tenant.p99_latency_s = quantile(sample, 0.99);
+    result.worst_tenant_p99_s =
+        std::max(result.worst_tenant_p99_s, tenant.p99_latency_s);
+  }
+  for (const auto& [name, billed] : st.billed) {
+    result.tenants[name].billed_slot_seconds = billed;
+  }
+  if (result.makespan_s > 0.0) {
+    result.jobs_per_hour =
+        static_cast<double>(result.admitted) * 3600.0 / result.makespan_s;
+  }
+  for (const auto& [name, id] : st.tenant_ids) {
+    const auto it = st.storage.tenant_stats().find(id);
+    if (it != st.storage.tenant_stats().end()) {
+      result.tenant_io.emplace(name, it->second);
+    }
+  }
+  result.records = std::move(st.records);
+  return result;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(ServiceConfig config) : config_(std::move(config)) {
+  SENKF_REQUIRE(config_.total_ranks > 0, "service: cluster needs ranks");
+  SENKF_REQUIRE(config_.epsilon > 0.0, "service: epsilon must be positive");
+  SENKF_REQUIRE(config_.cache_bandwidth > 0.0,
+                "service: cache bandwidth must be positive");
+  SENKF_REQUIRE(config_.alloc_overhead_s >= 0.0,
+                "service: allocation overhead must be non-negative");
+  SENKF_REQUIRE(config_.fair_aging_rate >= 0.0,
+                "service: fair-share aging rate must be non-negative");
+  for (const auto& [tenant, weight] : config_.tenant_weights) {
+    SENKF_REQUIRE(weight > 0.0, "service: tenant weights must be positive");
+  }
+}
+
+ServiceResult Scheduler::run(const std::vector<JobSpec>& trace) {
+  for (const JobSpec& spec : trace) {
+    SENKF_REQUIRE(spec.arrival_s >= 0.0,
+                  "service: job arrivals must be non-negative");
+    SENKF_REQUIRE(!spec.tenant.empty(), "service: jobs need a tenant");
+    SENKF_REQUIRE(spec.cycles > 0, "service: jobs need at least one cycle");
+  }
+  ServiceState state(config_);
+  state.records.resize(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    state.records[i].spec = trace[i];
+  }
+  // Trace order breaks simultaneous-arrival ties (insertion-order event
+  // queue), so a trace replays identically every time.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    state.sim.spawn(arrive(state, i));
+  }
+  state.sim.run();
+  return finish(state);
+}
+
+ServiceResult run_service(const ServiceConfig& config,
+                          const std::vector<JobSpec>& trace) {
+  Scheduler scheduler(config);
+  return scheduler.run(trace);
+}
+
+void publish_report(const ServiceResult& result,
+                    const ServiceConfig& config) {
+  telemetry::RunReport report;
+  report.kind = "service";
+  report.valid = true;
+
+  auto add_config = [&report](const std::string& key, const std::string& v) {
+    report.config.emplace_back(key, v);
+  };
+  auto num = [](double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+  };
+  add_config("policy", policy_name(result.policy));
+  add_config("total_ranks", std::to_string(config.total_ranks));
+  add_config("io_slot_budget", std::to_string(config.io_slot_budget));
+  add_config("epsilon", num(config.epsilon));
+  add_config("reuse", config.reuse_enabled ? "1" : "0");
+  add_config("jobs", std::to_string(result.records.size()));
+  add_config("tenants", std::to_string(result.tenants.size()));
+
+  report.phases["queue_wait"] = 0.0;
+  report.phases["run"] = 0.0;
+  for (const JobRecord& rec : result.records) {
+    if (!rec.admitted) continue;
+    report.phases["queue_wait"] += rec.queue_wait_s;
+    report.phases["run"] += rec.run_s;
+  }
+
+  report.jobs.reserve(result.records.size());
+  for (const JobRecord& rec : result.records) {
+    telemetry::JobSlo slo;
+    slo.id = rec.spec.id;
+    slo.tenant = rec.spec.tenant;
+    slo.admitted = rec.admitted;
+    slo.reject_reason = rec.reject_reason;
+    slo.arrival_s = rec.spec.arrival_s;
+    slo.start_s = rec.start_s;
+    slo.end_s = rec.end_s;
+    slo.queue_wait_s = rec.queue_wait_s;
+    slo.run_s = rec.run_s;
+    slo.predicted_s = rec.predicted_s;
+    slo.deadline_s = rec.spec.deadline_s;
+    slo.deadline_met = rec.deadline_met;
+    slo.ranks = rec.ranks_used;
+    slo.rank_lo = rec.rank_lo;
+    slo.io_slots = rec.io_slots;
+    slo.cache_hits = rec.cache_hits;
+    slo.cache_saved_bytes = rec.cache_saved_bytes;
+    report.jobs.push_back(std::move(slo));
+  }
+
+  telemetry::Registry& registry = telemetry::Registry::global();
+  registry.counter("service.jobs.admitted").add(result.admitted);
+  registry.counter("service.jobs.rejected").add(result.rejected);
+  registry.counter("service.deadlines.met").add(result.deadlines_met);
+  registry.counter("service.deadlines.missed").add(result.deadlines_missed);
+  registry.counter("service.cache.hits").add(result.cache_hits);
+  registry.counter("service.pool.hits").add(result.pool_hits);
+  registry.counter("service.pool.misses").add(result.pool_misses);
+
+  telemetry::set_run_report(std::move(report));
+}
+
+}  // namespace senkf::service

@@ -1,0 +1,126 @@
+// Multi-tenant assimilation-as-a-service scheduler (DESIGN.md §14).
+//
+// One Scheduler::run replays a whole job trace against a shared simulated
+// vcluster + PFS: jobs arrive on the service clock, are auto-tuned
+// (Algorithms 1–2) within their rank budget, admission-controlled against
+// the cluster size and the disk-concurrency slot budget, queued under a
+// pluggable policy, and executed concurrently on disjoint rank intervals
+// — every running job's bar reads queue on the same simulated OSTs, so
+// cross-job disk contention is the real thing the DES already models.
+//
+// Cross-job reuse: back-to-back cycles of the same tenant serve their
+// ensemble bars from the BarReadCache instead of the PFS, and scatter
+// buffers recycle through one SharedBufferPool across jobs.
+//
+// Accounting: every job leaves a JobRecord (queue wait, run time,
+// deadline flag, carved rank interval, reuse counters); per-tenant disk
+// consumption comes from pfs::Pfs::tenant_stats.  publish_report threads
+// it all into run-report schema v3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pfs/pfs.hpp"
+#include "service/job.hpp"
+#include "service/policy.hpp"
+
+namespace senkf::service {
+
+struct ServiceConfig {
+  /// The shared machine: PFS + network models and compute constants.
+  vcluster::MachineConfig machine;
+  /// Ranks of the shared vcluster that jobs carve disjoint intervals of.
+  std::uint64_t total_ranks = 384;
+  Policy policy = Policy::kFifo;
+  /// Earnings-rate cutoff for the per-job auto-tuning (Algorithm 2).
+  double epsilon = 0.05;
+  /// Admission budget on concurrent disk-concurrency slots: the sum of
+  /// running jobs' n_cg · n_sdy may not exceed it.  0 derives the PFS
+  /// stream capacity (ost_count × max_streams).
+  std::uint64_t io_slot_budget = 0;
+  /// Master switch for the bar-read cache + shared buffer pool.
+  bool reuse_enabled = true;
+  double cache_capacity_bytes = 4e9;
+  /// Bytes/second charged for bar "reads" served from the cache.
+  double cache_bandwidth = 8e9;
+  /// Modelled allocation cost charged per pooled-buffer miss.
+  double alloc_overhead_s = 50e-6;
+  /// Fair-share weights; tenants absent here weigh 1.  A tenant of
+  /// weight 2 may consume twice the disk-slot-seconds before yielding.
+  std::map<std::string, double> tenant_weights;
+  /// Fair-share aging: slot-seconds of billing a queued job forgives per
+  /// second of waiting.  Bounds starvation — a heavily billed tenant's
+  /// job outranks fresher arrivals after waiting (billing gap) / rate
+  /// seconds.  0 disables aging (strict least-billed-first).
+  double fair_aging_rate = 3.0;
+};
+
+/// Aggregated per-tenant SLO view.
+struct TenantSummary {
+  std::uint64_t jobs = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t met = 0;
+  std::uint64_t missed = 0;
+  double run_s = 0.0;
+  double queue_wait_s = 0.0;
+  double max_wait_s = 0.0;
+  double p99_latency_s = 0.0;
+  /// Weighted disk-slot-seconds billed (the fair-share ordering key).
+  double billed_slot_seconds = 0.0;
+};
+
+struct ServiceResult {
+  Policy policy = Policy::kFifo;
+  /// One record per trace entry, in trace order.
+  std::vector<JobRecord> records;
+  double makespan_s = 0.0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t deadlines_met = 0;
+  std::uint64_t deadlines_missed = 0;
+  /// Peak number of simultaneously running jobs (disjoint rank sets).
+  std::uint64_t peak_concurrent_jobs = 0;
+  double jobs_per_hour = 0.0;
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  /// max over tenants of their p99 latency — what fair-share bounds.
+  double worst_tenant_p99_s = 0.0;
+  std::map<std::string, TenantSummary> tenants;
+  /// Per-tenant disk accounting from the shared PFS (read_as billing).
+  std::map<std::string, pfs::TenantIoStats> tenant_io;
+  // Cross-job reuse totals.
+  std::uint64_t cache_hits = 0;
+  double cache_saved_bytes = 0.0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(ServiceConfig config);
+
+  /// Replays `trace` to completion and returns the full accounting.
+  /// Deterministic: the same config + trace gives identical records.
+  ServiceResult run(const std::vector<JobSpec>& trace);
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  ServiceConfig config_;
+};
+
+/// Convenience one-shot.
+ServiceResult run_service(const ServiceConfig& config,
+                          const std::vector<JobSpec>& trace);
+
+/// Publishes `result` as the process-global run report (kind "service",
+/// schema v3 per-job section) and mirrors the headline numbers into the
+/// metrics registry (service.* counters).
+void publish_report(const ServiceResult& result, const ServiceConfig& config);
+
+}  // namespace senkf::service

@@ -1,0 +1,134 @@
+#include "service/trace_gen.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "tuning/auto_tune.hpp"
+
+namespace senkf::service {
+
+namespace {
+
+/// One of the three job size classes the trace mixes.
+struct SizeClass {
+  vcluster::SimWorkload workload;
+  std::uint64_t ranks = 0;   ///< rank budget handed to the tuner
+  std::uint64_t cycles = 1;
+  /// Deadline multipliers on the predicted runtime: tight classes get
+  /// deadlines that only survive a short queue wait.
+  double deadline_lo = 0.0;
+  double deadline_hi = 0.0;
+  double predicted_s = 0.0;  ///< calibrated below
+};
+
+std::vector<SizeClass> make_classes(const TraceConfig& config,
+                                    const vcluster::MachineConfig& machine) {
+  auto workload = [](std::uint64_t nx, std::uint64_t ny,
+                     std::uint64_t members) {
+    vcluster::SimWorkload w;
+    w.nx = nx;
+    w.ny = ny;
+    w.members = members;
+    return w;
+  };
+  const std::uint64_t half = std::max<std::uint64_t>(config.cluster_ranks / 2,
+                                                     8);
+  std::vector<SizeClass> classes{
+      // flash: the hog's wide-but-short nowcasts — a big rank/slot
+      // footprint for a few seconds, with a deadline only a short queue
+      // wait survives.  Billing-heavy (slots × everything at once), so
+      // fair-share throttles the tenant that floods them.
+      {workload(720, 360, 40), std::min<std::uint64_t>(144, half), 1,
+       1.5, 2.5, 0.0},
+      // obs-window: narrow short single-cycle analyses that must land
+      // inside an observation window.  Under strict FIFO they starve
+      // behind a blocked wide head even when their few ranks are free;
+      // backfilling policies rescue them.
+      {workload(360, 180, 20), std::min<std::uint64_t>(16, half), 1,
+       2.0, 3.0, 0.0},
+      // reanalysis: mid-size multi-cycle sweeps, loose deadline.
+      {workload(720, 360, 40), std::min<std::uint64_t>(48, half), 3,
+       8.0, 12.0, 0.0},
+  };
+  for (SizeClass& c : classes) {
+    const tuning::CostModel model(
+        tuning::params_from(machine, c.workload));
+    const tuning::AutoTuneResult tuned =
+        tuning::auto_tune(model, c.ranks, /*epsilon=*/0.05);
+    c.predicted_s = tuning::predict_runtime(model, tuned.params, c.cycles);
+  }
+  return classes;
+}
+
+}  // namespace
+
+std::vector<JobSpec> generate_trace(const TraceConfig& config,
+                                    const vcluster::MachineConfig& machine) {
+  SENKF_REQUIRE(config.jobs > 0, "trace: need at least one job");
+  SENKF_REQUIRE(config.tenants >= 2, "trace: need at least two tenants");
+  SENKF_REQUIRE(config.horizon_s > 0.0, "trace: horizon must be positive");
+
+  const std::vector<SizeClass> classes = make_classes(config, machine);
+  Rng rng(config.seed);
+
+  // Arrivals cluster into bursts: each burst opens a short admission
+  // window, so queues actually build (a uniform trickle would never
+  // separate the policies).
+  const std::uint64_t bursts =
+      std::max<std::uint64_t>(1, config.jobs / 12);
+  const double burst_spacing = config.horizon_s / static_cast<double>(bursts);
+  const double burst_width = burst_spacing / 4.0;
+
+  std::vector<JobSpec> trace;
+  trace.reserve(config.jobs);
+  for (std::uint64_t j = 0; j < config.jobs; ++j) {
+    JobSpec spec;
+    spec.id = j;
+
+    // tenant-0 hogs ~half of the trace; the rest spreads evenly.
+    const bool hog = rng.uniform() < 0.5;
+    const std::uint64_t tenant_index =
+        hog ? 0 : 1 + rng.uniform_index(config.tenants - 1);
+    spec.tenant = "tenant-" + std::to_string(tenant_index);
+
+    // The hog floods flash jobs at the head of each burst (the FIFO
+    // backlog everyone else's long jobs queue behind); the other tenants
+    // run the routine and reanalysis cycles.
+    const double roll = rng.uniform();
+    std::size_t class_index;
+    if (hog) {
+      class_index = roll < 0.85 ? 0 : 2;
+    } else {
+      class_index = roll < 0.6 ? 1 : 2;
+    }
+    const SizeClass& cls = classes[class_index];
+    spec.workload = cls.workload;
+    spec.ranks = cls.ranks;
+    spec.cycles = cls.cycles;
+
+    const std::uint64_t burst = rng.uniform_index(bursts);
+    // Hog jobs cluster at the burst head, victims trickle in behind.
+    spec.arrival_s =
+        static_cast<double>(burst) * burst_spacing +
+        (hog ? rng.uniform(0.0, burst_width / 4.0)
+             : rng.uniform(burst_width / 4.0, burst_width));
+    spec.deadline_s =
+        cls.predicted_s * rng.uniform(cls.deadline_lo, cls.deadline_hi);
+    spec.obs_density = rng.uniform(0.8, 1.2);
+    // Distinct per-(tenant, class) file ranges: jobs of the same tenant
+    // and class re-read the same ensemble (cache reuse is real), while
+    // different tenants land on different OST placements.
+    spec.file_base = tenant_index * 4096 + class_index * 1024;
+    trace.push_back(std::move(spec));
+  }
+
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.arrival_s < b.arrival_s;
+                   });
+  return trace;
+}
+
+}  // namespace senkf::service

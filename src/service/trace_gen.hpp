@@ -1,0 +1,43 @@
+// Synthetic multi-tenant job traces for the service plane
+// (DESIGN.md §14).
+//
+// The generator produces the heavy, bursty workload the svc_job_trace
+// bench and the policy tests replay: arrivals cluster into bursts, one
+// tenant is a burst-heavy hog submitting mostly large jobs, the other
+// tenants submit mostly small interactive jobs with tight deadlines.
+// That mix is what separates the policies: FIFO head-of-line blocks the
+// small tight-deadline jobs behind the hog's large ones, deadline-aware
+// (EDF) runs them first, and fair-share bounds how long the hog can
+// monopolize the disk-concurrency slots.
+//
+// Deadlines are calibrated against tuning::predict_runtime for each size
+// class on the given machine, so "tight" and "loose" track the machine
+// model instead of hard-coded seconds.  Deterministic: one seed, one
+// trace, on every platform (support/rng.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/job.hpp"
+#include "vcluster/machine.hpp"
+
+namespace senkf::service {
+
+struct TraceConfig {
+  std::uint64_t jobs = 120;
+  std::uint64_t tenants = 6;
+  /// Arrivals land in [0, horizon_s).
+  double horizon_s = 600.0;
+  std::uint64_t seed = 42;
+  /// Rank budgets are sized against this cluster (jobs request at most
+  /// half of it, so ≥ 3 of them run concurrently on disjoint sets).
+  std::uint64_t cluster_ranks = 384;
+};
+
+/// Generates `config.jobs` specs sorted by arrival time (ties keep
+/// generation order).  Tenant "tenant-0" is the burst-heavy hog.
+std::vector<JobSpec> generate_trace(const TraceConfig& config,
+                                    const vcluster::MachineConfig& machine);
+
+}  // namespace senkf::service

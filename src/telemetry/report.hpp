@@ -20,11 +20,35 @@
 
 namespace senkf::telemetry {
 
+/// Per-job SLO record for multi-tenant service runs (DESIGN.md §14).
+/// All timestamps are on the service clock (simulated seconds since the
+/// scheduler started); a rejected job carries only arrival + reason.
+struct JobSlo {
+  std::uint64_t id = 0;
+  std::string tenant;
+  bool admitted = false;
+  std::string reject_reason;  ///< empty when admitted
+  double arrival_s = 0.0;
+  double start_s = 0.0;  ///< -1 when never started
+  double end_s = 0.0;    ///< -1 when never finished
+  double queue_wait_s = 0.0;
+  double run_s = 0.0;
+  double predicted_s = 0.0;  ///< cost-model-predicted runtime at admission
+  double deadline_s = 0.0;   ///< relative to arrival; 0 = due immediately
+  bool deadline_met = false;
+  std::uint64_t ranks = 0;     ///< disjoint rank-set size carved for the job
+  std::uint64_t rank_lo = 0;   ///< first rank of the carved interval
+  std::uint64_t io_slots = 0;  ///< disk-concurrency slots held while running
+  std::uint64_t cache_hits = 0;
+  double cache_saved_bytes = 0.0;
+};
+
 struct RunReport {
   /// Bumped when the JSON layout changes incompatibly.  v2 adds the
   /// per-cycle critical-path section, latency quantiles, and the
-  /// time-series section (DESIGN.md §13).
-  static constexpr int kVersion = 2;
+  /// time-series section (DESIGN.md §13).  v3 adds the per-job SLO
+  /// section with tenant aggregation (DESIGN.md §14).
+  static constexpr int kVersion = 3;
 
   std::string kind;     ///< "senkf", "penkf", "lenkf", ...
   bool valid = false;   ///< a run populated this report
@@ -42,6 +66,10 @@ struct RunReport {
   /// Cross-rank aggregate: per-rank samples + merged counters/gauges/
   /// histograms from the reduction tree.
   MetricsSnapshot aggregate;
+  /// Per-job SLO accounting for service runs (empty for single runs).
+  /// The writer derives the per-tenant totals from this list, so tenant
+  /// sums always reconcile with the job records by construction.
+  std::vector<JobSlo> jobs;
 };
 
 /// Replaces the process-global report (the last run wins).

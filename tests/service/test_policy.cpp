@@ -1,0 +1,116 @@
+#include "service/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace senkf::service {
+namespace {
+
+Candidate candidate(std::size_t index, std::string tenant, double arrival_s,
+                    double deadline_abs_s, bool fits) {
+  Candidate c;
+  c.index = index;
+  c.tenant = std::move(tenant);
+  c.arrival_s = arrival_s;
+  c.deadline_abs_s = deadline_abs_s;
+  c.predicted_s = 1.0;
+  c.fits = fits;
+  return c;
+}
+
+TEST(PolicyNames, RoundTrip) {
+  EXPECT_EQ(parse_policy("fifo"), Policy::kFifo);
+  EXPECT_EQ(parse_policy("fair-share"), Policy::kFairShare);
+  EXPECT_EQ(parse_policy("fair"), Policy::kFairShare);
+  EXPECT_EQ(parse_policy("deadline"), Policy::kDeadline);
+  EXPECT_EQ(parse_policy("edf"), Policy::kDeadline);
+  EXPECT_STREQ(policy_name(Policy::kFifo), "fifo");
+  EXPECT_STREQ(policy_name(Policy::kFairShare), "fair-share");
+  EXPECT_STREQ(policy_name(Policy::kDeadline), "deadline");
+  EXPECT_THROW(parse_policy("round-robin"), senkf::InvalidArgument);
+}
+
+TEST(FifoPolicy, HeadOfLineBlocks) {
+  // FIFO is strict: when the head does not fit, nothing starts even
+  // though a later candidate would.
+  const std::vector<Candidate> pending{
+      candidate(0, "a", 0.0, 10.0, /*fits=*/false),
+      candidate(1, "b", 1.0, 10.0, /*fits=*/true),
+  };
+  EXPECT_EQ(pick_next(Policy::kFifo, pending, {}, 2.0, 0.0), std::nullopt);
+
+  const std::vector<Candidate> head_fits{
+      candidate(0, "a", 0.0, 10.0, /*fits=*/true),
+      candidate(1, "b", 1.0, 5.0, /*fits=*/true),
+  };
+  EXPECT_EQ(pick_next(Policy::kFifo, head_fits, {}, 2.0, 0.0),
+            std::optional<std::size_t>{0});
+}
+
+TEST(FairSharePolicy, LeastBilledTenantFirst) {
+  const std::vector<Candidate> pending{
+      candidate(0, "hog", 0.0, 10.0, /*fits=*/true),
+      candidate(1, "quiet", 1.0, 10.0, /*fits=*/true),
+  };
+  const std::map<std::string, double> billed{{"hog", 100.0}, {"quiet", 1.0}};
+  EXPECT_EQ(pick_next(Policy::kFairShare, pending, billed, 2.0, 0.0),
+            std::optional<std::size_t>{1});
+  // Ties on billing break on arrival order.
+  EXPECT_EQ(pick_next(Policy::kFairShare, pending, {}, 2.0, 0.0),
+            std::optional<std::size_t>{0});
+}
+
+TEST(FairSharePolicy, BackfillsPastNonFittingJobs) {
+  const std::vector<Candidate> pending{
+      candidate(0, "quiet", 0.0, 10.0, /*fits=*/false),
+      candidate(1, "hog", 1.0, 10.0, /*fits=*/true),
+  };
+  const std::map<std::string, double> billed{{"hog", 100.0}};
+  EXPECT_EQ(pick_next(Policy::kFairShare, pending, billed, 2.0, 0.0),
+            std::optional<std::size_t>{1});
+}
+
+TEST(FairSharePolicy, AgingBoundsStarvation) {
+  // The hog's job has been queued long enough that aging forgives its
+  // billing gap: 100 billed - 3/s * 40 s waited < 0 billed for the
+  // fresh arrival.
+  const std::vector<Candidate> pending{
+      candidate(0, "hog", 0.0, 100.0, /*fits=*/true),
+      candidate(1, "quiet", 39.0, 100.0, /*fits=*/true),
+  };
+  const std::map<std::string, double> billed{{"hog", 100.0}};
+  EXPECT_EQ(pick_next(Policy::kFairShare, pending, billed, 40.0,
+                      /*aging_rate=*/0.0),
+            std::optional<std::size_t>{1});
+  EXPECT_EQ(pick_next(Policy::kFairShare, pending, billed, 40.0,
+                      /*aging_rate=*/3.0),
+            std::optional<std::size_t>{0});
+}
+
+TEST(DeadlinePolicy, EarliestDeadlineFirstWithBackfill) {
+  const std::vector<Candidate> pending{
+      candidate(0, "a", 0.0, 50.0, /*fits=*/true),
+      candidate(1, "b", 1.0, 20.0, /*fits=*/true),
+      candidate(2, "c", 2.0, 5.0, /*fits=*/false),
+  };
+  // The tightest deadline that fits wins, even though it arrived later;
+  // the non-fitting tighter job is backfilled past.
+  EXPECT_EQ(pick_next(Policy::kDeadline, pending, {}, 3.0, 0.0),
+            std::optional<std::size_t>{1});
+}
+
+TEST(AllPolicies, NothingFitsNothingStarts) {
+  const std::vector<Candidate> pending{
+      candidate(0, "a", 0.0, 10.0, /*fits=*/false),
+      candidate(1, "b", 1.0, 10.0, /*fits=*/false),
+  };
+  for (const Policy policy :
+       {Policy::kFifo, Policy::kFairShare, Policy::kDeadline}) {
+    EXPECT_EQ(pick_next(policy, pending, {}, 2.0, 3.0), std::nullopt);
+    EXPECT_EQ(pick_next(policy, {}, {}, 2.0, 3.0), std::nullopt);
+  }
+}
+
+}  // namespace
+}  // namespace senkf::service

@@ -1,0 +1,87 @@
+#include "service/rank_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace senkf::service {
+namespace {
+
+TEST(RankAllocator, FirstFitIsDeterministic) {
+  RankAllocator a(100);
+  EXPECT_EQ(a.allocate(10), std::optional<std::uint64_t>{0});
+  EXPECT_EQ(a.allocate(20), std::optional<std::uint64_t>{10});
+  EXPECT_EQ(a.allocate(30), std::optional<std::uint64_t>{30});
+  EXPECT_EQ(a.free_ranks(), 40u);
+
+  // Releasing the middle interval opens a hole that the next fitting
+  // request reuses (lowest-addressed hole wins).
+  a.release(10, 20);
+  EXPECT_EQ(a.allocate(15), std::optional<std::uint64_t>{10});
+}
+
+TEST(RankAllocator, RejectsWhenNoHoleFits) {
+  RankAllocator a(64);
+  ASSERT_TRUE(a.allocate(30).has_value());  // [0, 30)
+  ASSERT_TRUE(a.allocate(30).has_value());  // [30, 60)
+  a.release(0, 30);
+  // 34 free ranks total, but the largest hole is 30.
+  EXPECT_EQ(a.free_ranks(), 34u);
+  EXPECT_EQ(a.largest_hole(), 30u);
+  EXPECT_FALSE(a.can_allocate(31));
+  EXPECT_EQ(a.allocate(31), std::nullopt);
+  EXPECT_TRUE(a.can_allocate(30));
+}
+
+TEST(RankAllocator, AllocateFromTopCarvesTheHighEnd) {
+  RankAllocator a(100);
+  EXPECT_EQ(a.allocate_from_top(10), std::optional<std::uint64_t>{90});
+  EXPECT_EQ(a.allocate_from_top(10), std::optional<std::uint64_t>{80});
+  // Bottom-up allocation is untouched by the top carve-outs.
+  EXPECT_EQ(a.allocate(50), std::optional<std::uint64_t>{0});
+  EXPECT_EQ(a.largest_hole(), 30u);
+  // The segregation property: mixing top and bottom carves keeps one
+  // contiguous hole in the middle instead of fragmenting it.
+  EXPECT_EQ(a.allocate_from_top(30), std::optional<std::uint64_t>{50});
+  EXPECT_EQ(a.free_ranks(), 0u);
+}
+
+TEST(RankAllocator, AllocateFromTopPicksHighestSufficientHole) {
+  RankAllocator a(100);
+  ASSERT_TRUE(a.allocate(40).has_value());   // [0, 40)
+  ASSERT_TRUE(a.allocate(30).has_value());   // [40, 70)
+  a.release(0, 40);                          // holes: [0,40) and [70,100)
+  // A request fitting the high hole comes from its top.
+  EXPECT_EQ(a.allocate_from_top(20), std::optional<std::uint64_t>{80});
+  // One too large for the remaining high hole falls back to the low one.
+  EXPECT_EQ(a.allocate_from_top(15), std::optional<std::uint64_t>{25});
+}
+
+TEST(RankAllocator, ReleaseCoalescesNeighbours) {
+  RankAllocator a(90);
+  ASSERT_TRUE(a.allocate(30).has_value());
+  ASSERT_TRUE(a.allocate(30).has_value());
+  ASSERT_TRUE(a.allocate(30).has_value());
+  EXPECT_EQ(a.free_ranks(), 0u);
+  // Release out of order; adjacency must coalesce back to one hole.
+  a.release(0, 30);
+  a.release(60, 30);
+  a.release(30, 30);
+  EXPECT_EQ(a.free_ranks(), 90u);
+  EXPECT_EQ(a.largest_hole(), 90u);
+  EXPECT_EQ(a.allocate(90), std::optional<std::uint64_t>{0});
+}
+
+TEST(RankAllocator, ReleaseValidatesOverlap) {
+  RankAllocator a(50);
+  ASSERT_TRUE(a.allocate(20).has_value());
+  a.release(0, 20);
+  // Double release overlaps the now-free interval.
+  EXPECT_THROW(a.release(0, 20), senkf::InvalidArgument);
+  // Releasing past the cluster end is a carve the allocator never made.
+  EXPECT_THROW(a.release(45, 10), senkf::InvalidArgument);
+  EXPECT_THROW(RankAllocator(0), senkf::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace senkf::service

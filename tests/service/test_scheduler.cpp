@@ -1,0 +1,180 @@
+#include "service/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "service/trace_gen.hpp"
+
+namespace senkf::service {
+namespace {
+
+vcluster::SimWorkload flash_workload() {
+  vcluster::SimWorkload w;
+  w.nx = 720;
+  w.ny = 360;
+  w.members = 40;
+  return w;
+}
+
+JobSpec flash_job(std::uint64_t id, double arrival_s, double deadline_s) {
+  JobSpec spec;
+  spec.id = id;
+  spec.tenant = "tenant-" + std::to_string(id % 2);
+  spec.arrival_s = arrival_s;
+  spec.deadline_s = deadline_s;
+  spec.ranks = 144;
+  spec.cycles = 1;
+  spec.workload = flash_workload();
+  spec.file_base = id * 1024;
+  return spec;
+}
+
+ServiceConfig base_config() {
+  ServiceConfig config;
+  config.machine = vcluster::MachineConfig{};
+  config.total_ranks = 384;
+  return config;
+}
+
+// ---- Admission-control edge cases (ISSUE task 4) ----
+
+TEST(Admission, NegativeDeadlineRejected) {
+  const auto result =
+      run_service(base_config(), {flash_job(0, 0.0, -1.0)});
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_FALSE(result.records[0].admitted);
+  EXPECT_EQ(result.records[0].reject_reason, "negative deadline");
+  EXPECT_EQ(result.rejected, 1u);
+  EXPECT_EQ(result.admitted, 0u);
+}
+
+TEST(Admission, JobLargerThanClusterRejectedWithCounts) {
+  // The tuned flash plan needs ~138 ranks; a 64-rank cluster cannot ever
+  // host it, so admission rejects outright (queuing would never help) and
+  // the reason names both counts.
+  auto config = base_config();
+  config.total_ranks = 64;
+  const auto result = run_service(config, {flash_job(0, 0.0, 60.0)});
+  ASSERT_EQ(result.records.size(), 1u);
+  const JobRecord& rec = result.records[0];
+  EXPECT_FALSE(rec.admitted);
+  EXPECT_NE(rec.reject_reason.find("ranks"), std::string::npos);
+  EXPECT_NE(rec.reject_reason.find("cluster has 64"), std::string::npos);
+}
+
+TEST(Admission, JobOverIoSlotBudgetRejectedWithCounts) {
+  // The flash plan holds 3 disk-concurrency slots; a budget of 2 can
+  // never admit it.
+  auto config = base_config();
+  config.io_slot_budget = 2;
+  const auto result = run_service(config, {flash_job(0, 0.0, 60.0)});
+  ASSERT_EQ(result.records.size(), 1u);
+  const JobRecord& rec = result.records[0];
+  EXPECT_FALSE(rec.admitted);
+  EXPECT_NE(rec.reject_reason.find("disk-concurrency slots"),
+            std::string::npos);
+  EXPECT_NE(rec.reject_reason.find("budget is 2"), std::string::npos);
+}
+
+TEST(Admission, ZeroDeadlineAdmittedAndRecordedMissed) {
+  // deadline == 0 means "due immediately": the job runs (it is real
+  // work), but no finite runtime can meet it.
+  const auto result = run_service(base_config(), {flash_job(0, 0.0, 0.0)});
+  ASSERT_EQ(result.records.size(), 1u);
+  const JobRecord& rec = result.records[0];
+  EXPECT_TRUE(rec.admitted);
+  EXPECT_GT(rec.run_s, 0.0);
+  EXPECT_FALSE(rec.deadline_met);
+  EXPECT_EQ(result.deadlines_missed, 1u);
+}
+
+TEST(Admission, ZeroDeadlineOutranksEverythingUnderEdf) {
+  // A blocker occupies the one-job cluster while two more flash jobs
+  // queue behind it.  EDF treats "due immediately" as the earliest
+  // absolute deadline and starts it first even though it queued last.
+  auto config = base_config();
+  config.total_ranks = 140;
+  config.policy = Policy::kDeadline;
+  const std::vector<JobSpec> trace{flash_job(0, 0.0, 1000.0),
+                                   flash_job(1, 1.0, 1000.0),
+                                   flash_job(2, 1.0, 0.0)};
+  const auto result = run_service(config, trace);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_LT(result.records[2].start_s, result.records[1].start_s);
+
+  // FIFO, by contrast, honours queue order.
+  config.policy = Policy::kFifo;
+  const auto fifo = run_service(config, trace);
+  EXPECT_LT(fifo.records[1].start_s, fifo.records[2].start_s);
+}
+
+// ---- Determinism ----
+
+TEST(Scheduler, SameSeedSameSchedule) {
+  const auto config = base_config();
+  TraceConfig tc;
+  tc.jobs = 24;
+  tc.horizon_s = 120.0;
+  const auto trace = generate_trace(tc, config.machine);
+  const auto a = run_service(config, trace);
+  const auto b = run_service(config, trace);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].admitted, b.records[i].admitted);
+    EXPECT_EQ(a.records[i].start_s, b.records[i].start_s);
+    EXPECT_EQ(a.records[i].end_s, b.records[i].end_s);
+    EXPECT_EQ(a.records[i].rank_lo, b.records[i].rank_lo);
+    EXPECT_EQ(a.records[i].ranks_used, b.records[i].ranks_used);
+    EXPECT_EQ(a.records[i].cache_hits, b.records[i].cache_hits);
+  }
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.deadlines_met, b.deadlines_met);
+}
+
+TEST(TraceGen, SameSeedSameTrace) {
+  TraceConfig tc;
+  tc.jobs = 48;
+  const vcluster::MachineConfig machine;
+  const auto a = generate_trace(tc, machine);
+  const auto b = generate_trace(tc, machine);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].deadline_s, b[i].deadline_s);
+  }
+  // A different seed actually changes the trace.
+  TraceConfig other = tc;
+  other.seed = 7;
+  const auto c = generate_trace(other, machine);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].arrival_s != c[i].arrival_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---- Cross-job reuse ----
+
+TEST(Scheduler, BackToBackTenantCyclesHitTheBarCache) {
+  // Same tenant, same ensemble files, back to back: the second job's
+  // reads come from the cache, not the PFS.
+  auto config = base_config();
+  std::vector<JobSpec> trace{flash_job(0, 0.0, 600.0),
+                             flash_job(0, 200.0, 600.0)};
+  trace[1].id = 1;
+  trace[1].tenant = trace[0].tenant;
+  trace[1].file_base = trace[0].file_base;
+  const auto result = run_service(config, trace);
+  EXPECT_EQ(result.records[0].cache_hits, 0u);
+  EXPECT_GT(result.records[1].cache_hits, 0u);
+  EXPECT_GT(result.cache_saved_bytes, 0.0);
+  // With reuse disabled the same trace reads everything from disk.
+  config.reuse_enabled = false;
+  const auto cold = run_service(config, trace);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_saved_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace senkf::service

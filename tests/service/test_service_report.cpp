@@ -1,0 +1,101 @@
+// Run-report schema v3 (DESIGN.md §14): a service run's report carries a
+// per-job SLO section whose tenant totals reconcile with the job list —
+// the same invariants bench/check_report.py enforces in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "service/scheduler.hpp"
+#include "service/trace_gen.hpp"
+#include "telemetry/report.hpp"
+
+#include "../telemetry/test_json.hpp"
+
+namespace senkf::service {
+namespace {
+
+testjson::Value exported_service_report() {
+  TraceConfig tc;
+  tc.jobs = 24;
+  tc.horizon_s = 120.0;
+  ServiceConfig config;
+  config.machine = vcluster::MachineConfig{};
+  config.policy = Policy::kDeadline;
+  const auto trace = generate_trace(tc, config.machine);
+  const auto result = run_service(config, trace);
+  publish_report(result, config);
+  std::ostringstream out;
+  telemetry::write_run_report(out);
+  return testjson::parse(out.str());
+}
+
+TEST(ServiceReport, SchemaV3WithJobsSection) {
+  const auto doc = exported_service_report();
+  EXPECT_EQ(doc.at("schema").as_string(), "senkf-run-report");
+  EXPECT_EQ(doc.at("version").as_number(), 3.0);
+  const auto& run = doc.at("run");
+  EXPECT_EQ(run.at("kind").as_string(), "service");
+  EXPECT_TRUE(run.at("valid").as_bool());
+
+  const auto& jobs = run.at("jobs").as_array();
+  ASSERT_EQ(jobs.size(), 24u);
+  for (const auto& job : jobs) {
+    EXPECT_GE(job.at("queue_wait_s").as_number(), 0.0);
+    const double arrival = job.at("arrival_s").as_number();
+    const double start = job.at("start_s").as_number();
+    const double end = job.at("end_s").as_number();
+    const double deadline = job.at("deadline_s").as_number();
+    if (!job.at("admitted").as_bool()) {
+      EXPECT_FALSE(job.at("reject_reason").as_string().empty());
+      continue;
+    }
+    EXPECT_GE(start, arrival);
+    EXPECT_GE(end, start);
+    // The deadline flag must be consistent with the timestamps.
+    const bool should_meet = deadline > 0.0 && (end - arrival) <= deadline;
+    EXPECT_EQ(job.at("deadline_met").as_bool(), should_meet);
+  }
+}
+
+TEST(ServiceReport, TenantTotalsReconcileWithJobs) {
+  const auto doc = exported_service_report();
+  const auto& run = doc.at("run");
+  const auto& jobs = run.at("jobs").as_array();
+  const auto& tenants = run.at("tenants").as_object();
+  const auto& totals = run.at("job_totals");
+
+  double jobs_sum = 0.0;
+  double met_sum = 0.0;
+  double wait_sum = 0.0;
+  for (const auto& [tenant, t] : tenants) {
+    jobs_sum += t.at("jobs").as_number();
+    met_sum += t.at("met").as_number();
+    wait_sum += t.at("queue_wait_s").as_number();
+  }
+  EXPECT_EQ(jobs_sum, totals.at("jobs").as_number());
+  EXPECT_EQ(jobs_sum, static_cast<double>(jobs.size()));
+  EXPECT_EQ(met_sum, totals.at("met").as_number());
+  EXPECT_NEAR(wait_sum, totals.at("queue_wait_s").as_number(), 1e-9);
+
+  // Per-job recount matches the derived totals.
+  double met_from_jobs = 0.0;
+  for (const auto& job : jobs) {
+    if (job.at("admitted").as_bool() && job.at("deadline_met").as_bool()) {
+      met_from_jobs += 1.0;
+    }
+  }
+  EXPECT_EQ(met_from_jobs, met_sum);
+}
+
+TEST(ServiceReport, ConfigCarriesPolicyAndClusterShape) {
+  const auto doc = exported_service_report();
+  const auto& config = doc.at("run").at("config").as_object();
+  ASSERT_TRUE(config.count("policy"));
+  EXPECT_EQ(config.at("policy").as_string(), "deadline");
+  ASSERT_TRUE(config.count("total_ranks"));
+  ASSERT_TRUE(config.count("jobs"));
+}
+
+}  // namespace
+}  // namespace senkf::service
