@@ -3,11 +3,16 @@
 // deterministic ensemble transform, across expansion sizes and ensemble
 // sizes.  These are the per-stage compute costs the "c" constant of the
 // cost model abstracts.
+// Each entry also reports patches/sec (items_per_second) and a
+// steady-state allocs/patch counter read from the analysis.alloc.events
+// telemetry delta — the same signal the alloc-budget ctest gate asserts
+// is zero, here visible per shape in the nightly JSON.
 #include <benchmark/benchmark.h>
 
 #include "enkf/local_analysis.hpp"
 #include "grid/synthetic.hpp"
 #include "obs/perturbed.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -51,11 +56,26 @@ void run_kernel(benchmark::State& state, enkf::AnalysisKind kind) {
   enkf::AnalysisOptions options;
   options.kind = kind;
   options.halo = grid::Halo{2, 1};
+  // One warm call puts arena growth, localization build and counter
+  // registration outside the measured region (and outside the
+  // allocs-per-patch delta).
+  benchmark::DoNotOptimize(enkf::local_analysis(
+      fixture.background, fixture.mesh.bounds(), fixture.observations,
+      fixture.ys, options));
+  auto& registry = telemetry::Registry::global();
+  const auto allocs0 = registry.counter_value("analysis.alloc.events");
+  const auto patches0 = registry.counter_value("analysis.patches");
   for (auto _ : state) {
     benchmark::DoNotOptimize(enkf::local_analysis(
         fixture.background, fixture.mesh.bounds(), fixture.observations,
         fixture.ys, options));
   }
+  const double patches =
+      static_cast<double>(registry.counter_value("analysis.patches") - patches0);
+  const double allocs = static_cast<double>(
+      registry.counter_value("analysis.alloc.events") - allocs0);
+  state.SetItemsProcessed(state.iterations());  // one patch per iteration
+  state.counters["allocs_per_patch"] = patches > 0 ? allocs / patches : 0.0;
   state.SetLabel(std::to_string(side * side) + " points");
 }
 

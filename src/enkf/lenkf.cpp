@@ -103,7 +103,23 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
     }
 
     // --- local update: layer by layer, same kernel everywhere ------------
+    // The kernel gathers each layer's expansion window in place from the
+    // subdomain views (no per-layer extract() copies) and projects the
+    // analysis straight into the results payload.
+    std::vector<Index> member_ids(n_members);
+    for (Index k = 0; k < n_members; ++k) member_ids[k] = k;
+    LocalAnalysisWorkspace& ws = LocalAnalysisWorkspace::for_this_thread();
     parcomm::Packer results;
+    {
+      std::size_t bytes = sizeof(std::uint64_t);
+      for (Index l = 0; l < config.layers; ++l) {
+        bytes += n_members *
+                 (sizeof(std::uint64_t) +
+                  packed_patch_size(decomposition.layer(my_id, l,
+                                                        config.layers)));
+      }
+      results.reserve(bytes);
+    }
     results.put<std::uint64_t>(config.layers * n_members);
     for (Index l = 0; l < config.layers; ++l) {
       telemetry::CountedSpan update_span(telemetry::Category::kUpdate,
@@ -113,17 +129,9 @@ std::vector<grid::Field> lenkf(const EnsembleStore& store,
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       const grid::Rect expansion =
           decomposition.layer_expansion(my_id, l, config.layers);
-      std::vector<grid::Patch> background;
-      background.reserve(n_members);
-      for (Index k = 0; k < n_members; ++k) {
-        background.push_back(my_members[k].extract(expansion));
-      }
-      AnalysisResult local = local_analysis(background, target, observations,
-                                            perturbed, config.analysis);
-      for (Index k = 0; k < n_members; ++k) {
-        results.put<std::uint64_t>(k);
-        pack_patch(results, local.members[k]);
-      }
+      local_analysis_packed(my_members, expansion, target, observations,
+                            perturbed, config.analysis, member_ids, ws,
+                            results);
     }
 
     // --- gather at rank 0 -------------------------------------------------

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <utility>
 
+#include "enkf/patch_wire.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/eigen.hpp"
 #include "linalg/covariance.hpp"
 #include "linalg/ops.hpp"
+#include "obs/local_obs_cache.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace senkf::enkf {
 
@@ -32,104 +37,389 @@ linalg::PredecessorFn expansion_predecessors(grid::Rect expansion,
   };
 }
 
+std::span<const linalg::Index> ExpansionPredecessorOracle::predecessors(
+    linalg::Index i, support::Arena& scratch) {
+  const Index width = expansion_.x.size();
+  const Index yi = i / width;
+  const Index xi = i % width;
+  const Index y_first = yi > halo_.eta ? yi - halo_.eta : 0;
+  const Index x_first = xi > halo_.xi ? xi - halo_.xi : 0;
+  const Index x_last = std::min(expansion_.x.size() - 1, xi + halo_.xi);
+  // Upper bound on the neighbourhood size; the estimator rewinds past
+  // the unused tail with the rest of its per-row scratch.
+  const Index bound = (yi - y_first + 1) * (x_last - x_first + 1);
+  auto buffer = scratch.allocate_span<linalg::Index>(bound);
+  Index count = 0;
+  for (Index y = y_first; y <= yi; ++y) {
+    for (Index x = x_first; x <= x_last; ++x) {
+      const Index j = y * width + x;
+      if (j < i) buffer[count++] = j;
+    }
+  }
+  return buffer.first(count);
+}
+
 namespace {
 
-/// Projects the analysis matrix onto the target rectangle (the implicit
-/// P of eq. (6)).
-AnalysisResult project_to_target(const linalg::Matrix& xa, grid::Rect target,
-                                 grid::Rect expansion,
-                                 Index local_observations) {
-  AnalysisResult result;
-  result.local_observations = local_observations;
-  const Index width = expansion.x.size();
-  result.members.reserve(xa.cols());
-  for (Index k = 0; k < xa.cols(); ++k) {
-    grid::Patch out(target);
-    for (Index y = target.y.begin; y < target.y.end; ++y) {
-      for (Index x = target.x.begin; x < target.x.end; ++x) {
-        const Index local_index =
-            (y - expansion.y.begin) * width + (x - expansion.x.begin);
-        out.at(x, y) = xa(local_index, k);
-      }
-    }
-    result.members.push_back(std::move(out));
+telemetry::Counter& patches_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::global().counter("analysis.patches");
+  return c;
+}
+
+/// The ensemble gathered onto the expansion, with inflation applied and
+/// the mean/anomalies computed in the same pass (one sweep over n̄ rows
+/// instead of gather + mean + inflate + mean + subtract).  The summation
+/// orders replicate linalg::ensemble_mean / ensemble_anomalies exactly,
+/// so every downstream number matches the unfused implementation
+/// bit-for-bit.
+struct LoadedEnsemble {
+  linalg::Matrix xb;         ///< X̄ᵇ, inflated (n̄×N)
+  linalg::Matrix anomalies;  ///< X̄ᵇ − x̄1ᵀ (n̄×N)
+  linalg::Vector mean;       ///< x̄ of the inflated ensemble (n̄)
+};
+
+LoadedEnsemble load_ensemble(std::span<const grid::PatchView> background,
+                             grid::Rect expansion, double inflation,
+                             LocalAnalysisWorkspace& ws) {
+  const Index n_bar = expansion.count();
+  const Index n_members = background.size();
+  LoadedEnsemble out{ws.matrix(n_bar, n_members),
+                     ws.matrix(n_bar, n_members), ws.vector(n_bar)};
+
+  // Per-member pointer to the expansion origin inside the member's own
+  // rect — members on a larger rect are gathered in place, no extraction.
+  auto bases = ws.arena().allocate_span<const double*>(n_members);
+  auto row_strides = ws.arena().allocate_span<Index>(n_members);
+  for (Index k = 0; k < n_members; ++k) {
+    const grid::Rect r = background[k].rect();
+    bases[k] = background[k].values().data() +
+               (expansion.y.begin - r.y.begin) * r.x.size() +
+               (expansion.x.begin - r.x.begin);
+    row_strides[k] = r.x.size();
   }
-  return result;
+
+  const double inv = 1.0 / static_cast<double>(n_members);
+  const Index exp_w = expansion.x.size();
+  const Index exp_h = expansion.y.size();
+  Index i = 0;
+  for (Index dy = 0; dy < exp_h; ++dy) {
+    for (Index dx = 0; dx < exp_w; ++dx, ++i) {
+      double* xrow = out.xb.row(i).data();
+      for (Index k = 0; k < n_members; ++k) {
+        xrow[k] = bases[k][dy * row_strides[k] + dx];
+      }
+      double sum = 0.0;
+      for (Index k = 0; k < n_members; ++k) sum += xrow[k];
+      if (inflation != 1.0) {
+        // X ← x̄ + λ(X − x̄), then the anomaly mean is re-derived from
+        // the inflated ensemble (as ensemble_anomalies would).
+        const double mean1 = sum * inv;
+        for (Index k = 0; k < n_members; ++k) {
+          xrow[k] = mean1 + inflation * (xrow[k] - mean1);
+        }
+        sum = 0.0;
+        for (Index k = 0; k < n_members; ++k) sum += xrow[k];
+      }
+      const double mean = sum * inv;
+      out.mean[i] = mean;
+      double* arow = out.anomalies.row(i).data();
+      for (Index k = 0; k < n_members; ++k) arow[k] = xrow[k] - mean;
+    }
+  }
+  return out;
+}
+
+/// Stochastic modified-Cholesky update: returns Xᵃ on the expansion
+/// (the inflated background updated in place by δX).
+linalg::Matrix stochastic_update(LoadedEnsemble&& ens,
+                                 const obs::LocalObservations& local,
+                                 grid::Rect expansion,
+                                 const AnalysisOptions& options,
+                                 const linalg::Matrix& perturbed,
+                                 LocalAnalysisWorkspace& ws) {
+  const Index n_bar = ens.xb.rows();
+  const Index n_members = ens.xb.cols();
+
+  // B̂⁻¹ from the localized modified Cholesky decomposition.
+  linalg::ModifiedCholesky binv;
+  binv.l = ws.matrix(n_bar, n_bar);
+  binv.d = ws.vector(n_bar);
+  ExpansionPredecessorOracle oracle(expansion, options.halo);
+  linalg::estimate_inverse_covariance_into(ens.anomalies, oracle,
+                                           options.ridge, ws.arena(), binv);
+  linalg::Matrix dinv_l = ws.matrix(n_bar, n_bar);
+  linalg::Matrix system = ws.matrix(n_bar, n_bar);
+  binv.inverse_covariance_into(dinv_l, system);
+
+  // system += Hᵀ R⁻¹ H (R diagonal), precomputed with the localization.
+  if (local.empty()) {
+    // skip_without_obs=false on an empty rect: run the same (degenerate)
+    // product the cache skips building, so the added term is the same
+    // exact-zero matrix the unfused path formed.
+    linalg::Matrix ht_rinv_h = ws.matrix(n_bar, n_bar);
+    linalg::multiply_at_b_into(local.h(), local.rinv_h(), ht_rinv_h);
+    linalg::axpy(1.0, ht_rinv_h, system);
+  } else {
+    linalg::axpy(1.0, local.ht_rinv_h(), system);
+  }
+
+  // Weighted innovations R⁻¹(Yˢ − H X̄ᵇ) in one fused pass, then
+  // RHS = Hᵀ R⁻¹ D straight into the solve's in-place buffer.
+  const Index m_bar = local.size();
+  linalg::Matrix local_ys = ws.matrix(m_bar, n_members);
+  local.select_rows_into(perturbed, local_ys);
+  linalg::Matrix hxb = ws.matrix(m_bar, n_members);
+  linalg::multiply_into(local.h(), ens.xb, hxb);
+  linalg::Matrix innovations = ws.matrix(m_bar, n_members);
+  linalg::weighted_residual_into(local_ys, hxb, local.r_inverse(),
+                                 innovations);
+  linalg::Matrix delta = ws.matrix(n_bar, n_members);
+  linalg::multiply_at_b_into(local.h(), innovations, delta);
+
+  // δX = (B̂⁻¹ + Hᵀ R⁻¹ H)⁻¹ · RHS via Cholesky; Xᵃ = X̄ᵇ + δX.
+  linalg::Matrix lfac = ws.matrix(n_bar, n_bar);
+  linalg::cholesky_factor_into(system, lfac);
+  linalg::cholesky_solve_in_place(lfac, delta);
+  linalg::axpy(1.0, delta, ens.xb);
+  return std::move(ens.xb);
 }
 
 /// LETKF-style deterministic transform (Hunt et al. 2007): analysis in
 /// the N-dimensional ensemble space,
 ///   P̃ = [(N−1)I + ỸᵀR⁻¹Ỹ]⁻¹,   w̄ = P̃ ỸᵀR⁻¹ (y − H x̄),
 ///   W = √(N−1) · P̃^{1/2},       Xᵃ = x̄1ᵀ + U (w̄1ᵀ + W).
-AnalysisResult detail_deterministic_transform(
-    const linalg::Matrix& xb, grid::Rect target, grid::Rect expansion,
-    const obs::LocalObservations& local,
-    const obs::ObservationSet& observations) {
-  const Index n_members = xb.cols();
+linalg::Matrix deterministic_transform(const LoadedEnsemble& ens,
+                                       const obs::LocalObservations& local,
+                                       LocalAnalysisWorkspace& ws) {
+  const Index n_bar = ens.xb.rows();
+  const Index n_members = ens.xb.cols();
+  const Index m_bar = local.size();
   const double scale = static_cast<double>(n_members - 1);
 
-  const linalg::Vector mean = linalg::ensemble_mean(xb);
-  linalg::Matrix anomalies = xb;
-  for (Index i = 0; i < xb.rows(); ++i) {
-    for (Index k = 0; k < n_members; ++k) anomalies(i, k) -= mean[i];
-  }
-
   // Observation-space anomalies Ỹ = H U and innovation d = y − H x̄.
-  const linalg::Matrix y_tilde = linalg::multiply(local.h(), anomalies);
-  const linalg::Vector hx_mean = linalg::multiply(local.h(), mean);
-  linalg::Vector innovation(local.size());
-  for (Index r = 0; r < local.size(); ++r) {
-    innovation[r] =
-        observations.values()[local.selected()[r]] - hx_mean[r];
+  linalg::Matrix y_tilde = ws.matrix(m_bar, n_members);
+  linalg::multiply_into(local.h(), ens.anomalies, y_tilde);
+  linalg::Vector hx_mean = ws.vector(m_bar);
+  linalg::multiply_into(local.h(), ens.mean, hx_mean);
+  linalg::Vector innovation = ws.vector(m_bar);
+  for (Index r = 0; r < m_bar; ++r) {
+    innovation[r] = local.local_values()[r] - hx_mean[r];
   }
 
   // Ensemble-space system: (N−1)I + Ỹᵀ R⁻¹ Ỹ.
-  linalg::Vector rinv(local.size());
-  for (Index r = 0; r < local.size(); ++r) {
-    rinv[r] = 1.0 / local.r_diagonal()[r];
-  }
-  linalg::Matrix rinv_y = y_tilde;
-  linalg::row_scale(rinv, rinv_y);
-  linalg::Matrix system = linalg::multiply_at_b(y_tilde, rinv_y);
+  linalg::Matrix rinv_y = ws.matrix(m_bar, n_members);
+  rinv_y.assign_values(y_tilde);
+  linalg::row_scale(local.r_inverse(), rinv_y);
+  linalg::Matrix system = ws.matrix(n_members, n_members);
+  linalg::multiply_at_b_into(y_tilde, rinv_y, system);
   for (Index k = 0; k < n_members; ++k) system(k, k) += scale;
 
   // P̃ via eigen-based inversion (shared with the symmetric square root).
-  const linalg::SymmetricEigen eig = linalg::symmetric_eigen(system);
-  linalg::Matrix v_scaled_inv = eig.vectors;     // V Λ⁻¹
-  linalg::Matrix v_scaled_sqrt = eig.vectors;    // V Λ^{-1/2}
+  linalg::Vector eig_values = ws.vector(n_members);
+  linalg::Matrix eig_vectors = ws.matrix(n_members, n_members);
+  linalg::Matrix work_d = ws.matrix(n_members, n_members);
+  linalg::Matrix work_v = ws.matrix(n_members, n_members);
+  auto order = ws.indices(n_members);
+  linalg::symmetric_eigen_into(system, eig_values, eig_vectors, work_d,
+                               work_v, order);
+  linalg::Matrix v_scaled_inv = ws.matrix(n_members, n_members);   // V Λ⁻¹
+  linalg::Matrix v_scaled_sqrt = ws.matrix(n_members, n_members);  // V Λ^{-1/2}
+  v_scaled_inv.assign_values(eig_vectors);
+  v_scaled_sqrt.assign_values(eig_vectors);
   for (Index j = 0; j < n_members; ++j) {
-    if (eig.values[j] <= 0.0) {
+    if (eig_values[j] <= 0.0) {
       throw NumericError("deterministic transform: singular system");
     }
-    const double inv = 1.0 / eig.values[j];
+    const double inv = 1.0 / eig_values[j];
     const double inv_sqrt = std::sqrt(inv);
     for (Index i = 0; i < n_members; ++i) {
       v_scaled_inv(i, j) *= inv;
       v_scaled_sqrt(i, j) *= inv_sqrt;
     }
   }
-  const linalg::Matrix p_tilde =
-      linalg::multiply_a_bt(v_scaled_inv, eig.vectors);
-  linalg::Matrix transform =
-      linalg::multiply_a_bt(v_scaled_sqrt, eig.vectors);  // P̃^{1/2}
+  linalg::Matrix p_tilde = ws.matrix(n_members, n_members);
+  linalg::multiply_a_bt_into(v_scaled_inv, eig_vectors, p_tilde);
+  linalg::Matrix transform = ws.matrix(n_members, n_members);  // P̃^{1/2}
+  linalg::multiply_a_bt_into(v_scaled_sqrt, eig_vectors, transform);
   linalg::scale(transform, std::sqrt(scale));             // √(N−1)·P̃^{1/2}
 
   // Mean weights w̄ = P̃ Ỹᵀ R⁻¹ d.
-  const linalg::Vector rhs = linalg::multiply_at(rinv_y, innovation);
-  const linalg::Vector w_mean = linalg::multiply(p_tilde, rhs);
+  linalg::Vector rhs = ws.vector(n_members);
+  linalg::multiply_at_into(rinv_y, innovation, rhs);
+  linalg::Vector w_mean = ws.vector(n_members);
+  linalg::multiply_into(p_tilde, rhs, w_mean);
 
   // Weight matrix columns: w̄ + W[:,k]; analysis Xᵃ = x̄1ᵀ + U W⁺.
   for (Index i = 0; i < n_members; ++i) {
     for (Index k = 0; k < n_members; ++k) transform(i, k) += w_mean[i];
   }
-  linalg::Matrix xa = linalg::multiply(anomalies, transform);
-  for (Index i = 0; i < xb.rows(); ++i) {
-    for (Index k = 0; k < n_members; ++k) xa(i, k) += mean[i];
+  linalg::Matrix xa = ws.matrix(n_bar, n_members);
+  linalg::multiply_into(ens.anomalies, transform, xa);
+  for (Index i = 0; i < n_bar; ++i) {
+    for (Index k = 0; k < n_members; ++k) xa(i, k) += ens.mean[i];
   }
-  return project_to_target(xa, target, expansion, local.size());
+  return xa;
+}
+
+/// One engine behind every entry point: validate, localize (cached),
+/// skip or compute Xᵃ on the expansion.  Emission — views, wire bytes,
+/// or owning patches — is the caller's final step.
+struct EngineOutput {
+  std::shared_ptr<const obs::LocalObservations> local;
+  linalg::Matrix xa;     ///< workspace scratch; unset when skipped
+  bool skipped = false;  ///< no observations: analysis == background
+};
+
+EngineOutput analyze(std::span<const grid::PatchView> background,
+                     grid::Rect expansion, grid::Rect target,
+                     const obs::ObservationSet& observations,
+                     const linalg::Matrix& perturbed,
+                     const AnalysisOptions& options,
+                     LocalAnalysisWorkspace& ws) {
+  SENKF_REQUIRE(background.size() >= 2,
+                "local_analysis: need at least 2 ensemble members");
+  for (const auto& patch : background) {
+    SENKF_REQUIRE(grid::rect_contains(patch.rect(), expansion),
+                  "local_analysis: members must cover the expansion rect");
+  }
+  SENKF_REQUIRE(grid::rect_contains(expansion, target),
+                "local_analysis: target must lie inside the expansion");
+  SENKF_REQUIRE(perturbed.cols() == background.size(),
+                "local_analysis: Ys must have one column per member");
+  SENKF_REQUIRE(perturbed.rows() == observations.size(),
+                "local_analysis: Ys must have one row per observation");
+
+  patches_counter().add(1);
+
+  EngineOutput out;
+  out.local = obs::localized(observations, expansion);
+
+  if (out.local->empty() && options.skip_without_obs) {
+    // No information to assimilate: the analysis equals the background.
+    out.skipped = true;
+    return out;
+  }
+
+  SENKF_REQUIRE(options.inflation >= 1.0,
+                "local_analysis: inflation must be >= 1");
+
+  LoadedEnsemble ens =
+      load_ensemble(background, expansion, options.inflation, ws);
+  if (options.kind == AnalysisKind::kDeterministicTransform) {
+    out.xa = deterministic_transform(ens, *out.local, ws);
+  } else {
+    out.xa = stochastic_update(std::move(ens), *out.local, expansion,
+                               options, perturbed, ws);
+  }
+  return out;
+}
+
+/// Writes member k's target-rect values (the implicit P of eq. (6))
+/// row-major into `dst` — exactly the order Patch::local_index induces.
+void project_member(const linalg::Matrix& xa, Index k, grid::Rect target,
+                    grid::Rect expansion, std::span<double> dst) {
+  const Index width = expansion.x.size();
+  Index o = 0;
+  for (Index y = target.y.begin; y < target.y.end; ++y) {
+    for (Index x = target.x.begin; x < target.x.end; ++x) {
+      const Index local_index =
+          (y - expansion.y.begin) * width + (x - expansion.x.begin);
+      dst[o++] = xa(local_index, k);
+    }
+  }
+}
+
+/// Copies the target window of a member view row-major into `dst`
+/// (the skip path's PatchView::extract without the owning Patch).
+void extract_member(const grid::PatchView& member, grid::Rect target,
+                    std::span<double> dst) {
+  const std::span<const double> values = member.values();
+  const Index row_width = target.x.size();
+  Index o = 0;
+  for (Index y = target.y.begin; y < target.y.end; ++y) {
+    const Index src = member.local_index(target.x.begin, y);
+    std::copy_n(values.begin() + src, row_width, dst.begin() + o);
+    o += row_width;
+  }
+}
+
+AnalysisResult materialize_result(const EngineOutput& out,
+                                  std::span<const grid::PatchView> background,
+                                  grid::Rect expansion, grid::Rect target,
+                                  LocalAnalysisWorkspace& ws) {
+  AnalysisResult result;
+  result.local_observations = out.local->size();
+  result.members.reserve(background.size());
+  if (out.skipped) {
+    for (const auto& patch : background) {
+      result.members.push_back(patch.extract(target));
+    }
+    return result;
+  }
+  // Project into an arena slab, then range-construct the owning buffer —
+  // no zero-fill-then-overwrite and no per-element index arithmetic.
+  auto slab = ws.arena().allocate_span<double>(target.count());
+  for (Index k = 0; k < background.size(); ++k) {
+    project_member(out.xa, k, target, expansion, slab);
+    result.members.emplace_back(target,
+                                std::vector<double>(slab.begin(), slab.end()));
+  }
+  return result;
 }
 
 }  // namespace
+
+AnalysisView local_analysis_scratch(std::span<const grid::PatchView> background,
+                                    grid::Rect expansion, grid::Rect target,
+                                    const obs::ObservationSet& observations,
+                                    const linalg::Matrix& perturbed,
+                                    const AnalysisOptions& options,
+                                    LocalAnalysisWorkspace& workspace) {
+  workspace.reset();
+  const EngineOutput out = analyze(background, expansion, target,
+                                   observations, perturbed, options,
+                                   workspace);
+  AnalysisView result;
+  result.local_observations = out.local->size();
+  auto views = workspace.views(background.size());
+  for (Index k = 0; k < background.size(); ++k) {
+    auto slab = workspace.arena().allocate_span<double>(target.count());
+    if (out.skipped) {
+      extract_member(background[k], target, slab);
+    } else {
+      project_member(out.xa, k, target, expansion, slab);
+    }
+    views[k] = grid::PatchView(target, slab);
+  }
+  result.members = views;
+  return result;
+}
+
+void local_analysis_packed(std::span<const grid::PatchView> background,
+                           grid::Rect expansion, grid::Rect target,
+                           const obs::ObservationSet& observations,
+                           const linalg::Matrix& perturbed,
+                           const AnalysisOptions& options,
+                           std::span<const Index> member_ids,
+                           LocalAnalysisWorkspace& workspace,
+                           parcomm::Packer& out) {
+  SENKF_REQUIRE(member_ids.size() == background.size(),
+                "local_analysis_packed: one member id per member");
+  workspace.reset();
+  const EngineOutput engine = analyze(background, expansion, target,
+                                      observations, perturbed, options,
+                                      workspace);
+  for (Index k = 0; k < background.size(); ++k) {
+    out.put<std::uint64_t>(member_ids[k]);
+    if (engine.skipped) {
+      pack_patch_block(out, background[k], target);
+    } else {
+      project_member(engine.xa, k, target, expansion,
+                     pack_patch_slot(out, target));
+    }
+  }
+}
 
 AnalysisResult local_analysis(std::span<const grid::PatchView> background,
                               grid::Rect target,
@@ -143,87 +433,11 @@ AnalysisResult local_analysis(std::span<const grid::PatchView> background,
     SENKF_REQUIRE(patch.rect() == expansion,
                   "local_analysis: members must share the expansion rect");
   }
-  SENKF_REQUIRE(grid::rect_contains(expansion, target),
-                "local_analysis: target must lie inside the expansion");
-  SENKF_REQUIRE(perturbed.cols() == background.size(),
-                "local_analysis: Ys must have one column per member");
-  SENKF_REQUIRE(perturbed.rows() == observations.size(),
-                "local_analysis: Ys must have one row per observation");
-
-  const Index n_bar = expansion.count();
-  const Index n_members = background.size();
-
-  // Localize H, R and Yˢ to the expansion.
-  const obs::LocalObservations local(observations, expansion);
-
-  AnalysisResult result;
-  result.local_observations = local.size();
-
-  if (local.empty() && options.skip_without_obs) {
-    // No information to assimilate: the analysis equals the background.
-    result.members.reserve(n_members);
-    for (const auto& patch : background) {
-      result.members.push_back(patch.extract(target));
-    }
-    return result;
-  }
-
-  SENKF_REQUIRE(options.inflation >= 1.0,
-                "local_analysis: inflation must be >= 1");
-
-  // X̄ᵇ as an n̄×N matrix (row-major over the expansion).
-  linalg::Matrix xb(n_bar, n_members);
-  for (Index k = 0; k < n_members; ++k) {
-    const auto& values = background[k].values();
-    for (Index i = 0; i < n_bar; ++i) xb(i, k) = values[i];
-  }
-
-  // Multiplicative inflation: X ← x̄ + λ(X − x̄).
-  if (options.inflation != 1.0) {
-    const linalg::Vector mean = linalg::ensemble_mean(xb);
-    for (Index i = 0; i < n_bar; ++i) {
-      for (Index k = 0; k < n_members; ++k) {
-        xb(i, k) = mean[i] + options.inflation * (xb(i, k) - mean[i]);
-      }
-    }
-  }
-
-  if (options.kind == AnalysisKind::kDeterministicTransform) {
-    return detail_deterministic_transform(xb, target, expansion, local,
-                                          observations);
-  }
-
-  // B̂⁻¹ from the localized modified Cholesky decomposition.
-  const linalg::Matrix anomalies = linalg::ensemble_anomalies(xb);
-  const linalg::ModifiedCholesky binv_factors =
-      linalg::estimate_inverse_covariance(
-          anomalies, expansion_predecessors(expansion, options.halo),
-          options.ridge);
-  linalg::Matrix system = binv_factors.inverse_covariance();
-
-  // system += Hᵀ R⁻¹ H (R diagonal).
-  const linalg::Matrix& h = local.h();
-  const linalg::Vector& r_diag = local.r_diagonal();
-  const Index m_bar = local.size();
-  linalg::Vector rinv(m_bar);
-  for (Index row = 0; row < m_bar; ++row) rinv[row] = 1.0 / r_diag[row];
-  linalg::Matrix rinv_h = h;
-  linalg::row_scale(rinv, rinv_h);
-  const linalg::Matrix ht_rinv_h = linalg::multiply_at_b(h, rinv_h);
-  linalg::axpy(1.0, ht_rinv_h, system);
-
-  // Weighted innovations R⁻¹(Yˢ − H X̄ᵇ) in one fused pass, then
-  // RHS = Hᵀ R⁻¹ D.
-  const linalg::Matrix local_ys = local.select_rows(perturbed);
-  const linalg::Matrix innovations =
-      linalg::weighted_residual(local_ys, linalg::multiply(h, xb), rinv);
-  const linalg::Matrix rhs = linalg::multiply_at_b(h, innovations);
-
-  // δX = (B̂⁻¹ + Hᵀ R⁻¹ H)⁻¹ · RHS via Cholesky; Xᵃ = X̄ᵇ + δX.
-  const linalg::Matrix delta = linalg::solve_spd(system, rhs);
-  linalg::axpy(1.0, delta, xb);
-
-  return project_to_target(xb, target, expansion, local.size());
+  LocalAnalysisWorkspace& ws = LocalAnalysisWorkspace::for_this_thread();
+  ws.reset();
+  const EngineOutput out = analyze(background, expansion, target,
+                                   observations, perturbed, options, ws);
+  return materialize_result(out, background, expansion, target, ws);
 }
 
 AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
@@ -231,10 +445,21 @@ AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
                               const obs::ObservationSet& observations,
                               const linalg::Matrix& perturbed,
                               const AnalysisOptions& options) {
-  const std::vector<grid::PatchView> views(background.begin(),
-                                           background.end());
-  return local_analysis(std::span<const grid::PatchView>(views), target,
-                        observations, perturbed, options);
+  SENKF_REQUIRE(background.size() >= 2,
+                "local_analysis: need at least 2 ensemble members");
+  LocalAnalysisWorkspace& ws = LocalAnalysisWorkspace::for_this_thread();
+  ws.reset();
+  // View list in the arena, not a per-call heap vector.
+  auto views = ws.views(background.size());
+  for (Index k = 0; k < background.size(); ++k) views[k] = background[k];
+  const grid::Rect expansion = views.front().rect();
+  for (const auto& patch : views) {
+    SENKF_REQUIRE(patch.rect() == expansion,
+                  "local_analysis: members must share the expansion rect");
+  }
+  const EngineOutput out = analyze(views, expansion, target, observations,
+                                   perturbed, options, ws);
+  return materialize_result(out, views, expansion, target, ws);
 }
 
 }  // namespace senkf::enkf

@@ -15,15 +15,33 @@
 // P-EnKF, S-EnKF — calls this one kernel with identical inputs, which is
 // why their analyses agree bit-for-bit (the correctness gate for the
 // performance work).
+//
+// Execution model (DESIGN.md §15): all temporaries come from a
+// LocalAnalysisWorkspace, the observation localization comes from the
+// process-wide cache (obs/local_obs_cache.hpp), and results are emitted
+// three ways:
+//   * local_analysis_scratch — arena-backed views, zero allocation in
+//     steady state; what the hot paths consume.
+//   * local_analysis_packed — projects straight into a Packer's payload
+//     bytes, for callers whose next step is the wire.
+//   * local_analysis (legacy overloads) — owning AnalysisResult, for the
+//     serial reference and existing tests.
+// All three run the same engine, so their values agree bit-for-bit with
+// each other and with the pre-workspace implementation.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "enkf/analysis_workspace.hpp"
 #include "grid/decomposition.hpp"
 #include "linalg/modified_cholesky.hpp"
 #include "obs/local_obs.hpp"
 #include "obs/perturbed.hpp"
+
+namespace senkf::parcomm {
+class Packer;
+}  // namespace senkf::parcomm
 
 namespace senkf::enkf {
 
@@ -63,13 +81,44 @@ struct AnalysisResult {
   Index local_observations = 0;  ///< m̄: observations used
 };
 
-/// Runs equation (6).
-///
-/// `background` — the ensemble on the expansion (all patches must share
-/// `expansion` as their rect); `target` — the sub-domain / layer rectangle
-/// to project onto (must lie inside the expansion); `observations` /
-/// `perturbed` — the *global* observation set and Yˢ matrix (localization
-/// happens here, so every caller localizes identically).
+/// Zero-allocation result: one view per member over storage owned by the
+/// workspace that produced it.  Valid until that workspace is next used
+/// (its reset() rewinds the arena the values live in).
+struct AnalysisView {
+  std::span<const grid::PatchView> members;
+  Index local_observations = 0;  ///< m̄: observations used
+};
+
+/// Runs equation (6) with every temporary drawn from `workspace`
+/// (reset() is called on entry — results of the previous call die).
+/// `background` members may sit on any rect *containing* `expansion`
+/// (the kernel gathers the expansion window in place, so callers never
+/// extract an intermediate slab); `target` must lie inside the
+/// expansion.  `observations` / `perturbed` are the *global* observation
+/// set and Yˢ matrix — localization happens here, served from the
+/// process-wide cache.
+AnalysisView local_analysis_scratch(std::span<const grid::PatchView> background,
+                                    grid::Rect expansion, grid::Rect target,
+                                    const obs::ObservationSet& observations,
+                                    const linalg::Matrix& perturbed,
+                                    const AnalysisOptions& options,
+                                    LocalAnalysisWorkspace& workspace);
+
+/// Same analysis, emitted straight onto the wire: for each member k the
+/// sequence [u64 member_ids[k]][patch block over `target`] is appended
+/// to `out`, the projection writing into the payload bytes in place.
+/// Byte-identical to pack_patch of the legacy result's patches.
+void local_analysis_packed(std::span<const grid::PatchView> background,
+                           grid::Rect expansion, grid::Rect target,
+                           const obs::ObservationSet& observations,
+                           const linalg::Matrix& perturbed,
+                           const AnalysisOptions& options,
+                           std::span<const Index> member_ids,
+                           LocalAnalysisWorkspace& workspace,
+                           parcomm::Packer& out);
+
+/// Legacy owning entry point (members must all sit exactly on the
+/// expansion rect, as before).  Runs on this thread's pooled workspace.
 AnalysisResult local_analysis(std::span<const grid::PatchView> background,
                               grid::Rect target,
                               const obs::ObservationSet& observations,
@@ -77,8 +126,8 @@ AnalysisResult local_analysis(std::span<const grid::PatchView> background,
                               const AnalysisOptions& options);
 
 /// Adapter for callers holding owning Patches; the kernel itself only
-/// reads, so it runs on views — S-EnKF feeds it spans aliasing message
-/// payloads directly (no per-member materialization).
+/// reads, so it runs on views built in the workspace arena (no per-call
+/// heap vector).
 AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
                               grid::Rect target,
                               const obs::ObservationSet& observations,
@@ -91,5 +140,21 @@ AnalysisResult local_analysis(const std::vector<grid::Patch>& background,
 /// neighbourhood transported to the Bickel–Levina ordering.
 linalg::PredecessorFn expansion_predecessors(grid::Rect expansion,
                                              grid::Halo halo);
+
+/// Allocation-free variant: writes each predecessor set into the scratch
+/// arena the estimator hands it (released by the estimator's per-row
+/// rewind).  Same sets in the same order as expansion_predecessors.
+class ExpansionPredecessorOracle final : public linalg::PredecessorOracle {
+ public:
+  ExpansionPredecessorOracle(grid::Rect expansion, grid::Halo halo)
+      : expansion_(expansion), halo_(halo) {}
+
+  std::span<const linalg::Index> predecessors(
+      linalg::Index i, support::Arena& scratch) override;
+
+ private:
+  grid::Rect expansion_;
+  grid::Halo halo_;
+};
 
 }  // namespace senkf::enkf

@@ -59,6 +59,15 @@ std::size_t packed_patch_size(grid::Rect rect) {
   return 5 * sizeof(std::uint64_t) + rect.count() * sizeof(double);
 }
 
+std::span<double> pack_patch_slot(parcomm::Packer& packer, grid::Rect rect) {
+  pack_rect(packer, rect);
+  packer.put<std::uint64_t>(rect.count());
+  auto body = packer.put_uninit<double>(rect.count());
+  // The producer's in-place fill is the one body write this block sees.
+  if (rect.count() > 0) parcomm::detail::payload_copies_counter().add(1);
+  return body;
+}
+
 grid::Patch unpack_patch(parcomm::Unpacker& unpacker) {
   const grid::Rect rect = unpack_rect(unpacker);
   auto values = unpacker.get_vector<double>();

@@ -38,6 +38,14 @@ void pack_patch_block(parcomm::Packer& packer, const PatchView& bar,
 /// Packer::reserve so a message is built with zero reallocation.
 std::size_t packed_patch_size(grid::Rect rect);
 
+/// Writes the framing of a block over `rect` and returns the writable
+/// body span (`rect.count()` doubles) for the caller to fill in place —
+/// the zero-intermediate path for producers that *compute* the block
+/// (analysis projection) rather than copy it.  The span is invalidated
+/// by the next append to `packer`; the resulting bytes are identical to
+/// pack_patch of a patch holding the same values.
+std::span<double> pack_patch_slot(parcomm::Packer& packer, grid::Rect rect);
+
 /// Reads back an owning Patch written by pack_patch/pack_field_block
 /// (one copy-out).
 grid::Patch unpack_patch(parcomm::Unpacker& unpacker);

@@ -70,10 +70,17 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
 
     // --- phase 2: local update (no inter-processor communication) --------
     // The layer analyses are independent (they only read `my_members`),
-    // so they fan out across the rank's analysis pool; results are packed
-    // in layer order afterwards, keeping the output bit-identical to the
-    // sequential loop for any pool width.
-    std::vector<AnalysisResult> locals(config.layers);
+    // so they fan out across the rank's analysis pool; each task packs
+    // its layer straight off the projection and the payloads are
+    // concatenated in layer order afterwards, keeping the output
+    // bit-identical to the sequential loop for any pool width.  The
+    // kernel gathers each layer's expansion window in place from the
+    // subdomain bars — no per-layer extract() copies.
+    std::vector<grid::PatchView> member_views(my_members.begin(),
+                                              my_members.end());
+    std::vector<Index> member_ids(n_members);
+    for (Index k = 0; k < n_members; ++k) member_ids[k] = k;
+    std::vector<parcomm::Packer> layer_packs(config.layers);
     ThreadPool pool(
         ThreadPool::resolve_thread_count(config.analysis_threads));
     const int my_rank = world.rank();
@@ -86,21 +93,23 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
       const grid::Rect expansion =
           decomposition.layer_expansion(my_id, l, config.layers);
-      std::vector<grid::Patch> background;
-      background.reserve(n_members);
-      for (Index k = 0; k < n_members; ++k) {
-        background.push_back(my_members[k].extract(expansion));
-      }
-      locals[l] = local_analysis(background, target, observations,
-                                 perturbed, config.analysis);
+      parcomm::Packer& pack = layer_packs[l];
+      pack.reserve(n_members *
+                   (sizeof(std::uint64_t) + packed_patch_size(target)));
+      local_analysis_packed(member_views, expansion, target, observations,
+                            perturbed, config.analysis, member_ids,
+                            LocalAnalysisWorkspace::for_this_thread(), pack);
     });
     parcomm::Packer results;
+    {
+      std::size_t bytes = sizeof(std::uint64_t);
+      for (Index l = 0; l < config.layers; ++l) bytes += layer_packs[l].size();
+      results.reserve(bytes);
+    }
     results.put<std::uint64_t>(config.layers * n_members);
     for (Index l = 0; l < config.layers; ++l) {
-      for (Index k = 0; k < n_members; ++k) {
-        results.put<std::uint64_t>(k);
-        pack_patch(results, locals[l].members[k]);
-      }
+      const parcomm::Payload payload = layer_packs[l].take();
+      results.put_raw(payload.data(), payload.size());
     }
 
     // --- gather at rank 0 -------------------------------------------------

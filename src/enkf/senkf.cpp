@@ -1014,7 +1014,11 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   ThreadPool pool(
       ThreadPool::resolve_thread_count(config.analysis_threads));
   std::vector<StageBuffers::Stage> stage_data(config.layers);
-  std::vector<AnalysisResult> locals(config.layers);
+  // Each task packs its layer's results straight off the analysis
+  // projection ([u64 member][patch block] per member, exact-reserved), so
+  // the main thread concatenates payload bytes instead of re-packing
+  // owning patches.
+  std::vector<parcomm::Packer> layer_packs(config.layers);
 
   // Phase accounting is measured where each phase happens: comp_wait is
   // the main thread blocked in take_stage, comp_update the summed
@@ -1056,17 +1060,25 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
                                          &local.update_ns,
                                          static_cast<std::int32_t>(l));
       const grid::Rect target = decomposition.layer(my_id, l, config.layers);
+      const StageBuffers::Stage& stage = stage_data[l];
+      SENKF_REQUIRE(stage.patches.size() >= 2,
+                    "local_analysis: need at least 2 ensemble members");
+      const grid::Rect expansion = stage.patches.front().rect();
+      parcomm::Packer& pack = layer_packs[l];
+      pack.reserve(stage.live.size() *
+                   (sizeof(std::uint64_t) + packed_patch_size(target)));
+      LocalAnalysisWorkspace& ws = LocalAnalysisWorkspace::for_this_thread();
       // N−k degradation: the analysis runs on the surviving members with
       // the matching Yˢ columns; every ensemble moment is computed over
       // the live count, so the weights renormalize by construction.
-      if (stage_data[l].live.size() == n_members) {
-        locals[l] = local_analysis(stage_data[l].patches, target, observations,
-                                   perturbed, config.analysis);
+      if (stage.live.size() == n_members) {
+        local_analysis_packed(stage.patches, expansion, target, observations,
+                              perturbed, config.analysis, stage.live, ws,
+                              pack);
       } else {
-        const linalg::Matrix live_ys =
-            select_columns(perturbed, stage_data[l].live);
-        locals[l] = local_analysis(stage_data[l].patches, target, observations,
-                                   live_ys, config.analysis);
+        const linalg::Matrix live_ys = select_columns(perturbed, stage.live);
+        local_analysis_packed(stage.patches, expansion, target, observations,
+                              live_ys, config.analysis, stage.live, ws, pack);
       }
     });
   }
@@ -1095,10 +1107,8 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
   }
   results.put<std::uint64_t>(config.layers * live.size());
   for (Index l = 0; l < config.layers; ++l) {
-    for (std::size_t idx = 0; idx < live.size(); ++idx) {
-      results.put<std::uint64_t>(live[idx]);
-      pack_patch(results, locals[l].members[idx]);
-    }
+    const parcomm::Payload payload = layer_packs[l].take();
+    results.put_raw(payload.data(), payload.size());
   }
   helper.join();
   if (helper_error) std::rethrow_exception(helper_error);

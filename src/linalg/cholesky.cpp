@@ -24,19 +24,45 @@ void require_nonzero_diagonal(const Matrix& l, const char* who) {
 
 CholeskyFactor::CholeskyFactor(const Matrix& a) {
   SENKF_REQUIRE(a.square(), "Cholesky: matrix must be square");
+  l_ = Matrix(a.rows(), a.rows(), 0.0);
+  cholesky_factor_into(a, l_);
+}
+
+void cholesky_factor_into(const Matrix& a, Matrix& l) {
+  SENKF_REQUIRE(a.square(), "Cholesky: matrix must be square");
   const Index n = a.rows();
-  // Copy the lower triangle (upper stays zero) and factor in place with
+  SENKF_REQUIRE(l.rows() == n && l.cols() == n,
+                "cholesky_factor_into: output shape mismatch");
+  // Copy the lower triangle, zero the upper, and factor in place with
   // the blocked, ISA-dispatched potrf kernel.
-  l_ = Matrix(n, n, 0.0);
   for (Index i = 0; i < n; ++i) {
-    for (Index j = 0; j <= i; ++j) l_(i, j) = a(i, j);
+    for (Index j = 0; j <= i; ++j) l(i, j) = a(i, j);
+    for (Index j = i + 1; j < n; ++j) l(i, j) = 0.0;
   }
   const std::ptrdiff_t pivot =
-      kernels::active_kernels().potrf(n, l_.data(), l_.stride());
+      kernels::active_kernels().potrf(n, l.data(), l.stride());
   if (pivot >= 0) {
     throw NumericError("Cholesky: matrix is not positive definite (pivot " +
                        std::to_string(pivot) + ")");
   }
+}
+
+void cholesky_solve_in_place(const Matrix& l, Matrix& x) {
+  SENKF_REQUIRE(l.square() && x.rows() == l.rows(),
+                "cholesky_solve_in_place: row mismatch");
+  const auto& table = kernels::active_kernels();
+  table.trsm_lln(l.rows(), x.cols(), l.data(), l.stride(), x.data(),
+                 x.stride());
+  table.trsm_llt(l.rows(), x.cols(), l.data(), l.stride(), x.data(),
+                 x.stride());
+}
+
+void cholesky_solve_in_place(const Matrix& l, Vector& x) {
+  SENKF_REQUIRE(l.square() && x.size() == l.rows(),
+                "cholesky_solve_in_place: length mismatch");
+  const auto& table = kernels::active_kernels();
+  table.trsm_lln(l.rows(), 1, l.data(), l.stride(), x.data(), 1);
+  table.trsm_llt(l.rows(), 1, l.data(), l.stride(), x.data(), 1);
 }
 
 Vector CholeskyFactor::solve(const Vector& b) const {

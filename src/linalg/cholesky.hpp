@@ -36,6 +36,18 @@ class CholeskyFactor {
   Matrix l_;
 };
 
+/// Allocation-free factorization: overwrites pre-shaped n×n `l` with the
+/// lower Cholesky factor of `a` (upper triangle of `l` is zeroed).  Same
+/// numerics and failure behaviour as the CholeskyFactor constructor.
+void cholesky_factor_into(const Matrix& a, Matrix& l);
+
+/// Allocation-free solves against a factor produced by
+/// cholesky_factor_into (or CholeskyFactor::lower()): overwrites `x`
+/// (holding B on entry) with A⁻¹ B.  Bit-identical to
+/// CholeskyFactor::solve on the same factor.
+void cholesky_solve_in_place(const Matrix& l, Matrix& x);
+void cholesky_solve_in_place(const Matrix& l, Vector& x);
+
 /// Forward substitution: solves L y = b with lower-triangular L.
 Vector solve_lower(const Matrix& l, const Vector& b);
 

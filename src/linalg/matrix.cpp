@@ -1,5 +1,7 @@
 #include "linalg/matrix.hpp"
 
+#include <cstring>
+
 #include "linalg/kernels/dispatch.hpp"
 #include "linalg/kernels/simdvec.hpp"
 
@@ -17,12 +19,21 @@ Index default_stride(Index cols) {
 
 }  // namespace
 
+Vector Vector::scratch(std::span<double> storage) {
+  Vector v;
+  v.size_ = storage.size();
+  v.ptr_ = storage.data();
+  v.scratch_ = true;
+  return v;
+}
+
 Matrix::Matrix(Index rows, Index cols, Index stride, double fill)
     : rows_(rows), cols_(cols), stride_(stride), data_(rows * stride, 0.0) {
   SENKF_ASSERT(stride_ >= cols_);
+  ptr_ = data_.data();
   if (fill != 0.0) {
     for (Index i = 0; i < rows_; ++i) {
-      double* r = data_.data() + i * stride_;
+      double* r = ptr_ + i * stride_;
       for (Index j = 0; j < cols_; ++j) r[j] = fill;
     }
   }
@@ -35,12 +46,28 @@ Matrix Matrix::compact(Index rows, Index cols, double fill) {
   return Matrix(rows, cols, /*stride=*/cols, fill);
 }
 
+Index Matrix::padded_stride(Index cols) { return default_stride(cols); }
+
+Matrix Matrix::scratch(std::span<double> storage, Index rows, Index cols,
+                       Index stride) {
+  SENKF_REQUIRE(stride >= cols, "Matrix::scratch: stride < cols");
+  SENKF_REQUIRE(storage.size() >= rows * stride,
+                "Matrix::scratch: storage too small");
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.stride_ = stride;
+  m.ptr_ = storage.data();
+  m.scratch_ = true;
+  return m;
+}
+
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     : Matrix(rows.size(), rows.size() == 0 ? 0 : rows.begin()->size()) {
   Index i = 0;
   for (const auto& row : rows) {
     SENKF_REQUIRE(row.size() == cols_, "Matrix: ragged initializer list");
-    double* dst = data_.data() + i * stride_;
+    double* dst = ptr_ + i * stride_;
     Index j = 0;
     for (double v : row) dst[j++] = v;
     ++i;
@@ -71,6 +98,21 @@ void Matrix::set_column(Index j, const Vector& values) {
   SENKF_REQUIRE(values.size() == rows_,
                 "Matrix::set_column: length mismatch");
   for (Index i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+}
+
+void Matrix::assign_values(const Matrix& src) {
+  SENKF_REQUIRE(src.rows_ == rows_ && src.cols_ == cols_,
+                "Matrix::assign_values: shape mismatch");
+  if (src.stride_ == stride_) {
+    if (rows_ * stride_ > 0) {
+      std::memcpy(ptr_, src.ptr_, rows_ * stride_ * sizeof(double));
+    }
+    return;
+  }
+  for (Index i = 0; i < rows_; ++i) {
+    std::memcpy(ptr_ + i * stride_, src.ptr_ + i * src.stride_,
+                cols_ * sizeof(double));
+  }
 }
 
 }  // namespace senkf::linalg

@@ -16,6 +16,15 @@
 // 0·x terms.  Code that needs the historical tightly-packed layout
 // (wire-format staging, external libraries) builds with
 // `Matrix::compact(...)`, which sets stride() == cols().
+//
+// Storage: a Matrix/Vector normally owns its buffer, but `scratch(...)`
+// builds a non-owning one over caller storage (an arena span — see
+// support/arena.hpp), which is how the analysis hot path gets
+// allocation-free temporaries.  Scratch instances behave like values in
+// every other way: copying one yields an owning deep copy, moving one
+// carries the pointer.  The caller keeps the storage alive (and
+// zero-initialized, to honor the pad-zero invariant) for the scratch
+// object's lifetime.
 #pragma once
 
 #include <cstddef>
@@ -33,38 +42,95 @@ using Index = std::size_t;
 class Vector {
  public:
   Vector() = default;
-  explicit Vector(Index size, double fill = 0.0) : data_(size, fill) {}
-  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(Index size, double fill = 0.0)
+      : size_(size), data_(size, fill), ptr_(data_.data()) {}
+  Vector(std::initializer_list<double> values)
+      : size_(values.size()), data_(values), ptr_(data_.data()) {}
 
-  Index size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  /// Non-owning vector over caller storage (e.g. an arena span).  The
+  /// storage must stay alive and is used as-is (callers zero it first
+  /// when the zero-filled constructor semantics are wanted).
+  static Vector scratch(std::span<double> storage);
+
+  Vector(const Vector& other)
+      : size_(other.size_),
+        data_(other.ptr_, other.ptr_ + other.size_),
+        ptr_(data_.data()) {}
+  Vector(Vector&& other) noexcept { move_from(other); }
+  Vector& operator=(const Vector& other) {
+    if (this != &other) {
+      Vector copy(other);
+      move_from(copy);
+    }
+    return *this;
+  }
+  Vector& operator=(Vector&& other) noexcept {
+    if (this != &other) move_from(other);
+    return *this;
+  }
+  ~Vector() = default;
+
+  Index size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool is_scratch() const { return scratch_; }
 
   double& operator[](Index i) {
-    SENKF_ASSERT(i < data_.size());
-    return data_[i];
+    SENKF_ASSERT(i < size_);
+    return ptr_[i];
   }
   double operator[](Index i) const {
-    SENKF_ASSERT(i < data_.size());
-    return data_[i];
+    SENKF_ASSERT(i < size_);
+    return ptr_[i];
   }
 
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  double* data() { return ptr_; }
+  const double* data() const { return ptr_; }
 
-  std::span<double> span() { return {data_.data(), data_.size()}; }
-  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+  std::span<double> span() { return {ptr_, size_}; }
+  std::span<const double> span() const { return {ptr_, size_}; }
 
-  auto begin() { return data_.begin(); }
-  auto end() { return data_.end(); }
-  auto begin() const { return data_.begin(); }
-  auto end() const { return data_.end(); }
+  double* begin() { return ptr_; }
+  double* end() { return ptr_ + size_; }
+  const double* begin() const { return ptr_; }
+  const double* end() const { return ptr_ + size_; }
 
-  void resize(Index size, double fill = 0.0) { data_.resize(size, fill); }
+  void resize(Index size, double fill = 0.0) {
+    SENKF_REQUIRE(!scratch_, "Vector::resize: scratch vectors are fixed-size");
+    data_.resize(size, fill);
+    size_ = size;
+    ptr_ = data_.data();
+  }
 
-  friend bool operator==(const Vector&, const Vector&) = default;
+  /// Element-wise equality over the logical values (ownership-agnostic).
+  friend bool operator==(const Vector& a, const Vector& b) {
+    if (a.size_ != b.size_) return false;
+    for (Index i = 0; i < a.size_; ++i) {
+      if (a.ptr_[i] != b.ptr_[i]) return false;
+    }
+    return true;
+  }
 
  private:
+  void move_from(Vector& other) noexcept {
+    size_ = other.size_;
+    scratch_ = other.scratch_;
+    if (other.scratch_) {
+      data_.clear();
+      ptr_ = other.ptr_;
+    } else {
+      data_ = std::move(other.data_);
+      ptr_ = data_.data();
+    }
+    other.size_ = 0;
+    other.scratch_ = false;
+    other.data_.clear();
+    other.ptr_ = other.data_.data();
+  }
+
+  Index size_ = 0;
   std::vector<double> data_;
+  double* ptr_ = nullptr;
+  bool scratch_ = false;
 };
 
 /// Dense row-major matrix of doubles with a padded leading dimension.
@@ -87,34 +153,68 @@ class Matrix {
   /// Diagonal matrix from a vector.
   static Matrix diagonal(const Vector& diag);
 
+  /// The leading dimension a default (padded) allocation of `cols`
+  /// columns gets — what scratch callers must size their storage with to
+  /// reproduce the owning layout bit-for-bit.
+  static Index padded_stride(Index cols);
+
+  /// Non-owning matrix over caller storage of rows × stride doubles
+  /// (stride ≥ cols; use padded_stride(cols) to match the default
+  /// layout).  The storage must stay alive for the matrix's lifetime and
+  /// arrive zero-filled when pad columns exist (the pad-zero invariant
+  /// is the caller's to establish; every linalg routine then keeps it).
+  static Matrix scratch(std::span<double> storage, Index rows, Index cols,
+                        Index stride);
+
+  Matrix(const Matrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        stride_(other.stride_),
+        data_(other.ptr_, other.ptr_ + other.rows_ * other.stride_),
+        ptr_(data_.data()) {}
+  Matrix(Matrix&& other) noexcept { move_from(other); }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      Matrix copy(other);
+      move_from(copy);
+    }
+    return *this;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this != &other) move_from(other);
+    return *this;
+  }
+  ~Matrix() = default;
+
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
   /// Leading dimension: distance in doubles between row starts.
   Index stride() const { return stride_; }
   bool is_compact() const { return stride_ == cols_; }
+  bool is_scratch() const { return scratch_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
   bool square() const { return rows_ == cols_; }
 
   double& operator()(Index i, Index j) {
     SENKF_ASSERT(i < rows_ && j < cols_);
-    return data_[i * stride_ + j];
+    return ptr_[i * stride_ + j];
   }
   double operator()(Index i, Index j) const {
     SENKF_ASSERT(i < rows_ && j < cols_);
-    return data_[i * stride_ + j];
+    return ptr_[i * stride_ + j];
   }
 
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  double* data() { return ptr_; }
+  const double* data() const { return ptr_; }
 
   /// Contiguous view of the logical entries of row i (excludes the pad).
   std::span<double> row(Index i) {
     SENKF_ASSERT(i < rows_);
-    return {data_.data() + i * stride_, cols_};
+    return {ptr_ + i * stride_, cols_};
   }
   std::span<const double> row(Index i) const {
     SENKF_ASSERT(i < rows_);
-    return {data_.data() + i * stride_, cols_};
+    return {ptr_ + i * stride_, cols_};
   }
 
   /// Copy of column j (columns are strided in row-major storage).
@@ -122,6 +222,12 @@ class Matrix {
 
   /// Overwrites column j from a vector of length rows().
   void set_column(Index j, const Vector& values);
+
+  /// Overwrites this matrix's values from `src` (shapes must match; the
+  /// strides need not).  When they do match, the pad is copied too —
+  /// both pads are zero by the invariant, so this reproduces the
+  /// whole-buffer copy an owning `Matrix b = a;` performs.
+  void assign_values(const Matrix& src);
 
   /// Element-wise equality over the logical rows() x cols() region; the
   /// operands' strides need not match (a padded and a compact matrix
@@ -139,10 +245,30 @@ class Matrix {
  private:
   Matrix(Index rows, Index cols, Index stride, double fill);
 
+  void move_from(Matrix& other) noexcept {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    stride_ = other.stride_;
+    scratch_ = other.scratch_;
+    if (other.scratch_) {
+      data_.clear();
+      ptr_ = other.ptr_;
+    } else {
+      data_ = std::move(other.data_);
+      ptr_ = data_.data();
+    }
+    other.rows_ = other.cols_ = other.stride_ = 0;
+    other.scratch_ = false;
+    other.data_.clear();
+    other.ptr_ = other.data_.data();
+  }
+
   Index rows_ = 0;
   Index cols_ = 0;
   Index stride_ = 0;
   std::vector<double> data_;
+  double* ptr_ = nullptr;
+  bool scratch_ = false;
 };
 
 }  // namespace senkf::linalg

@@ -11,13 +11,25 @@ namespace senkf::linalg {
 
 Matrix ModifiedCholesky::inverse_covariance() const {
   const Index n = dim();
+  Matrix dinv_l(n, n);
+  Matrix out(n, n);
+  inverse_covariance_into(dinv_l, out);
+  return out;
+}
+
+void ModifiedCholesky::inverse_covariance_into(Matrix& dinv_l,
+                                               Matrix& out) const {
+  const Index n = dim();
+  SENKF_REQUIRE(dinv_l.rows() == n && dinv_l.cols() == n && out.rows() == n &&
+                    out.cols() == n,
+                "ModifiedCholesky::inverse_covariance_into: shape mismatch");
   // B̂⁻¹ = Lᵀ D⁻¹ L.  Form D⁻¹L once, then multiply by Lᵀ.
-  Matrix dinv_l = l;
+  dinv_l.assign_values(l);
   for (Index i = 0; i < n; ++i) {
     const double inv = 1.0 / d[i];
     for (Index j = 0; j <= i; ++j) dinv_l(i, j) *= inv;
   }
-  return multiply_at_b(l, dinv_l);
+  multiply_at_b_into(l, dinv_l, out);
 }
 
 Vector ModifiedCholesky::apply_inverse(const Vector& x) const {
@@ -38,27 +50,67 @@ Matrix ModifiedCholesky::apply_inverse(const Matrix& x) const {
   return multiply_at_b(l, t);
 }
 
+namespace {
+
+// Adapts the std::function oracle to the allocation-free interface so the
+// legacy entry point shares the _into implementation (no numeric drift
+// between the two).
+class FnOracle final : public PredecessorOracle {
+ public:
+  explicit FnOracle(const PredecessorFn& fn) : fn_(fn) {}
+  std::span<const Index> predecessors(Index i, support::Arena&) override {
+    current_ = fn_(i);
+    return current_;
+  }
+
+ private:
+  const PredecessorFn& fn_;
+  std::vector<Index> current_;
+};
+
+}  // namespace
+
 ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
                                              const PredecessorFn& predecessors,
                                              double ridge) {
+  const Index n = anomalies.rows();
+  ModifiedCholesky result;
+  result.l = Matrix(n, n);
+  result.d = Vector(n, 0.0);
+  FnOracle oracle(predecessors);
+  support::Arena arena;
+  estimate_inverse_covariance_into(anomalies, oracle, ridge, arena, result);
+  return result;
+}
+
+void estimate_inverse_covariance_into(const Matrix& anomalies,
+                                      PredecessorOracle& predecessors,
+                                      double ridge, support::Arena& arena,
+                                      ModifiedCholesky& out) {
   SENKF_REQUIRE(anomalies.cols() >= 2,
                 "modified Cholesky: need at least 2 ensemble members");
   SENKF_REQUIRE(ridge >= 0.0, "modified Cholesky: ridge must be >= 0");
   const Index n = anomalies.rows();
   const Index ens = anomalies.cols();
   const double denom = static_cast<double>(ens - 1);
-
-  ModifiedCholesky result;
-  result.l = Matrix::identity(n);
-  result.d = Vector(n, 0.0);
+  SENKF_REQUIRE(out.l.rows() == n && out.l.cols() == n && out.d.size() == n,
+                "estimate_inverse_covariance_into: output shape mismatch");
 
   // The column sweeps are dots and axpys over ensemble-sized rows, so
   // they ride the dispatched SIMD kernels.
   const auto& table = kernels::active_kernels();
-  Vector fitted(ens);
+  const support::Arena::Marker outer = arena.mark();
+  Vector fitted = Vector::scratch(arena.allocate_span<double>(ens));
 
   for (Index i = 0; i < n; ++i) {
-    const std::vector<Index> pred = predecessors(i);
+    // Row i of L is rebuilt from zero (out may be a reused scratch):
+    // unit diagonal, negated regression coefficients at the predecessors.
+    auto lrow = out.l.row(i);
+    std::fill(lrow.begin(), lrow.end(), 0.0);
+    out.l(i, i) = 1.0;
+
+    const support::Arena::Marker row_marker = arena.mark();
+    const std::span<const Index> pred = predecessors.predecessors(i, arena);
     for (const Index j : pred) {
       SENKF_REQUIRE(j < i, "modified Cholesky: predecessor must precede i");
     }
@@ -66,15 +118,22 @@ ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
 
     if (pred.empty()) {
       const double var = table.dot(ens, xi.data(), xi.data());
-      result.d[i] = std::max(var / denom, ridge + 1e-12);
+      out.d[i] = std::max(var / denom, ridge + 1e-12);
+      arena.rewind(row_marker);
       continue;
     }
 
     // Normal equations of the regression x_i ~ x_pred:
     //   (Z Zᵀ + ridge I) beta = Z x_iᵀ, with Z the |pred|×N predecessor rows.
     const Index p = pred.size();
-    Matrix gram(p, p);
-    Vector rhs(p);
+    const Index pstride = Matrix::padded_stride(p);
+    auto gram_storage = arena.allocate_span<double>(p * pstride);
+    std::fill(gram_storage.begin(), gram_storage.end(), 0.0);
+    Matrix gram = Matrix::scratch(gram_storage, p, p, pstride);
+    auto lfac_storage = arena.allocate_span<double>(p * pstride);
+    std::fill(lfac_storage.begin(), lfac_storage.end(), 0.0);
+    Matrix lfac = Matrix::scratch(lfac_storage, p, p, pstride);
+    Vector beta = Vector::scratch(arena.allocate_span<double>(p));
     for (Index a = 0; a < p; ++a) {
       const auto za = anomalies.row(pred[a]);
       for (Index b = a; b < p; ++b) {
@@ -84,9 +143,12 @@ ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
         gram(b, a) = sum;
       }
       gram(a, a) += ridge * denom;
-      rhs[a] = table.dot(ens, za.data(), xi.data());
+      beta[a] = table.dot(ens, za.data(), xi.data());
     }
-    const Vector beta = CholeskyFactor(gram).solve(rhs);
+    // Factor + in-place solve: the same kernel sequence CholeskyFactor /
+    // its solve() run, minus their allocations.
+    cholesky_factor_into(gram, lfac);
+    cholesky_solve_in_place(lfac, beta);
 
     // Residual variance and the negated coefficients into row i of L:
     // fitted = Σ_a beta_a · z_a accumulated by axpy, rss = ‖x_i − fitted‖².
@@ -96,10 +158,11 @@ ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
     }
     table.axpy(ens, -1.0, xi.data(), fitted.data());
     const double rss = table.dot(ens, fitted.data(), fitted.data());
-    result.d[i] = std::max(rss / denom, ridge + 1e-12);
-    for (Index a = 0; a < p; ++a) result.l(i, pred[a]) = -beta[a];
+    out.d[i] = std::max(rss / denom, ridge + 1e-12);
+    for (Index a = 0; a < p; ++a) out.l(i, pred[a]) = -beta[a];
+    arena.rewind(row_marker);
   }
-  return result;
+  arena.rewind(outer);
 }
 
 PredecessorFn banded_predecessors(Index bandwidth) {

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "support/arena.hpp"
 
 namespace senkf::linalg {
 
@@ -33,6 +35,11 @@ struct ModifiedCholesky {
   /// Dense B̂⁻¹ = Lᵀ D⁻¹ L.
   Matrix inverse_covariance() const;
 
+  /// Allocation-free B̂⁻¹ into caller-provided `out` (n×n), using an n×n
+  /// work matrix `dinv_l` for D⁻¹L.  Bit-identical to
+  /// inverse_covariance() when the strides match the owning layout.
+  void inverse_covariance_into(Matrix& dinv_l, Matrix& out) const;
+
   /// y = B̂⁻¹ x computed from the factors without forming B̂⁻¹.
   Vector apply_inverse(const Vector& x) const;
 
@@ -43,6 +50,16 @@ struct ModifiedCholesky {
 /// Predecessor oracle: given variable i, returns indices j < i that are
 /// within the localization neighbourhood of i (any order, no duplicates).
 using PredecessorFn = std::function<std::vector<Index>(Index)>;
+
+/// Allocation-free predecessor oracle: implementations may place the
+/// returned span in `scratch` (it stays valid until the caller rewinds)
+/// or point at storage they own.
+class PredecessorOracle {
+ public:
+  virtual ~PredecessorOracle() = default;
+  virtual std::span<const Index> predecessors(Index i,
+                                              support::Arena& scratch) = 0;
+};
 
 /// Estimates B̂⁻¹ from ensemble anomalies.
 ///
@@ -55,6 +72,16 @@ using PredecessorFn = std::function<std::vector<Index>(Index)>;
 ModifiedCholesky estimate_inverse_covariance(const Matrix& anomalies,
                                              const PredecessorFn& predecessors,
                                              double ridge = 1e-8);
+
+/// Allocation-free estimation into pre-shaped `out` (out.l n×n, out.d
+/// length n; both fully overwritten).  Per-row temporaries (gram, rhs,
+/// factor) come from `arena` under a mark/rewind bracket, so the arena's
+/// in-use bytes are unchanged on return.  Bit-identical to the allocating
+/// form above given the same predecessor sets.
+void estimate_inverse_covariance_into(const Matrix& anomalies,
+                                      PredecessorOracle& predecessors,
+                                      double ridge, support::Arena& arena,
+                                      ModifiedCholesky& out);
 
 /// Convenience predecessor oracle for a banded ordering: pred(i) are the
 /// up-to-`bandwidth` immediately preceding variables.

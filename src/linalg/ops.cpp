@@ -28,13 +28,31 @@ void require_same_size(const Vector& a, const Vector& b, const char* who) {
 // padded operands take the full-width SIMD path and compact ones fall
 // back to scalar remainder loops with identical results.
 
-Matrix multiply(const Matrix& a, const Matrix& b) {
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& c) {
   if (a.cols() != b.rows()) throw ShapeError("multiply: inner dim mismatch");
-  Matrix c(a.rows(), b.cols());
+  SENKF_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+                "multiply_into: output shape mismatch");
   kernels::active_kernels().gemm_nn(a.rows(), b.cols(), a.cols(), a.data(),
                                     a.stride(), b.data(), b.stride(),
                                     c.data(), c.stride());
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw ShapeError("multiply: inner dim mismatch");
+  Matrix c(a.rows(), b.cols());
+  multiply_into(a, b, c);
   return c;
+}
+
+void multiply_at_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.rows() != b.rows()) {
+    throw ShapeError("multiply_at_b: inner dim mismatch");
+  }
+  SENKF_REQUIRE(c.rows() == a.cols() && c.cols() == b.cols(),
+                "multiply_at_b_into: output shape mismatch");
+  kernels::active_kernels().gemm_tn(a.cols(), b.cols(), a.rows(), a.data(),
+                                    a.stride(), b.data(), b.stride(),
+                                    c.data(), c.stride());
 }
 
 Matrix multiply_at_b(const Matrix& a, const Matrix& b) {
@@ -42,10 +60,19 @@ Matrix multiply_at_b(const Matrix& a, const Matrix& b) {
     throw ShapeError("multiply_at_b: inner dim mismatch");
   }
   Matrix c(a.cols(), b.cols());
-  kernels::active_kernels().gemm_tn(a.cols(), b.cols(), a.rows(), a.data(),
+  multiply_at_b_into(a, b, c);
+  return c;
+}
+
+void multiply_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.cols()) {
+    throw ShapeError("multiply_a_bt: inner dim mismatch");
+  }
+  SENKF_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(),
+                "multiply_a_bt_into: output shape mismatch");
+  kernels::active_kernels().gemm_nt(a.rows(), b.rows(), a.cols(), a.data(),
                                     a.stride(), b.data(), b.stride(),
                                     c.data(), c.stride());
-  return c;
 }
 
 Matrix multiply_a_bt(const Matrix& a, const Matrix& b) {
@@ -53,25 +80,36 @@ Matrix multiply_a_bt(const Matrix& a, const Matrix& b) {
     throw ShapeError("multiply_a_bt: inner dim mismatch");
   }
   Matrix c(a.rows(), b.rows());
-  kernels::active_kernels().gemm_nt(a.rows(), b.rows(), a.cols(), a.data(),
-                                    a.stride(), b.data(), b.stride(),
-                                    c.data(), c.stride());
+  multiply_a_bt_into(a, b, c);
   return c;
+}
+
+void multiply_into(const Matrix& a, const Vector& x, Vector& y) {
+  if (a.cols() != x.size()) throw ShapeError("multiply: Ax dim mismatch");
+  SENKF_REQUIRE(y.size() == a.rows(), "multiply_into: output size mismatch");
+  kernels::active_kernels().gemv_n(a.rows(), a.cols(), a.data(), a.stride(),
+                                   x.data(), y.data());
 }
 
 Vector multiply(const Matrix& a, const Vector& x) {
   if (a.cols() != x.size()) throw ShapeError("multiply: Ax dim mismatch");
   Vector y(a.rows());
-  kernels::active_kernels().gemv_n(a.rows(), a.cols(), a.data(), a.stride(),
-                                   x.data(), y.data());
+  multiply_into(a, x, y);
   return y;
+}
+
+void multiply_at_into(const Matrix& a, const Vector& x, Vector& y) {
+  if (a.rows() != x.size()) throw ShapeError("multiply_at: dim mismatch");
+  SENKF_REQUIRE(y.size() == a.cols(),
+                "multiply_at_into: output size mismatch");
+  kernels::active_kernels().gemv_t(a.rows(), a.cols(), a.data(), a.stride(),
+                                   x.data(), y.data());
 }
 
 Vector multiply_at(const Matrix& a, const Vector& x) {
   if (a.rows() != x.size()) throw ShapeError("multiply_at: dim mismatch");
   Vector y(a.cols());
-  kernels::active_kernels().gemv_t(a.rows(), a.cols(), a.data(), a.stride(),
-                                   x.data(), y.data());
+  multiply_at_into(a, x, y);
   return y;
 }
 
@@ -117,6 +155,19 @@ void row_scale(const Vector& d, Matrix& a) {
                                       a.stride());
 }
 
+void weighted_residual_into(const Matrix& ys, const Matrix& hx,
+                            const Vector& rinv, Matrix& out) {
+  require_same_shape(ys, hx, "weighted_residual");
+  if (rinv.size() != ys.rows()) {
+    throw ShapeError("weighted_residual: weight length mismatch");
+  }
+  SENKF_REQUIRE(out.rows() == ys.rows() && out.cols() == ys.cols(),
+                "weighted_residual_into: output shape mismatch");
+  kernels::active_kernels().innovation(ys.rows(), ys.cols(), ys.data(),
+                                       ys.stride(), hx.data(), hx.stride(),
+                                       rinv.data(), out.data(), out.stride());
+}
+
 Matrix weighted_residual(const Matrix& ys, const Matrix& hx,
                          const Vector& rinv) {
   require_same_shape(ys, hx, "weighted_residual");
@@ -124,9 +175,7 @@ Matrix weighted_residual(const Matrix& ys, const Matrix& hx,
     throw ShapeError("weighted_residual: weight length mismatch");
   }
   Matrix out(ys.rows(), ys.cols());
-  kernels::active_kernels().innovation(ys.rows(), ys.cols(), ys.data(),
-                                       ys.stride(), hx.data(), hx.stride(),
-                                       rinv.data(), out.data(), out.stride());
+  weighted_residual_into(ys, hx, rinv, out);
   return out;
 }
 

@@ -29,6 +29,18 @@ Vector multiply(const Matrix& a, const Vector& x);
 /// y = Aᵀ * x without forming Aᵀ.
 Vector multiply_at(const Matrix& a, const Vector& x);
 
+/// Allocation-free variants writing into a caller-provided (typically
+/// arena-scratch) output of the exact result shape.  The kernels
+/// overwrite every logical output entry, so given a pad-zero output
+/// buffer (what Matrix::scratch requires anyway) the results are
+/// bit-identical to the allocating forms above.  Outputs must not alias
+/// the inputs.
+void multiply_into(const Matrix& a, const Matrix& b, Matrix& c);
+void multiply_at_b_into(const Matrix& a, const Matrix& b, Matrix& c);
+void multiply_a_bt_into(const Matrix& a, const Matrix& b, Matrix& c);
+void multiply_into(const Matrix& a, const Vector& x, Vector& y);
+void multiply_at_into(const Matrix& a, const Vector& x, Vector& y);
+
 /// Returns Aᵀ.
 Matrix transpose(const Matrix& a);
 
@@ -49,6 +61,11 @@ void row_scale(const Vector& d, Matrix& a);
 /// i.e. R⁻¹(Yˢ − H X̄ᵇ) in one pass instead of scale + axpy + row_scale.
 Matrix weighted_residual(const Matrix& ys, const Matrix& hx,
                          const Vector& rinv);
+
+/// Allocation-free weighted_residual (same contract as the *_into
+/// products above).
+void weighted_residual_into(const Matrix& ys, const Matrix& hx,
+                            const Vector& rinv, Matrix& out);
 
 /// Returns a - b.
 Matrix subtract(const Matrix& a, const Matrix& b);

@@ -30,11 +30,33 @@ LocalObservations::LocalObservations(const ObservationSet& observations,
     }
     r_diag_[row] = comp.error_std * comp.error_std;
   }
+
+  // Precompute the R⁻¹-weighted products the analysis needs on every
+  // patch, with the exact kernel sequence the analysis used to run
+  // inline (reciprocal loop, copy + row_scale, Aᵀ·B product) so cached
+  // and freshly-computed analyses agree bit-for-bit.
+  rinv_ = linalg::Vector(m);
+  local_values_ = linalg::Vector(m);
+  for (Index row = 0; row < m; ++row) {
+    rinv_[row] = 1.0 / r_diag_[row];
+    local_values_[row] = observations.values()[selected_[row]];
+  }
+  rinv_h_ = h_;
+  linalg::row_scale(rinv_, rinv_h_);
+  if (m > 0) ht_rinv_h_ = linalg::multiply_at_b(h_, rinv_h_);
 }
 
 linalg::Matrix LocalObservations::select_rows(
     const linalg::Matrix& global) const {
   linalg::Matrix out(selected_.size(), global.cols());
+  select_rows_into(global, out);
+  return out;
+}
+
+void LocalObservations::select_rows_into(const linalg::Matrix& global,
+                                         linalg::Matrix& out) const {
+  SENKF_REQUIRE(out.rows() == selected_.size() && out.cols() == global.cols(),
+                "LocalObservations::select_rows_into: shape mismatch");
   for (Index row = 0; row < selected_.size(); ++row) {
     SENKF_REQUIRE(selected_[row] < global.rows(),
                   "LocalObservations::select_rows: index out of range");
@@ -42,7 +64,6 @@ linalg::Matrix LocalObservations::select_rows(
     auto dst = out.row(row);
     std::copy(src.begin(), src.end(), dst.begin());
   }
-  return out;
 }
 
 linalg::Vector LocalObservations::apply_h(const grid::Patch& patch) const {

@@ -33,8 +33,31 @@ class LocalObservations {
   /// Diagonal of the local R (variances, length size()).
   const linalg::Vector& r_diagonal() const { return r_diag_; }
 
+  /// Element-wise reciprocals of r_diagonal() — the diagonal of R⁻¹,
+  /// precomputed so the analysis never re-derives it per patch.
+  const linalg::Vector& r_inverse() const { return rinv_; }
+
+  /// R⁻¹ H̄ (size() × rect().count()), precomputed.
+  const linalg::Matrix& rinv_h() const { return rinv_h_; }
+
+  /// H̄ᵀ R⁻¹ H̄ (rect().count() × rect().count()) — the observation term
+  /// of eq. (6)'s system matrix.  Computed once per localization instead
+  /// of per analysed patch; only available when !empty() (the analysis
+  /// skips or zero-fills the term itself in the no-observation case).
+  const linalg::Matrix& ht_rinv_h() const {
+    SENKF_REQUIRE(!empty(), "LocalObservations::ht_rinv_h: no observations");
+    return ht_rinv_h_;
+  }
+
+  /// The measured values of the selected components (length size()).
+  const linalg::Vector& local_values() const { return local_values_; }
+
   /// Extracts the selected rows of a global m×N matrix (e.g. Yˢ).
   linalg::Matrix select_rows(const linalg::Matrix& global) const;
+
+  /// Allocation-free select_rows into a pre-shaped size()×N matrix.
+  void select_rows_into(const linalg::Matrix& global,
+                        linalg::Matrix& out) const;
 
   /// H̄ · patch for the patch covering exactly rect().
   linalg::Vector apply_h(const grid::Patch& patch) const;
@@ -44,6 +67,10 @@ class LocalObservations {
   std::vector<Index> selected_;
   linalg::Matrix h_;
   linalg::Vector r_diag_;
+  linalg::Vector rinv_;
+  linalg::Matrix rinv_h_;
+  linalg::Matrix ht_rinv_h_;
+  linalg::Vector local_values_;
 };
 
 }  // namespace senkf::obs

@@ -1,8 +1,16 @@
 #include "obs/observation.hpp"
 
+#include <atomic>
 #include <set>
 
 namespace senkf::obs {
+
+namespace {
+std::uint64_t next_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
 
 double ObsComponent::apply(const grid::Field& field) const {
   double sum = 0.0;
@@ -34,7 +42,8 @@ ObservationSet::ObservationSet(grid::LatLonGrid grid_def,
                                std::vector<double> values)
     : grid_(grid_def),
       components_(std::move(comps)),
-      values_(std::move(values)) {
+      values_(std::move(values)),
+      epoch_(next_epoch()) {
   SENKF_REQUIRE(components_.size() == values_.size(),
                 "ObservationSet: one value per component required");
   for (const auto& comp : components_) {

@@ -9,6 +9,7 @@
 // (§4.1), and localized H_{[i,j]} blocks act on expansion patches.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "grid/field.hpp"
@@ -51,10 +52,17 @@ class ObservationSet {
   const std::vector<ObsComponent>& components() const { return components_; }
   const std::vector<double>& values() const { return values_; }
 
+  /// Process-unique id of this network+values, assigned at construction
+  /// (copies keep the originator's epoch — they describe the same data).
+  /// Cache keys (obs/local_obs_cache.hpp) use it to invalidate localized
+  /// products when a new observation set appears.
+  std::uint64_t epoch() const { return epoch_; }
+
  private:
   grid::LatLonGrid grid_;
   std::vector<ObsComponent> components_;
   std::vector<double> values_;
+  std::uint64_t epoch_ = 0;
 };
 
 struct NetworkOptions {

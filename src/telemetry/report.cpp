@@ -364,6 +364,19 @@ void write_run_report(std::ostream& out) {
     json.end_object();
   }
 
+  // Convenience view of the analysis hot path (DESIGN.md §15): patch
+  // throughput, steady-state allocation events, arena occupancy and
+  // localization-cache effectiveness in one spot (counters as totals,
+  // gauges as their maximum).
+  json.key("analysis").begin_object();
+  for (const auto& [name, v] : registry.counters) {
+    if (name.rfind("analysis.", 0) == 0) json.field(name, v);
+  }
+  for (const auto& [name, g] : registry.gauges) {
+    if (name.rfind("analysis.", 0) == 0) json.field(name, g.max);
+  }
+  json.end_object();
+
   // Convenience view for fault triage: the failure counters in one spot.
   json.key("faults").begin_object();
   for (const auto& [name, v] : registry.counters) {

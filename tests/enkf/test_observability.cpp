@@ -272,6 +272,43 @@ TEST(Observability, AggregationSurvivesInjectedFaults) {
   ASSERT_EQ(stats.ranks.size(), senkf_config().total_ranks());
 }
 
+TEST(Observability, SteadyStateAnalysisIsAllocationFree) {
+  const World w(52);
+  const SenkfConfig config = senkf_config();
+  auto& registry = telemetry::Registry::global();
+
+  // First run warms the workspace pool: every worker's arena grows to
+  // the largest shape its analyses need, and the chunks survive the
+  // run's ThreadPool teardown on the pool's free list.
+  (void)senkf(w.store, w.observations, w.ys, config);
+  const std::uint64_t events_before =
+      registry.counter_value("analysis.alloc.events");
+  const std::uint64_t patches_before =
+      registry.counter_value("analysis.patches");
+
+  // Steady state (DESIGN.md §15): the repeat run analyses the same
+  // patches without a single arena growth — allocs-per-patch reads 0.
+  (void)senkf(w.store, w.observations, w.ys, config);
+  const std::uint64_t patches =
+      registry.counter_value("analysis.patches") - patches_before;
+  EXPECT_GT(patches, 0u);
+  EXPECT_EQ(registry.counter_value("analysis.alloc.events"), events_before);
+
+  // Same observation set, same rects: the localization cache served the
+  // repeat lookups instead of rebuilding H / R⁻¹ / HᵀR⁻¹H.
+  EXPECT_GT(registry.counter_value("analysis.localization.hits"), 0u);
+  EXPECT_GT(registry.gauge_value("analysis.arena.high_water"), 0);
+
+  // The run report surfaces the plane as a convenience section.
+  std::ostringstream out;
+  telemetry::write_run_report(out);
+  const testjson::Value doc = testjson::parse(out.str());
+  EXPECT_TRUE(doc.at("analysis").has("analysis.alloc.events"));
+  EXPECT_TRUE(doc.at("analysis").has("analysis.patches"));
+  EXPECT_TRUE(doc.at("analysis").has("analysis.arena.high_water"));
+  EXPECT_TRUE(doc.at("analysis").has("analysis.localization.hits"));
+}
+
 TEST(Observability, MonitorOffInConfigStillAggregates) {
   const World w(48);
   SenkfConfig config = senkf_config();

@@ -1,0 +1,429 @@
+// Workspace-reuse acceptance gate (DESIGN.md §15).
+//
+// The zero-allocation analysis engine must be *bitwise* identical to the
+// pre-workspace implementation: same gather/inflation arithmetic, same
+// kernel call sequence on same-stride scratch, same projection.  The
+// reference below is a verbatim copy of that implementation (allocating
+// linalg API, per-call LocalObservations, owning temporaries); every test
+// compares the production entry points against it with exact equality —
+// across analysis kinds, inflation settings, reused workspaces of varying
+// shapes, arena modes, threads, and the wire framing.
+#include "enkf/local_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "enkf/patch_wire.hpp"
+#include "grid/synthetic.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/covariance.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/ops.hpp"
+#include "obs/local_obs_cache.hpp"
+#include "obs/perturbed.hpp"
+#include "parcomm/wire.hpp"
+
+namespace senkf::enkf {
+namespace {
+
+struct Scenario {
+  grid::LatLonGrid g{16, 12};
+  grid::SyntheticEnsemble ensemble;
+  obs::ObservationSet observations;
+  linalg::Matrix ys;
+
+  explicit Scenario(std::uint64_t seed, Index members = 8,
+                    Index stations = 40)
+      : ensemble(make_ensemble(g, members, seed)),
+        observations(make_obs(g, ensemble.truth, seed, stations)),
+        ys(obs::perturbed_observations(observations, members,
+                                       senkf::Rng(seed + 99))) {}
+
+  static grid::SyntheticEnsemble make_ensemble(const grid::LatLonGrid& g,
+                                               Index members,
+                                               std::uint64_t seed) {
+    senkf::Rng rng(seed);
+    return grid::synthetic_ensemble(g, members, rng, 0.5);
+  }
+  static obs::ObservationSet make_obs(const grid::LatLonGrid& g,
+                                      const grid::Field& truth,
+                                      std::uint64_t seed, Index stations) {
+    senkf::Rng rng(seed + 1);
+    obs::NetworkOptions opt;
+    opt.station_count = stations;
+    opt.error_std = 0.05;
+    return obs::random_network(g, truth, rng, opt);
+  }
+
+  std::vector<grid::Patch> patches(grid::Rect rect) const {
+    std::vector<grid::Patch> out;
+    for (const auto& member : ensemble.members) {
+      out.push_back(member.extract(rect));
+    }
+    return out;
+  }
+};
+
+AnalysisOptions options_for(AnalysisKind kind, double inflation) {
+  AnalysisOptions opt;
+  opt.kind = kind;
+  opt.halo = grid::Halo{2, 1};
+  opt.ridge = 1e-6;
+  opt.inflation = inflation;
+  return opt;
+}
+
+// ---------------------------------------------------------------------------
+// Reference: the pre-workspace local analysis, copied verbatim (allocating
+// temporaries, per-call localization).  Any change here invalidates the
+// gate — do not "modernize" it.
+// ---------------------------------------------------------------------------
+
+AnalysisResult reference_project(const linalg::Matrix& xa, grid::Rect target,
+                                 grid::Rect expansion,
+                                 Index local_observations) {
+  AnalysisResult result;
+  result.local_observations = local_observations;
+  const Index width = expansion.x.size();
+  result.members.reserve(xa.cols());
+  for (Index k = 0; k < xa.cols(); ++k) {
+    grid::Patch out(target);
+    for (Index y = target.y.begin; y < target.y.end; ++y) {
+      for (Index x = target.x.begin; x < target.x.end; ++x) {
+        const Index local_index =
+            (y - expansion.y.begin) * width + (x - expansion.x.begin);
+        out.at(x, y) = xa(local_index, k);
+      }
+    }
+    result.members.push_back(std::move(out));
+  }
+  return result;
+}
+
+AnalysisResult reference_deterministic(const linalg::Matrix& xb,
+                                       grid::Rect target,
+                                       grid::Rect expansion,
+                                       const obs::LocalObservations& local,
+                                       const obs::ObservationSet& observations) {
+  const Index n_members = xb.cols();
+  const double scale = static_cast<double>(n_members - 1);
+
+  const linalg::Vector mean = linalg::ensemble_mean(xb);
+  linalg::Matrix anomalies = xb;
+  for (Index i = 0; i < xb.rows(); ++i) {
+    for (Index k = 0; k < n_members; ++k) anomalies(i, k) -= mean[i];
+  }
+
+  const linalg::Matrix y_tilde = linalg::multiply(local.h(), anomalies);
+  const linalg::Vector hx_mean = linalg::multiply(local.h(), mean);
+  linalg::Vector innovation(local.size());
+  for (Index r = 0; r < local.size(); ++r) {
+    innovation[r] =
+        observations.values()[local.selected()[r]] - hx_mean[r];
+  }
+
+  linalg::Vector rinv(local.size());
+  for (Index r = 0; r < local.size(); ++r) {
+    rinv[r] = 1.0 / local.r_diagonal()[r];
+  }
+  linalg::Matrix rinv_y = y_tilde;
+  linalg::row_scale(rinv, rinv_y);
+  linalg::Matrix system = linalg::multiply_at_b(y_tilde, rinv_y);
+  for (Index k = 0; k < n_members; ++k) system(k, k) += scale;
+
+  const linalg::SymmetricEigen eig = linalg::symmetric_eigen(system);
+  linalg::Matrix v_scaled_inv = eig.vectors;
+  linalg::Matrix v_scaled_sqrt = eig.vectors;
+  for (Index j = 0; j < n_members; ++j) {
+    if (eig.values[j] <= 0.0) {
+      throw NumericError("deterministic transform: singular system");
+    }
+    const double inv = 1.0 / eig.values[j];
+    const double inv_sqrt = std::sqrt(inv);
+    for (Index i = 0; i < n_members; ++i) {
+      v_scaled_inv(i, j) *= inv;
+      v_scaled_sqrt(i, j) *= inv_sqrt;
+    }
+  }
+  const linalg::Matrix p_tilde =
+      linalg::multiply_a_bt(v_scaled_inv, eig.vectors);
+  linalg::Matrix transform =
+      linalg::multiply_a_bt(v_scaled_sqrt, eig.vectors);
+  linalg::scale(transform, std::sqrt(scale));
+
+  const linalg::Vector rhs = linalg::multiply_at(rinv_y, innovation);
+  const linalg::Vector w_mean = linalg::multiply(p_tilde, rhs);
+
+  for (Index i = 0; i < n_members; ++i) {
+    for (Index k = 0; k < n_members; ++k) transform(i, k) += w_mean[i];
+  }
+  linalg::Matrix xa = linalg::multiply(anomalies, transform);
+  for (Index i = 0; i < xb.rows(); ++i) {
+    for (Index k = 0; k < n_members; ++k) xa(i, k) += mean[i];
+  }
+  return reference_project(xa, target, expansion, local.size());
+}
+
+AnalysisResult reference_local_analysis(
+    const std::vector<grid::Patch>& background, grid::Rect target,
+    const obs::ObservationSet& observations, const linalg::Matrix& perturbed,
+    const AnalysisOptions& options) {
+  const grid::Rect expansion = background.front().rect();
+  const Index n_bar = expansion.count();
+  const Index n_members = background.size();
+
+  const obs::LocalObservations local(observations, expansion);
+
+  AnalysisResult result;
+  result.local_observations = local.size();
+  if (local.empty() && options.skip_without_obs) {
+    for (const auto& patch : background) {
+      result.members.push_back(patch.extract(target));
+    }
+    return result;
+  }
+
+  linalg::Matrix xb(n_bar, n_members);
+  for (Index k = 0; k < n_members; ++k) {
+    const auto& values = background[k].values();
+    for (Index i = 0; i < n_bar; ++i) xb(i, k) = values[i];
+  }
+
+  if (options.inflation != 1.0) {
+    const linalg::Vector mean = linalg::ensemble_mean(xb);
+    for (Index i = 0; i < n_bar; ++i) {
+      for (Index k = 0; k < n_members; ++k) {
+        xb(i, k) = mean[i] + options.inflation * (xb(i, k) - mean[i]);
+      }
+    }
+  }
+
+  if (options.kind == AnalysisKind::kDeterministicTransform) {
+    return reference_deterministic(xb, target, expansion, local,
+                                   observations);
+  }
+
+  const linalg::Matrix anomalies = linalg::ensemble_anomalies(xb);
+  const linalg::ModifiedCholesky binv_factors =
+      linalg::estimate_inverse_covariance(
+          anomalies, expansion_predecessors(expansion, options.halo),
+          options.ridge);
+  linalg::Matrix system = binv_factors.inverse_covariance();
+
+  const linalg::Matrix& h = local.h();
+  const linalg::Vector& r_diag = local.r_diagonal();
+  const Index m_bar = local.size();
+  linalg::Vector rinv(m_bar);
+  for (Index row = 0; row < m_bar; ++row) rinv[row] = 1.0 / r_diag[row];
+  linalg::Matrix rinv_h = h;
+  linalg::row_scale(rinv, rinv_h);
+  const linalg::Matrix ht_rinv_h = linalg::multiply_at_b(h, rinv_h);
+  linalg::axpy(1.0, ht_rinv_h, system);
+
+  const linalg::Matrix local_ys = local.select_rows(perturbed);
+  const linalg::Matrix innovations =
+      linalg::weighted_residual(local_ys, linalg::multiply(h, xb), rinv);
+  const linalg::Matrix rhs = linalg::multiply_at_b(h, innovations);
+
+  const linalg::Matrix delta = linalg::solve_spd(system, rhs);
+  linalg::axpy(1.0, delta, xb);
+
+  return reference_project(xb, target, expansion, local.size());
+}
+
+// ---------------------------------------------------------------------------
+
+void expect_identical(const AnalysisResult& got, const AnalysisResult& want) {
+  ASSERT_EQ(got.members.size(), want.members.size());
+  EXPECT_EQ(got.local_observations, want.local_observations);
+  for (Index k = 0; k < got.members.size(); ++k) {
+    ASSERT_TRUE(got.members[k].rect() == want.members[k].rect());
+    EXPECT_EQ(got.members[k].values(), want.members[k].values())
+        << "member " << k << " differs from the seed implementation";
+  }
+}
+
+// A mix of rects of different shapes (so a reused workspace grows, then
+// serves smaller patches from the same chunks) with a repeat at the end.
+std::vector<grid::Rect> varied_rects() {
+  return {
+      grid::Rect{{0, 6}, {0, 6}},  grid::Rect{{0, 16}, {0, 12}},
+      grid::Rect{{4, 12}, {2, 10}}, grid::Rect{{10, 16}, {6, 12}},
+      grid::Rect{{0, 6}, {0, 6}},
+  };
+}
+
+class Workspace : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::clear_localization_cache(); }
+  void TearDown() override { obs::clear_localization_cache(); }
+};
+
+TEST_F(Workspace, StochasticReuseMatchesSeedBitwise) {
+  const Scenario sc(11);
+  for (const double inflation : {1.0, 1.05}) {
+    const AnalysisOptions opt =
+        options_for(AnalysisKind::kStochasticModifiedCholesky, inflation);
+    for (const grid::Rect rect : varied_rects()) {
+      const auto background = sc.patches(rect);
+      const auto want = reference_local_analysis(background, rect,
+                                                 sc.observations, sc.ys, opt);
+      const auto got =
+          local_analysis(background, rect, sc.observations, sc.ys, opt);
+      expect_identical(got, want);
+    }
+  }
+}
+
+TEST_F(Workspace, DeterministicReuseMatchesSeedBitwise) {
+  const Scenario sc(12);
+  for (const double inflation : {1.0, 1.05}) {
+    const AnalysisOptions opt =
+        options_for(AnalysisKind::kDeterministicTransform, inflation);
+    for (const grid::Rect rect : varied_rects()) {
+      const auto background = sc.patches(rect);
+      const auto want = reference_local_analysis(background, rect,
+                                                 sc.observations, sc.ys, opt);
+      const auto got =
+          local_analysis(background, rect, sc.observations, sc.ys, opt);
+      expect_identical(got, want);
+    }
+  }
+}
+
+TEST_F(Workspace, ScratchViewsGatherInPlaceFromLargerRects) {
+  // Members stay on the full grid; the engine gathers each expansion
+  // window in place (the P-EnKF / L-EnKF hot path) — identical to the
+  // seed running on extracted patches.
+  const Scenario sc(13);
+  const grid::Rect full = sc.g.bounds();
+  std::vector<grid::PatchView> members;
+  std::vector<grid::Patch> owning;
+  for (const auto& m : sc.ensemble.members) owning.push_back(m.extract(full));
+  for (const auto& p : owning) members.push_back(p);
+
+  LocalAnalysisWorkspace ws;
+  for (const AnalysisKind kind : {AnalysisKind::kStochasticModifiedCholesky,
+                                  AnalysisKind::kDeterministicTransform}) {
+    const AnalysisOptions opt = options_for(kind, 1.02);
+    const grid::Rect expansion{{2, 14}, {1, 11}};
+    const grid::Rect target{{4, 12}, {3, 9}};
+    const auto want = reference_local_analysis(sc.patches(expansion), target,
+                                               sc.observations, sc.ys, opt);
+    const AnalysisView got = local_analysis_scratch(
+        members, expansion, target, sc.observations, sc.ys, opt, ws);
+    ASSERT_EQ(got.members.size(), want.members.size());
+    EXPECT_EQ(got.local_observations, want.local_observations);
+    for (Index k = 0; k < want.members.size(); ++k) {
+      const std::span<const double> view = got.members[k].values();
+      EXPECT_EQ(std::vector<double>(view.begin(), view.end()),
+                want.members[k].values());
+    }
+  }
+}
+
+void expect_packed_matches_seed(const Scenario& sc, grid::Rect rect,
+                                const AnalysisOptions& opt,
+                                LocalAnalysisWorkspace& ws) {
+  const auto background = sc.patches(rect);
+  const auto want = reference_local_analysis(background, rect,
+                                             sc.observations, sc.ys, opt);
+  parcomm::Packer seed_pack;
+  for (Index k = 0; k < want.members.size(); ++k) {
+    seed_pack.put<std::uint64_t>(k + 7);
+    pack_patch(seed_pack, want.members[k]);
+  }
+
+  std::vector<grid::PatchView> views(background.begin(), background.end());
+  std::vector<Index> ids(background.size());
+  for (Index k = 0; k < ids.size(); ++k) ids[k] = k + 7;
+  parcomm::Packer got_pack;
+  local_analysis_packed(views, rect, rect, sc.observations, sc.ys, opt, ids,
+                        ws, got_pack);
+
+  EXPECT_TRUE(seed_pack.take() == got_pack.take())
+      << "wire bytes differ for rect starting at x=" << rect.x.begin;
+}
+
+TEST_F(Workspace, PackedOutputIsByteIdenticalToSeedFraming) {
+  const AnalysisOptions opt =
+      options_for(AnalysisKind::kStochasticModifiedCholesky, 1.0);
+  LocalAnalysisWorkspace ws;
+
+  // A rect with observations exercises the projection-into-payload path.
+  const Scenario sc(14);
+  expect_packed_matches_seed(sc, grid::Rect{{0, 12}, {0, 8}}, opt, ws);
+
+  // A station-free rect exercises the skip path: the packed block must be
+  // byte-identical to pack_patch of the extracted background.
+  const Scenario sparse(2, 8, 1);
+  grid::Rect empty_rect{{0, 4}, {0, 4}};
+  const auto& comp = sparse.observations.components()[0];
+  if (comp.supported_by(empty_rect)) empty_rect = grid::Rect{{8, 12}, {6, 10}};
+  ASSERT_FALSE(comp.supported_by(empty_rect));
+  expect_packed_matches_seed(sparse, empty_rect, opt, ws);
+}
+
+TEST_F(Workspace, HeapAndPooledArenaModesAgree) {
+  const Scenario sc(15);
+  const AnalysisOptions opt =
+      options_for(AnalysisKind::kStochasticModifiedCholesky, 1.0);
+  LocalAnalysisWorkspace pooled(support::Arena::Mode::kPooled);
+  LocalAnalysisWorkspace heap(support::Arena::Mode::kHeap);
+  for (const grid::Rect rect : varied_rects()) {
+    const auto background = sc.patches(rect);
+    std::vector<grid::PatchView> views(background.begin(), background.end());
+    const AnalysisView a = local_analysis_scratch(
+        views, rect, rect, sc.observations, sc.ys, opt, pooled);
+    const AnalysisView b = local_analysis_scratch(
+        views, rect, rect, sc.observations, sc.ys, opt, heap);
+    ASSERT_EQ(a.members.size(), b.members.size());
+    for (Index k = 0; k < a.members.size(); ++k) {
+      const std::span<const double> av = a.members[k].values();
+      const std::span<const double> bv = b.members[k].values();
+      EXPECT_EQ(std::vector<double>(av.begin(), av.end()),
+                std::vector<double>(bv.begin(), bv.end()));
+    }
+  }
+}
+
+TEST_F(Workspace, ConcurrentThreadWorkspacesMatchSeed) {
+  const Scenario sc(16);
+  const AnalysisOptions opt =
+      options_for(AnalysisKind::kStochasticModifiedCholesky, 1.03);
+  const auto rects = varied_rects();
+
+  std::vector<AnalysisResult> want(rects.size());
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    want[i] = reference_local_analysis(sc.patches(rects[i]), rects[i],
+                                       sc.observations, sc.ys, opt);
+  }
+
+  // 4 threads, each running every rect on its own pooled workspace —
+  // concurrent leases, concurrent localization-cache lookups.
+  constexpr int kThreads = 4;
+  std::vector<std::vector<AnalysisResult>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[t].resize(rects.size());
+      for (std::size_t i = 0; i < rects.size(); ++i) {
+        got[t][i] = local_analysis(sc.patches(rects[i]), rects[i],
+                                   sc.observations, sc.ys, opt);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      expect_identical(got[t][i], want[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace senkf::enkf

@@ -5,6 +5,8 @@
 // the span record it is derived from.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -163,7 +165,11 @@ TEST(TelemetrySmoke, ExportIsLoadableChromeTrace) {
 
 TEST(TelemetrySmoke, FileExportRoundTrips) {
   (void)traced_run();
-  const std::string path = ::testing::TempDir() + "senkf_smoke_trace.json";
+  // Per-process path: the kernel-variant registrations run this same
+  // binary in parallel, and a shared path makes one copy read another's
+  // half-written file.
+  const std::string path = ::testing::TempDir() + "senkf_smoke_trace." +
+                           std::to_string(::getpid()) + ".json";
   telemetry::write_chrome_trace(path);
   std::ifstream in(path);
   ASSERT_TRUE(in.good());
