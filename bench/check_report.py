@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Schema checker for senkf-run-report JSON (schema v3, DESIGN.md §11-§14).
+"""Schema checker for senkf-run-report JSON (schema v4, DESIGN.md §11-§16).
 
 Usage: check_report.py REPORT.json [--kind senkf] [--require-warns]
                        [--require-critical-path] [--require-jobs]
+                       [--require-profile]
 
 Validates structure and types, cross-checks the acceptance invariants
 (aggregated phase totals equal the sum of the per-rank samples;
 critical-path splits partition each cycle's wall clock to within 5%;
 per-job SLO records have non-negative queue waits, deadline flags
 consistent with their timestamps, and tenant totals that sum to the run
-totals), and exits nonzero on any violation.  Stdlib only — runs
+totals; profile/watchdog sections are either disabled stubs or fully
+populated), and exits nonzero on any violation.  Stdlib only — runs
 anywhere CI has a python3.
 """
 import argparse
@@ -194,6 +196,78 @@ def check_totals_match(reported, computed, where):
               f"{where}.{key}: {got} != recomputed {want}")
 
 
+def check_profile(profile, where, required):
+    """The v4 profiler section: a disabled stub or a full sample dump."""
+    enabled = require(profile, "enabled", (bool,), where)
+    if required:
+        check(enabled is True, f"{where}.enabled: profiler did not run")
+    if not enabled:
+        return
+    require(profile, "mode", (str,), where)
+    check(profile.get("mode") in ("cpu", "wall"),
+          f"{where}.mode: got {profile.get('mode')!r}")
+    hz = require(profile, "hz", (int,), where)
+    check(hz is None or 1 <= hz <= 1000, f"{where}.hz: got {hz}")
+    samples = require(profile, "samples", (int,), where)
+    require(profile, "dropped", (int,), where)
+    require(profile, "torn", (int,), where)
+    phases = require(profile, "phases", (dict,), where) or {}
+    for name, count in phases.items():
+        check(isinstance(count, int) and not isinstance(count, bool),
+              f"{where}.phases.{name}: not an integer")
+    top = require(profile, "top", (list,), where) or []
+    top_total = 0
+    for i, bucket in enumerate(top):
+        require(bucket, "stack", (str,), f"{where}.top[{i}]")
+        require(bucket, "context", (str,), f"{where}.top[{i}]")
+        require(bucket, "rank", (int,), f"{where}.top[{i}]")
+        count = require(bucket, "count", (int,), f"{where}.top[{i}]")
+        top_total += count or 0
+    if isinstance(samples, int):
+        # `top` is a truncated view of the same sample population.
+        check(top_total <= samples,
+              f"{where}: top buckets sum {top_total} > samples {samples}")
+        check(sum(phases.values()) <= samples,
+              f"{where}: phase counts sum {sum(phases.values())} > "
+              f"samples {samples}")
+        if required:
+            check(samples >= 1, f"{where}.samples: got {samples}, want >= 1")
+            check(len(phases) >= 1, f"{where}.phases: empty")
+
+
+def check_watchdog(watchdog, where):
+    """The v4 watchdog section: a disabled stub or the stall ledger."""
+    enabled = require(watchdog, "enabled", (bool,), where)
+    if not enabled:
+        return
+    require(watchdog, "running", (bool,), where)
+    scale = require(watchdog, "scale", (int, float), where)
+    check(scale is None or scale > 0, f"{where}.scale: got {scale}")
+    armed = require(watchdog, "armed", (int,), where)
+    fired = require(watchdog, "fired", (int,), where)
+    status = require(watchdog, "status", (str,), where)
+    if isinstance(fired, int) and isinstance(status, str):
+        check(status == ("ok" if fired == 0 else "stalled"),
+              f"{where}.status: {status!r} inconsistent with fired={fired}")
+    if isinstance(armed, int) and isinstance(fired, int):
+        check(fired <= armed, f"{where}: fired {fired} > armed {armed}")
+    overruns = require(watchdog, "overruns", (list,), where) or []
+    for i, o in enumerate(overruns):
+        require(o, "phase", (str,), f"{where}.overruns[{i}]")
+        require(o, "rank", (int,), f"{where}.overruns[{i}]")
+        deadline = require(o, "deadline_s", (int, float),
+                           f"{where}.overruns[{i}]")
+        overrun = require(o, "overrun_s", (int, float),
+                          f"{where}.overruns[{i}]")
+        check(deadline is None or deadline > 0,
+              f"{where}.overruns[{i}].deadline_s: got {deadline}")
+        check(overrun is None or overrun >= 0,
+              f"{where}.overruns[{i}].overrun_s: got {overrun}")
+    if isinstance(fired, int):
+        check(len(overruns) <= fired,
+              f"{where}: {len(overruns)} overrun records but fired={fired}")
+
+
 def check_snapshot(snapshot, where):
     counters = require(snapshot, "counters", (dict,), where) or {}
     for name, value in counters.items():
@@ -227,6 +301,9 @@ def main():
     parser.add_argument("--require-jobs", action="store_true",
                         help="require a non-empty per-job SLO section "
                              "(service runs)")
+    parser.add_argument("--require-profile", action="store_true",
+                        help="require an enabled profile section with "
+                             "samples attributed to at least one phase")
     args = parser.parse_args()
 
     with open(args.report, encoding="utf-8") as f:
@@ -234,7 +311,7 @@ def main():
 
     check(doc.get("schema") == "senkf-run-report",
           f"schema: got {doc.get('schema')!r}")
-    check(doc.get("version") == 3, f"version: got {doc.get('version')!r}")
+    check(doc.get("version") == 4, f"version: got {doc.get('version')!r}")
     require(doc, "partial", (bool,), "$")
 
     run = require(doc, "run", (dict,), "$") or {}
@@ -332,6 +409,16 @@ def main():
     series = require(timeseries, "series", (dict,), "$.timeseries")
     if series is not None:
         check_series_map(series, "$.timeseries.series")
+
+    # --- v4 additions (DESIGN.md §16): live operations plane -----------
+    profile = require(doc, "profile", (dict,), "$")
+    if profile is not None:
+        check_profile(profile, "$.profile", args.require_profile)
+    elif args.require_profile:
+        check(False, "$.profile: missing but --require-profile set")
+    watchdog = require(doc, "watchdog", (dict,), "$")
+    if watchdog is not None:
+        check_watchdog(watchdog, "$.watchdog")
 
     require(doc, "faults", (dict,), "$")
 

@@ -6,19 +6,23 @@
 // Usage (key=value args):
 //   svc_job_trace [jobs=120] [tenants=6] [horizon=600] [seed=42]
 //                 [ranks=384] [policy=all|fifo|fair-share|deadline]
-//                 [smoke=0] [out=BENCH_service.json]
+//                 [smoke=0] [out=BENCH_service.json] [hold=0]
 //
 // `smoke=1` shrinks the trace for CI sanity legs.  `policy` defaults to
 // SENKF_SERVICE_POLICY when set, else all three.  `out=` writes the
 // per-policy metrics in google-benchmark JSON so bench/compare_bench.py
 // can gate them against the committed BENCH_service.json; every gated
 // metric is lower-is-better (throughput is gated via makespan_s).
-// SENKF_REPORT exports the last executed policy's run report (schema v3
-// with the per-job SLO section).
+// SENKF_REPORT exports the last executed policy's run report (schema v4
+// with the per-job SLO section).  `hold=<seconds>` keeps the process
+// (and the SENKF_HTTP endpoint) alive after the sweep so an external
+// probe — the nightly CI leg — can curl /metrics and /jobs.
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/scheduler.hpp"
@@ -27,6 +31,8 @@
 #include "support/error.hpp"
 #include "support/table.hpp"
 #include "telemetry/json_writer.hpp"
+#include "telemetry/liveops/liveops.hpp"
+#include "telemetry/shutdown.hpp"
 
 namespace {
 
@@ -151,5 +157,19 @@ int main(int argc, char** argv) {
     write_benchmark_json(out_path, runs);
     std::cout << "\nwrote " << out_path << "\n";
   }
+
+  // hold= keeps the endpoint up so the nightly leg can scrape a live
+  // process; the port line on stderr tells the probe where to look.
+  const double hold_s = config.get_double("hold", 0.0);
+  if (hold_s > 0.0 && senkf::telemetry::liveops::liveops_http_running()) {
+    std::cout << "holding " << hold_s << " s on port "
+              << senkf::telemetry::liveops::liveops_port() << "\n"
+              << std::flush;
+    std::this_thread::sleep_for(std::chrono::duration<double>(hold_s));
+  }
+
+  // Ordered teardown: endpoint and monitors stop before the atexit
+  // exporters write the report (asan-clean mid-cycle exits rely on it).
+  senkf::telemetry::shutdown();
   return 0;
 }

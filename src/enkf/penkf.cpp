@@ -5,6 +5,8 @@
 #include "enkf/patch_wire.hpp"
 #include "parcomm/runtime.hpp"
 #include "support/thread_pool.hpp"
+#include "telemetry/liveops/liveops.hpp"
+#include "telemetry/liveops/profiler.hpp"
 #include "telemetry/phase.hpp"
 #include "telemetry/timeseries.hpp"
 #include "telemetry/trace.hpp"
@@ -47,9 +49,11 @@ std::vector<grid::Field> penkf(const EnsembleStore& store,
   std::vector<grid::Field> result;
   std::mutex result_mutex;
 
-  // Same continuous-telemetry arming as senkf(): no-op unless
-  // SENKF_SAMPLE_MS is set.
+  // Same continuous-telemetry arming as senkf(): no-ops unless
+  // SENKF_SAMPLE_MS / SENKF_HTTP / SENKF_PROFILE / SENKF_WATCHDOG set.
   telemetry::ensure_sampler_started();
+  telemetry::liveops::ensure_liveops_started();
+  const telemetry::liveops::ProfileContextScope profile_ctx("penkf");
 
   parcomm::Runtime::run(n_procs, [&](parcomm::Communicator& world) {
     const grid::SubdomainId my_id =

@@ -21,9 +21,14 @@
 #include "parcomm/runtime.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
+#include "telemetry/liveops/liveops.hpp"
+#include "telemetry/liveops/profiler.hpp"
+#include "telemetry/liveops/watchdog.hpp"
 #include "telemetry/phase.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/shutdown.hpp"
 #include "telemetry/timeseries.hpp"
+#include "tuning/cost_model.hpp"
 #include "tuning/drift.hpp"
 
 namespace senkf::enkf {
@@ -130,6 +135,10 @@ struct ObservabilityContext {
   /// Rank 0 only, written after its reduce completes.
   telemetry::MetricsSnapshot aggregate;
   MonitorTotals totals;
+  /// Cost-model-derived stall deadlines for the liveops watchdog
+  /// (DESIGN.md §16); all-zero when the watchdog is off, which makes
+  /// every WatchdogScope a no-op.
+  tuning::PhaseDeadlines deadlines;
 };
 
 /// Bucket ladder for the per-stage acquisition histogram every I/O rank
@@ -643,6 +652,12 @@ void run_io_rank(parcomm::Communicator& world, const RankLayout& layout,
     // shows up as untracked time instead of disk time on this rank.
     telemetry::TraceSpan obtain_span(telemetry::Category::kRead, "bar_obtain",
                                      static_cast<std::int32_t>(l));
+    // Stall deadline over the whole degraded acquisition: an injected or
+    // real straggler holding this read past the model's per-stage read
+    // prediction (times the safety scale) fires the watchdog while the
+    // read is still stuck.
+    const telemetry::liveops::WatchdogScope read_watchdog(
+        "bar_obtain", ctx.deadlines.read_s, world.rank());
     if (straggle > std::chrono::nanoseconds::zero()) {
       pfs::FaultMetrics& fault_metrics = pfs::FaultMetrics::get();
       fault_metrics.straggler_ns.add(
@@ -1042,6 +1057,11 @@ void run_comp_rank(parcomm::Communicator& world, const RankLayout& layout,
                                        "stage_wait", phases.comp_wait_ns,
                                        &local.wait_ns,
                                        static_cast<std::int32_t>(l));
+      // A stage overrunning its end-to-end prediction means an upstream
+      // rank stalled; the watchdog names this wait (and its stage) while
+      // the pipeline is still blocked.
+      const telemetry::liveops::WatchdogScope wait_watchdog(
+          "stage_wait", ctx.deadlines.stage_s, my_rank);
       stage_data[l] = buffers.take_stage(l);
       // Flow finish: this wait was released by the message that completed
       // the stage; the flow id names its sender-side span.
@@ -1248,9 +1268,13 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
   std::vector<Index> dropped;
 
   // Continuous telemetry: arm the background registry sampler (no-op
-  // unless SENKF_SAMPLE_MS enables it) and remember the cycle's start so
-  // the critical-path window excludes spans from earlier cycles.
+  // unless SENKF_SAMPLE_MS enables it), the live operations plane
+  // (SENKF_HTTP endpoint, SENKF_PROFILE sampler, SENKF_WATCHDOG — all
+  // no-ops when unset), and remember the cycle's start so the
+  // critical-path window excludes spans from earlier cycles.
   telemetry::ensure_sampler_started();
+  telemetry::liveops::ensure_liveops_started();
+  const telemetry::liveops::ProfileContextScope profile_ctx("senkf");
   const std::int64_t run_start_ns = telemetry::now_ns();
 
   // Observability plane state shared by every rank thread of this run.
@@ -1268,6 +1292,27 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
       if (end != value.c_str() && ratio > 0.0) {
         ctx.monitor.skew_warn_ratio = ratio;
       }
+    }
+  }
+
+  // Arm the watchdog's per-phase deadlines from the same cost model the
+  // auto-tuner and the drift tracker use (predictions are per I/O rank
+  // per stage — exactly the granularity the scopes below arm at).  Only
+  // derived when the monitor thread is actually running; otherwise the
+  // deadlines stay zero and every WatchdogScope is a no-op.
+  if (telemetry::liveops::watchdog_running()) {
+    tuning::CostModelParams mp;
+    mp.members = static_cast<std::uint64_t>(store.members());
+    mp.nx = static_cast<std::uint64_t>(store.grid().nx());
+    mp.ny = static_cast<std::uint64_t>(store.grid().ny());
+    vcluster::SenkfParams params;
+    params.n_sdx = static_cast<std::uint64_t>(config.n_sdx);
+    params.n_sdy = static_cast<std::uint64_t>(config.n_sdy);
+    params.layers = static_cast<std::uint64_t>(config.layers);
+    params.n_cg = static_cast<std::uint64_t>(config.n_cg);
+    const tuning::CostModel model(mp);
+    if (model.feasible(params)) {
+      ctx.deadlines = tuning::phase_deadlines(model, params);
     }
   }
 
@@ -1305,8 +1350,13 @@ std::vector<grid::Field> senkf(const EnsembleStore& store,
           }
         });
   } catch (...) {
-    // Flush-on-fault: a failed run still writes its (partial) trace and
-    // report — often the only evidence of what went wrong.
+    // Ordered teardown before the flush: quiesce the liveops threads
+    // (watchdog, profiler, endpoint) so none of them writes the export
+    // files concurrently with us, then flush-on-fault — a failed run
+    // still writes its (partial) trace and report, often the only
+    // evidence of what went wrong.  The next run's ensure_* calls
+    // re-arm whatever the environment enables.
+    telemetry::shutdown();
     telemetry::flush_exports(/*partial=*/true);
     if (abort_error) std::rethrow_exception(abort_error);
     throw;

@@ -1,0 +1,249 @@
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace senkf::net {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default:  return "Unknown";
+  }
+}
+
+// Writes the whole buffer, retrying short writes; EPIPE/reset from an
+// impatient client is silently dropped (the snapshot is disposable).
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Reads until the end of the request headers (CRLFCRLF) or 8 KiB; scrape
+// clients send no body, so this is the whole request.
+std::string read_request(int fd) {
+  std::string data;
+  char buf[2048];
+  while (data.size() < 8192 &&
+         data.find("\r\n\r\n") == std::string::npos &&
+         data.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  return data;
+}
+
+bool parse_request_line(const std::string& raw, HttpRequest* out) {
+  const std::size_t eol = raw.find_first_of("\r\n");
+  if (eol == std::string::npos) return false;
+  std::istringstream line(raw.substr(0, eol));
+  std::string method, target, version;
+  if (!(line >> method >> target >> version)) return false;
+  for (char& c : method) c = static_cast<char>(std::toupper(c));
+  out->method = method;
+  const std::size_t q = target.find('?');
+  out->path = target.substr(0, q);
+  out->query = q == std::string::npos ? "" : target.substr(q + 1);
+  return !out->path.empty() && out->path[0] == '/';
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::add_route(std::string path, HttpHandler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::start(std::uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        std::string("HttpServer: cannot listen on 127.0.0.1:") +
+        std::to_string(port) + ": " + std::strerror(err));
+  }
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: pipe() failed");
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Wake the poll() so the acceptor notices the flag without waiting for
+  // the next client.
+  if (wake_fds_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  port_ = 0;
+}
+
+void HttpServer::serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (!running_.load(std::memory_order_acquire)) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::handle_connection(int client_fd) {
+  HttpRequest request;
+  HttpResponse response;
+  if (!parse_request_line(read_request(client_fd), &request)) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    const auto it = routes_.find(request.path);
+    if (it == routes_.end()) {
+      response = {404, "text/plain; charset=utf-8",
+                  "no route " + request.path + "\n"};
+    } else {
+      try {
+        response = it->second(request);
+      } catch (const std::exception& e) {
+        response = {500, "text/plain; charset=utf-8",
+                    std::string("handler error: ") + e.what() + "\n"};
+      } catch (...) {
+        response = {500, "text/plain; charset=utf-8", "handler error\n"};
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " " << status_text(response.status)
+      << "\r\nContent-Type: " << response.content_type
+      << "\r\nContent-Length: " << response.body.size()
+      << "\r\nConnection: close\r\n\r\n";
+  if (request.method != "HEAD") out << response.body;
+  write_all(client_fd, out.str());
+}
+
+std::string http_get(std::uint16_t port, const std::string& path,
+                     int* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http_get: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw std::runtime_error("http_get: cannot connect to 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      "Connection: close\r\n\r\n";
+  write_all(fd, request);
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t eol = raw.find("\r\n");
+  if (eol == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    throw std::runtime_error("http_get: malformed response");
+  }
+  if (status != nullptr) {
+    std::istringstream line(raw.substr(0, eol));
+    std::string version;
+    line >> version >> *status;
+  }
+  const std::size_t body = raw.find("\r\n\r\n");
+  return body == std::string::npos ? "" : raw.substr(body + 4);
+}
+
+}  // namespace senkf::net

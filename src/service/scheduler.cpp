@@ -12,6 +12,9 @@
 #include "sim/primitives.hpp"
 #include "sim/simulation.hpp"
 #include "support/error.hpp"
+#include "telemetry/liveops/jobs.hpp"
+#include "telemetry/liveops/liveops.hpp"
+#include "telemetry/liveops/profiler.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 #include "tuning/auto_tune.hpp"
@@ -250,6 +253,8 @@ sim::Task run_job(ServiceState& st, std::size_t index, JobPlan plan,
   rec.queue_wait_s = rec.start_s - spec.arrival_s;
   rec.rank_lo = rank_lo;
   rec.ranks_used = plan.ranks_needed;
+  telemetry::liveops::JobTable::global().record_running(spec.id, rec.start_s,
+                                                        plan.ranks_needed);
   rec.io_slots = plan.io_slots;
   rec.params = plan.params;
   st.running += 1;
@@ -300,6 +305,8 @@ sim::Task run_job(ServiceState& st, std::size_t index, JobPlan plan,
   rec.run_s = rec.end_s - rec.start_s;
   rec.deadline_met =
       spec.deadline_s > 0.0 && rec.latency_s() <= spec.deadline_s;
+  telemetry::liveops::JobTable::global().record_done(spec.id, rec.end_s,
+                                                     rec.deadline_met);
   // Settle the billing to the actual slot-seconds consumed.
   st.billed[spec.tenant] += static_cast<double>(plan.io_slots) *
                             (rec.run_s - plan.predicted_s) / weight;
@@ -353,6 +360,8 @@ void try_dispatch(ServiceState& st) {
 void reject(JobRecord& rec, std::string reason) {
   rec.admitted = false;
   rec.reject_reason = std::move(reason);
+  telemetry::liveops::JobTable::global().record_rejected(
+      rec.spec.id, rec.spec.tenant, rec.spec.arrival_s, rec.reject_reason);
 }
 
 sim::Task arrive(ServiceState& st, std::size_t index) {
@@ -385,6 +394,8 @@ sim::Task arrive(ServiceState& st, std::size_t index) {
   rec.admitted = true;
   rec.predicted_s = plan.predicted_s;
   st.tenant_id(spec.tenant);  // assign ids in arrival order
+  telemetry::liveops::JobTable::global().record_queued(spec.id, spec.tenant,
+                                                       spec.arrival_s);
   st.pending.push_back(PendingJob{index, plan});
   try_dispatch(st);
 }
@@ -483,6 +494,12 @@ Scheduler::Scheduler(ServiceConfig config) : config_(std::move(config)) {
 }
 
 ServiceResult Scheduler::run(const std::vector<JobSpec>& trace) {
+  // Liveops arming (no-op unless SENKF_HTTP / SENKF_PROFILE /
+  // SENKF_WATCHDOG set).  Each run owns the live job table: policy
+  // sweeps reuse the process, and /jobs should show the current sweep.
+  telemetry::liveops::ensure_liveops_started();
+  telemetry::liveops::JobTable::global().clear();
+  const telemetry::liveops::ProfileContextScope profile_ctx("service");
   for (const JobSpec& spec : trace) {
     SENKF_REQUIRE(spec.arrival_s >= 0.0,
                   "service: job arrivals must be non-negative");

@@ -120,4 +120,10 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(std::string_view json) {
+  separate();
+  out_ << json;
+  return *this;
+}
+
 }  // namespace senkf::telemetry

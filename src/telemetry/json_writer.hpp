@@ -34,6 +34,11 @@ class JsonWriter {
   JsonWriter& value(std::int32_t v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(bool v);
 
+  /// Emits `json` verbatim as the next value — for pre-rendered section
+  /// bodies (report section providers).  The caller guarantees `json` is
+  /// one well-formed JSON value.
+  JsonWriter& raw_value(std::string_view json);
+
   /// key() + value() in one call.
   template <typename T>
   JsonWriter& field(std::string_view name, const T& v) {

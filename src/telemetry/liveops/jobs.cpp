@@ -1,0 +1,101 @@
+#include "telemetry/liveops/jobs.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "telemetry/json_writer.hpp"
+
+namespace senkf::telemetry::liveops {
+
+JobTable& JobTable::global() {
+  static JobTable* table = new JobTable();  // leaked: served until exit
+  return *table;
+}
+
+JobRecord& JobTable::upsert(std::uint64_t id) {
+  for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+    if (it->id == id) return *it;
+  }
+  jobs_.emplace_back();
+  jobs_.back().id = id;
+  return jobs_.back();
+}
+
+void JobTable::record_queued(std::uint64_t id, const std::string& tenant,
+                             double arrival_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobRecord& job = upsert(id);
+  job.tenant = tenant;
+  job.state = "queued";
+  job.arrival_s = arrival_s;
+}
+
+void JobTable::record_rejected(std::uint64_t id, const std::string& tenant,
+                               double arrival_s, const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobRecord& job = upsert(id);
+  job.tenant = tenant;
+  job.state = "rejected";
+  job.arrival_s = arrival_s;
+  job.reject_reason = reason;
+}
+
+void JobTable::record_running(std::uint64_t id, double start_s,
+                              std::uint64_t ranks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobRecord& job = upsert(id);
+  job.state = "running";
+  job.start_s = start_s;
+  job.ranks = ranks;
+}
+
+void JobTable::record_done(std::uint64_t id, double end_s, bool deadline_met) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobRecord& job = upsert(id);
+  job.state = "done";
+  job.end_s = end_s;
+  job.deadline_met = deadline_met;
+}
+
+std::vector<JobRecord> JobTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_;
+}
+
+std::string JobTable::render_json() const {
+  const std::vector<JobRecord> jobs = snapshot();
+  std::map<std::string, std::uint64_t> counts;
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("jobs").begin_array();
+  for (const JobRecord& job : jobs) {
+    ++counts[job.state];
+    json.begin_object()
+        .field("id", job.id)
+        .field("tenant", job.tenant)
+        .field("state", job.state)
+        .field("arrival_s", job.arrival_s)
+        .field("start_s", job.start_s)
+        .field("end_s", job.end_s)
+        .field("ranks", job.ranks);
+    if (job.state == "done") json.field("deadline_met", job.deadline_met);
+    if (!job.reject_reason.empty()) {
+      json.field("reject_reason", job.reject_reason);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("counts").begin_object();
+  for (const auto& [state, n] : counts) json.field(state, n);
+  json.end_object();
+  json.end_object();
+  return out.str();
+}
+
+void JobTable::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.clear();
+}
+
+}  // namespace senkf::telemetry::liveops

@@ -1,0 +1,57 @@
+// Live job table for the /jobs endpoint (DESIGN.md §16).
+//
+// The run-report's JobSlo records exist only once the service scheduler
+// publishes its final report; this table is the *live* view the
+// embedded endpoint serves mid-run.  The scheduler updates it at every
+// job transition (queued → running → done, or rejected); the HTTP
+// thread snapshots it under a short lock.  All timestamps are on the
+// service clock (simulated seconds since the scheduler started).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace senkf::telemetry::liveops {
+
+struct JobRecord {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string state;          ///< "queued" | "running" | "done" | "rejected"
+  std::string reject_reason;  ///< non-empty only when rejected
+  double arrival_s = 0.0;
+  double start_s = -1.0;  ///< -1 until dispatched
+  double end_s = -1.0;    ///< -1 until finished
+  std::uint64_t ranks = 0;
+  bool deadline_met = false;  ///< meaningful only when state == "done"
+};
+
+class JobTable {
+ public:
+  /// The table the service scheduler feeds and /jobs serves.
+  static JobTable& global();
+
+  void record_queued(std::uint64_t id, const std::string& tenant,
+                     double arrival_s);
+  void record_rejected(std::uint64_t id, const std::string& tenant,
+                       double arrival_s, const std::string& reason);
+  void record_running(std::uint64_t id, double start_s, std::uint64_t ranks);
+  void record_done(std::uint64_t id, double end_s, bool deadline_met);
+
+  std::vector<JobRecord> snapshot() const;
+
+  /// The /jobs body: `{"jobs": [...], "counts": {state: n}}`.
+  std::string render_json() const;
+
+  /// Drops every record (tests, and the scheduler between sweeps).
+  void clear();
+
+ private:
+  JobRecord& upsert(std::uint64_t id);  // caller holds mutex_
+
+  mutable std::mutex mutex_;
+  std::vector<JobRecord> jobs_;  ///< in arrival order; linear id lookup
+};
+
+}  // namespace senkf::telemetry::liveops

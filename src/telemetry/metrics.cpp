@@ -22,8 +22,11 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 void Histogram::observe(double value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto index = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[index].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // Bucket before count, both release: a reader that acquires `count`
+  // is guaranteed to see the bucket increments of every counted
+  // observation, which is what makes cut() converge.
+  buckets_[index].fetch_add(1, std::memory_order_release);
+  count_.fetch_add(1, std::memory_order_release);
   double expected = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(expected, expected + value,
                                      std::memory_order_relaxed)) {
@@ -35,7 +38,28 @@ double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(bounds_.size() + 1);
   for (std::size_t i = 0; i < out.size(); ++i) {
-    out[i] = buckets_[i].load(std::memory_order_relaxed);
+    out[i] = buckets_[i].load(std::memory_order_acquire);
+  }
+  return out;
+}
+
+HistogramCut Histogram::cut() const {
+  HistogramCut out;
+  out.buckets.resize(bounds_.size() + 1);
+  // Read count, then buckets: release ordering in observe() guarantees
+  // the buckets hold at least `count` increments, so equality of the
+  // two sums identifies a consistent cut.  Bounded retry — under a
+  // write storm the bucket sum itself is a valid (slightly newer) cut.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t count = count_.load(std::memory_order_acquire);
+    std::uint64_t bucket_sum = 0;
+    for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+      out.buckets[i] = buckets_[i].load(std::memory_order_acquire);
+      bucket_sum += out.buckets[i];
+    }
+    out.count = bucket_sum;
+    out.sum = sum_.load(std::memory_order_relaxed);
+    if (bucket_sum == count) break;
   }
   return out;
 }
@@ -163,9 +187,10 @@ std::string Registry::snapshot() const {
     } else if (entry.gauge) {
       out << "gauge " << name << " " << entry.gauge->value() << "\n";
     } else if (entry.histogram) {
-      out << "histogram " << name << " count=" << entry.histogram->count()
-          << " sum=" << entry.histogram->sum();
-      const auto counts = entry.histogram->bucket_counts();
+      const HistogramCut cut = entry.histogram->cut();
+      out << "histogram " << name << " count=" << cut.count
+          << " sum=" << cut.sum;
+      const auto& counts = cut.buckets;
       const auto& bounds = entry.histogram->bounds();
       for (std::size_t i = 0; i < bounds.size(); ++i) {
         out << " le_" << bounds[i] << "=" << counts[i];
@@ -192,9 +217,10 @@ std::vector<MetricRow> Registry::rows() const {
     } else if (entry.histogram) {
       row.kind = MetricRow::Kind::kHistogram;
       row.bounds = entry.histogram->bounds();
-      row.buckets = entry.histogram->bucket_counts();
-      row.count = entry.histogram->count();
-      row.sum = entry.histogram->sum();
+      HistogramCut cut = entry.histogram->cut();
+      row.buckets = std::move(cut.buckets);
+      row.count = cut.count;
+      row.sum = cut.sum;
     } else {
       continue;
     }

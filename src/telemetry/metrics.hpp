@@ -41,9 +41,24 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// A consistent point-in-time cut of one histogram: the bucket counts
+/// sum exactly to `count`, so a scrape taken mid-run never shows a
+/// torn total (DESIGN.md §16).  `sum` may trail the cut by in-flight
+/// observations (it is a lock-free accumulator, not part of the seq
+/// check) — quantiles and rates derive from the buckets, which are
+/// exact.
+struct HistogramCut {
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
 /// Fixed upper-bound buckets with `value <= bound` (Prometheus "le")
 /// semantics plus an implicit overflow bucket; bounds must be strictly
-/// increasing.  observe() is wait-free (one binary search + two atomics).
+/// increasing.  observe() is wait-free (one binary search + two atomics);
+/// the bucket increment is a release write ordered before the count
+/// increment, so cut() can take tear-free scrape-time snapshots while
+/// writers keep observing.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
@@ -55,6 +70,10 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<std::uint64_t> bucket_counts() const;
+  /// Consistent snapshot under concurrent observes: retries the
+  /// count-then-buckets read until the bucket sum equals the count
+  /// (bounded; falls back to the bucket sum, itself a valid cut).
+  HistogramCut cut() const;
   void reset();
 
  private:
@@ -112,8 +131,10 @@ class Registry {
   std::string snapshot() const;
 
   /// Every registered metric with its current values, sorted by name.
-  /// Values are read without stopping writers, so concurrent updates may
-  /// land between rows — fine for exports, not a consistent cut.
+  /// Values are read without stopping writers; concurrent updates may
+  /// land between rows, but each histogram row is individually tear-free
+  /// (its bucket counts sum to its count — see Histogram::cut), so a
+  /// scrape taken mid-run is always internally consistent per metric.
   std::vector<MetricRow> rows() const;
 
   /// Zeroes every registered metric (keeps registrations).

@@ -14,7 +14,9 @@ class CountedSpan {
   CountedSpan(Category category, const char* name, Counter& ns_counter,
               std::int32_t stage = -1)
       : counter_(ns_counter), name_(name), start_ns_(now_ns()),
-        stage_(stage), category_(category), traced_(tracing_enabled()) {}
+        stage_(stage), category_(category), hooks_(span_hooks()) {
+    if (hooks_ & kSpanHookProfile) push_phase_frame(name, category);
+  }
 
   /// Same interval additionally accumulated into a rank-local counter
   /// (the aggregation plane's per-rank samples, DESIGN.md §11), so the
@@ -23,15 +25,18 @@ class CountedSpan {
               Counter* local_ns, std::int32_t stage = -1)
       : counter_(ns_counter), local_(local_ns), name_(name),
         start_ns_(now_ns()), stage_(stage), category_(category),
-        traced_(tracing_enabled()) {}
+        hooks_(span_hooks()) {
+    if (hooks_ & kSpanHookProfile) push_phase_frame(name, category);
+  }
 
   ~CountedSpan() {
+    if (hooks_ & kSpanHookProfile) pop_phase_frame();
     const std::int64_t end_ns = now_ns();
     counter_.add(static_cast<std::uint64_t>(end_ns - start_ns_));
     if (local_ != nullptr) {
       local_->add(static_cast<std::uint64_t>(end_ns - start_ns_));
     }
-    if (traced_) {
+    if (hooks_ & kSpanHookTrace) {
       TraceEvent event;
       event.name = name_;
       event.t_start_ns = start_ns_;
@@ -65,7 +70,7 @@ class CountedSpan {
   std::int32_t stage_;
   Category category_;
   FlowDir flow_ = FlowDir::kNone;
-  bool traced_;
+  std::uint8_t hooks_;
 };
 
 }  // namespace senkf::telemetry

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -47,8 +48,11 @@ struct RunReport {
   /// Bumped when the JSON layout changes incompatibly.  v2 adds the
   /// per-cycle critical-path section, latency quantiles, and the
   /// time-series section (DESIGN.md §13).  v3 adds the per-job SLO
-  /// section with tenant aggregation (DESIGN.md §14).
-  static constexpr int kVersion = 3;
+  /// section with tenant aggregation (DESIGN.md §14).  v4 adds the
+  /// "profile" and "watchdog" sections fed by the liveops plane
+  /// (DESIGN.md §16); both default to {"enabled": false} when the
+  /// profiler/watchdog never armed.
+  static constexpr int kVersion = 4;
 
   std::string kind;     ///< "senkf", "penkf", "lenkf", ...
   bool valid = false;   ///< a run populated this report
@@ -87,6 +91,16 @@ std::vector<CriticalPathSummary> critical_paths_copy();
 /// Drops the accumulated summaries and resets the cycle counter (tests
 /// call it between runs).
 void clear_critical_paths();
+
+/// Registers the provider for a pluggable report section (schema v4).
+/// The liveops plane — which sits *above* telemetry in the link order —
+/// registers "profile" and "watchdog" here; write_run_report calls the
+/// provider at write time and splices the returned JSON value under the
+/// section's key.  A section with no provider (or whose provider
+/// throws) is written as {"enabled": false}, so the keys are always
+/// present for the checker.  Passing a null provider unregisters.
+void set_report_section_provider(const std::string& name,
+                                 std::function<std::string()> provider);
 
 /// Marks the global report partial without touching its data; called on
 /// the fault path before flush_exports().

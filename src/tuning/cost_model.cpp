@@ -117,4 +117,17 @@ double predict_runtime(const CostModel& model, const vcluster::SenkfParams& p,
   return model.t_pipeline(p) * static_cast<double>(cycles);
 }
 
+PhaseDeadlines phase_deadlines(const CostModel& model,
+                               const vcluster::SenkfParams& p,
+                               double floor_s) {
+  SENKF_REQUIRE(floor_s >= 0.0, "phase_deadlines: need floor_s >= 0");
+  PhaseDeadlines d;
+  d.read_s = std::max(model.t_read(p), floor_s);
+  d.comm_s = std::max(model.t_comm(p), floor_s);
+  d.comp_s = std::max(model.t_comp(p), floor_s);
+  d.stage_s = std::max(model.t1(p) + model.t_comp(p), floor_s);
+  d.cycle_s = std::max(model.t_pipeline(p), floor_s);
+  return d;
+}
+
 }  // namespace senkf::tuning

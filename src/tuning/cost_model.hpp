@@ -110,4 +110,21 @@ class CostModel {
 double predict_runtime(const CostModel& model, const vcluster::SenkfParams& p,
                        std::uint64_t cycles = 1);
 
+/// Per-phase stall deadlines for the liveops watchdog (DESIGN.md §16):
+/// the cost model's per-stage predictions, floored at `floor_s` so the
+/// sub-millisecond predictions of test-sized grids don't fire on
+/// ordinary scheduling noise.  The watchdog multiplies its
+/// SENKF_WATCHDOG safety scale on top at arm time — these are the raw
+/// "should have finished by now" estimates.
+struct PhaseDeadlines {
+  double read_s = 0.0;   ///< one rank's bar reads for one stage (eq. (7))
+  double comm_s = 0.0;   ///< one stage's scatter/gather (eq. (8))
+  double comp_s = 0.0;   ///< one stage's local analysis (eq. (9))
+  double stage_s = 0.0;  ///< one full stage end-to-end (read+comm+comp)
+  double cycle_s = 0.0;  ///< whole cycle (pipeline-aware total)
+};
+PhaseDeadlines phase_deadlines(const CostModel& model,
+                               const vcluster::SenkfParams& p,
+                               double floor_s = 0.05);
+
 }  // namespace senkf::tuning

@@ -1,0 +1,131 @@
+// Embedded HTTP server (DESIGN.md §16): ephemeral-port bind, route
+// dispatch, query parsing, error statuses, and idempotent stop — the
+// transport the live operations endpoint rides on.
+#include "net/http_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace senkf::net {
+namespace {
+
+TEST(HttpServer, ServesRegisteredRouteOnEphemeralPort) {
+  HttpServer server;
+  server.add_route("/ping", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "pong method=" + request.method;
+    return response;
+  });
+  server.start(0);
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  int status = 0;
+  const std::string body = http_get(server.port(), "/ping", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "pong method=GET");
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, StripsQueryAndPassesItThrough) {
+  HttpServer server;
+  server.add_route("/profile", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "path=" + request.path + " query=" + request.query;
+    return response;
+  });
+  server.start(0);
+  int status = 0;
+  const std::string body =
+      http_get(server.port(), "/profile?collapsed", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "path=/profile query=collapsed");
+  server.stop();
+}
+
+TEST(HttpServer, UnknownRouteIs404) {
+  HttpServer server;
+  server.add_route("/known", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start(0);
+  int status = 0;
+  http_get(server.port(), "/unknown", &status);
+  EXPECT_EQ(status, 404);
+  server.stop();
+}
+
+TEST(HttpServer, ThrowingHandlerIs500) {
+  HttpServer server;
+  server.add_route("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  server.start(0);
+  int status = 0;
+  const std::string body = http_get(server.port(), "/boom", &status);
+  EXPECT_EQ(status, 500);
+  EXPECT_NE(body.find("handler exploded"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+  HttpServer server;
+  server.add_route("/", [](const HttpRequest&) { return HttpResponse{}; });
+  server.start(0);
+  const std::uint16_t first_port = server.port();
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+
+  // The same object can serve again (liveops restarts between runs).
+  server.start(0);
+  EXPECT_TRUE(server.running());
+  int status = 0;
+  http_get(server.port(), "/", &status);
+  EXPECT_EQ(status, 200);
+  server.stop();
+  (void)first_port;
+}
+
+TEST(HttpServer, BusyPortThrows) {
+  HttpServer first;
+  first.add_route("/", [](const HttpRequest&) { return HttpResponse{}; });
+  first.start(0);
+  HttpServer second;
+  EXPECT_THROW(second.start(first.port()), std::runtime_error);
+  EXPECT_FALSE(second.running());
+  first.stop();
+}
+
+TEST(HttpServer, ConcurrentClientsEachGetAResponse) {
+  HttpServer server;
+  server.add_route("/n", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok";
+    return response;
+  });
+  server.start(0);
+  const std::uint16_t port = server.port();
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([port, &ok] {
+      for (int j = 0; j < 4; ++j) {
+        int status = 0;
+        if (http_get(port, "/n", &status) == "ok" && status == 200) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 32);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace senkf::net

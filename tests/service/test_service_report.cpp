@@ -1,6 +1,7 @@
-// Run-report schema v3 (DESIGN.md §14): a service run's report carries a
-// per-job SLO section whose tenant totals reconcile with the job list —
-// the same invariants bench/check_report.py enforces in CI.
+// Run-report schema v4 (DESIGN.md §14, §16): a service run's report
+// carries a per-job SLO section whose tenant totals reconcile with the
+// job list, plus the always-present profile/watchdog sections — the
+// same invariants bench/check_report.py enforces in CI.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -30,10 +31,14 @@ testjson::Value exported_service_report() {
   return testjson::parse(out.str());
 }
 
-TEST(ServiceReport, SchemaV3WithJobsSection) {
+TEST(ServiceReport, SchemaV4WithJobsSection) {
   const auto doc = exported_service_report();
   EXPECT_EQ(doc.at("schema").as_string(), "senkf-run-report");
-  EXPECT_EQ(doc.at("version").as_number(), 3.0);
+  EXPECT_EQ(doc.at("version").as_number(), 4.0);
+  // v4 guarantees the pluggable sections exist even when nothing armed
+  // them (the liveops plane registers real providers at start).
+  EXPECT_TRUE(doc.at("profile").as_object().count("enabled"));
+  EXPECT_TRUE(doc.at("watchdog").as_object().count("enabled"));
   const auto& run = doc.at("run");
   EXPECT_EQ(run.at("kind").as_string(), "service");
   EXPECT_TRUE(run.at("valid").as_bool());

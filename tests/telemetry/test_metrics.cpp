@@ -181,6 +181,27 @@ TEST(HistogramQuantile, DegenerateInputsReturnZero) {
   EXPECT_DOUBLE_EQ(histogram_quantile({1.0, 2.0}, {5}, 0.5), 0.0);
 }
 
+TEST(HistogramQuantile, AllObservationsInOverflowClampToLastBound) {
+  // Every observation exceeded the ladder: any quantile is a lower-bound
+  // estimate clamped to the largest finite bound, never an invented edge.
+  const std::vector<double> bounds{1.0, 2.0};
+  const std::vector<std::uint64_t> buckets{0, 0, 42};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 0.01), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 0.50), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 1.00), 2.0);
+}
+
+TEST(HistogramQuantile, SingleSampleInterpolatesInsideItsBucket) {
+  // One observation in (10, 20]: every q maps into that bucket, and
+  // q=1 reaches its upper bound exactly.
+  const std::vector<double> bounds{10.0, 20.0};
+  const std::vector<std::uint64_t> buckets{0, 1, 0};
+  const double p50 = histogram_quantile(bounds, buckets, 0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, buckets, 1.0), 20.0);
+}
+
 TEST(HistogramQuantile, ClampsQ) {
   const std::vector<double> bounds{10.0};
   const std::vector<std::uint64_t> buckets{10, 0};

@@ -1,0 +1,90 @@
+// Tear-free scrape gate (DESIGN.md §16): the liveops endpoint snapshots
+// the registry while engine threads keep observing.  This file is the
+// tsan regression for that path — run the suite with
+// -DSENKF_SANITIZE=thread and any unsynchronized scrape read shows up —
+// and it asserts the consistency contract directly: every mid-run
+// Histogram::cut() has bucket counts summing exactly to its count, and
+// a registry-wide rows() walk never sees a torn histogram either.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "telemetry/liveops/exposition.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace senkf::telemetry {
+namespace {
+
+std::uint64_t bucket_sum(const std::vector<std::uint64_t>& buckets) {
+  return std::accumulate(buckets.begin(), buckets.end(),
+                         std::uint64_t{0});
+}
+
+TEST(ScrapeRace, HistogramCutsAreConsistentUnderConcurrentObserves) {
+  Histogram histogram(exponential_bounds(1.0, 2.0, 12));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&histogram, &stop, w] {
+      std::uint64_t x = 88172645463325252ull + static_cast<std::uint64_t>(w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        histogram.observe(static_cast<double>(x % 5000));
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 2000; ++scrape) {
+    const HistogramCut cut = histogram.cut();
+    ASSERT_EQ(bucket_sum(cut.buckets), cut.count)
+        << "torn scrape at iteration " << scrape;
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  // Quiesced: the final cut matches the direct readers too.
+  const HistogramCut cut = histogram.cut();
+  EXPECT_EQ(cut.count, histogram.count());
+  EXPECT_EQ(bucket_sum(cut.buckets), cut.count);
+}
+
+TEST(ScrapeRace, RegistryRowsAndExpositionStayConsistentUnderWrites) {
+  auto& registry = Registry::global();
+  auto& hist = registry.histogram("scrape.race.latency",
+                                  exponential_bounds(1.0, 4.0, 8));
+  auto& counter = registry.counter("scrape.race.events");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&hist, &counter, &stop, w] {
+      std::uint64_t x = 2463534242u + static_cast<std::uint64_t>(w);
+      while (!stop.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        hist.observe(static_cast<double>(x % 70000));
+        counter.add(1);
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 500; ++scrape) {
+    for (const MetricRow& row : registry.rows()) {
+      if (row.kind != MetricRow::Kind::kHistogram) continue;
+      ASSERT_EQ(bucket_sum(row.buckets), row.count)
+          << "torn histogram row '" << row.name << "'";
+    }
+    // The exposition renderer itself must also hold the invariant (it
+    // feeds from the same cut path); just exercising it under load is
+    // the tsan value — render and discard.
+    liveops::render_prometheus();
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+}
+
+}  // namespace
+}  // namespace senkf::telemetry

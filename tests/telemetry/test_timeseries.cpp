@@ -125,6 +125,43 @@ TEST(TimeSeriesRecorder, MemoryIsBoundedByCapacity) {
   EXPECT_EQ(it->second.dropped, 92u);
 }
 
+TEST(SeriesData, MergeAccumulatesEvictionCounters) {
+  // Eviction counts must survive the aggregation tree: the merged
+  // series carries both sides' dropped totals plus any points the merge
+  // itself evicted, so a truncated trend never reads as complete.
+  SeriesData left;
+  for (int i = 0; i < 6; ++i) left.append(i * 10, 1.0, /*capacity=*/4);
+  SeriesData right;
+  for (int i = 0; i < 5; ++i) right.append(i * 10 + 5, 2.0, /*capacity=*/4);
+  ASSERT_EQ(left.dropped, 2u);
+  ASSERT_EQ(right.dropped, 1u);
+  left.merge(right, /*capacity=*/4);
+  EXPECT_EQ(left.points.size(), 4u);
+  // 2 + 1 carried in, plus 4 of the 8 surviving points evicted by the
+  // merge bound itself.
+  EXPECT_EQ(left.dropped, 2u + 1u + 4u);
+}
+
+TEST(TimeSeriesRecorder, EvictionCountersPersistAcrossLaterSamples) {
+  // Once a ring has dropped points, later in-capacity samples must not
+  // reset the counter — /timeseries consumers rely on it to detect
+  // truncated history.
+  Registry registry;
+  auto& gauge = registry.gauge("level");
+  TimeSeriesRecorder recorder(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    gauge.set(i);
+    recorder.sample_at(i * 100, registry);
+  }
+  auto snapshot = recorder.snapshot();
+  ASSERT_EQ(snapshot.at("level").dropped, 6u);
+  gauge.set(99);
+  recorder.sample_at(10'000, registry);
+  snapshot = recorder.snapshot();
+  EXPECT_EQ(snapshot.at("level").dropped, 7u);
+  EXPECT_EQ(snapshot.at("level").points.size(), 4u);
+}
+
 TEST(TimeSeriesRecorder, ClearDropsSeriesAndBaseline) {
   Registry registry;
   auto& counter = registry.counter("msgs");
